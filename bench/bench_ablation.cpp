@@ -1,0 +1,106 @@
+// bench_ablation — ablations of the design decisions DESIGN.md section 4
+// calls out (not a paper table; supporting evidence for the implementation
+// choices):
+//   A. sub-sampler tap placement: centered (round-nearest) vs end-of-group
+//      (floor) taps in the softmax block — same wiring cost, different MAE;
+//   B. BSN adders as merge trees vs full sorters — area of the softmax block;
+//   C. alignment-grid expansion factor E — MAE vs area trade;
+//   D. iteration count k — the Algorithm-1 truncation error in float.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "hw/cost_model.h"
+#include "hw/report.h"
+#include "sc/bsn.h"
+#include "sc/softmax_iter.h"
+
+using namespace ascend;
+
+namespace {
+
+sc::SoftmaxIterConfig base_cfg() {
+  sc::SoftmaxIterConfig cfg;
+  cfg.m = 64;
+  cfg.k = 3;
+  cfg.bx = 8;
+  cfg.by = 16;
+  cfg.s1 = 32;
+  cfg.s2 = 8;
+  cfg.alpha_x = 1.0;
+  cfg.alpha_y = 1.0 / 64;
+  return cfg;
+}
+
+void bm_softmax_bits(benchmark::State& state) {
+  sc::SoftmaxIterConfig cfg;
+  cfg.m = 8;
+  cfg.s1 = 4;
+  cfg.s2 = 4;
+  cfg.alpha_y = 1.0 / 8;
+  const auto rows = sc::sample_attention_logits(cfg.m, 1, 3);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(sc::softmax_iterative_sc_bits(rows[0], cfg).size());
+}
+BENCHMARK(bm_softmax_bits);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::banner("Ablations — tap placement, merge-tree BSN, alignment grid, k",
+                "design-choice evidence (no direct paper table)");
+  const int rows = bench::fast_mode() ? 8 : 40;
+
+  // A. Tap placement.
+  {
+    sc::SoftmaxIterConfig cfg = base_cfg();
+    cfg.centered_subsample = true;
+    const double centered = sc::softmax_sc_mae(cfg, rows, 42);
+    cfg.centered_subsample = false;
+    const double floored = sc::softmax_sc_mae(cfg, rows, 42);
+    std::printf("\nA. s1/s2 sub-sampler taps (same hardware):\n");
+    std::printf("   centered (round-nearest) MAE: %.4f\n", centered);
+    std::printf("   end-of-group (floor)     MAE: %.4f  (%+.1f%%)\n", floored,
+                100.0 * (floored / centered - 1.0));
+  }
+
+  // B. Merge tree vs full sorter.
+  {
+    const sc::SoftmaxIterConfig cfg = base_cfg();
+    const sc::SoftmaxIterLayout lay = sc::softmax_iter_layout(cfg);
+    const double merge1 = hw::cost_bsn_merge(static_cast<std::size_t>(lay.lsum),
+                                             static_cast<std::size_t>(lay.lz)).area_um2();
+    const double sort1 = hw::cost_bsn(static_cast<std::size_t>(lay.lsum)).area_um2();
+    const double block = hw::cost_softmax_iter(cfg).area_um2();
+    std::printf("\nB. BSN-1 as merge tree: %.0f um2 vs full sorter %.0f um2 (-%.0f%%),\n"
+                "   softmax block total %.0f um2\n",
+                merge1, sort1, 100.0 * (1.0 - merge1 / sort1), block);
+  }
+
+  // C. Alignment expansion factor.
+  std::printf("\nC. alignment grid expansion E (alpha_c = alpha_y / E):\n");
+  std::printf("   E   MAE      block area (um2)\n");
+  for (int e : {1, 2, 4, 8}) {
+    sc::SoftmaxIterConfig cfg = base_cfg();
+    cfg.align_expand = e;
+    std::printf("   %d   %.4f   %s\n", e, sc::softmax_sc_mae(cfg, rows, 77),
+                hw::sci(hw::cost_softmax_iter(cfg).area_um2()).c_str());
+  }
+
+  // D. Iteration count (pure Algorithm-1 truncation, no SC quantization).
+  std::printf("\nD. Algorithm-1 truncation error vs k (float, m = 64):\n");
+  const auto logits = sc::sample_attention_logits(64, rows, 5);
+  for (int k : {1, 2, 3, 4, 8, 16, 64}) {
+    double err = 0.0;
+    for (const auto& row : logits) {
+      const auto exact = sc::softmax_exact(row);
+      const auto approx = sc::softmax_iterative_ref(row, k);
+      for (std::size_t i = 0; i < row.size(); ++i) err += std::fabs(approx[i] - exact[i]);
+    }
+    std::printf("   k=%-3d mean|err| = %.5f\n", k, err / (logits.size() * 64));
+  }
+
+  bench::run_timing_kernels(argc, argv);
+  return 0;
+}

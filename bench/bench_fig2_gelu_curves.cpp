@@ -1,0 +1,85 @@
+// bench_fig2_gelu_curves — reproduces Fig. 2 (GELU transfer curves of the
+// four design families) and Fig. 4 (ternary GELU staircase + truth table).
+//
+// Output is CSV-style rows: x, exact GELU, and each design's output, so the
+// plots can be regenerated directly from the bench output.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "sc/bernstein.h"
+#include "sc/fsm_units.h"
+#include "sc/gate_si.h"
+#include "sc/si.h"
+
+using namespace ascend;
+
+namespace {
+
+void bm_fsm_gelu(benchmark::State& state) {
+  sc::FsmGelu unit(3.5);
+  sc::LfsrSource a(16, 0x1), b(17, 0x2);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(unit.eval(-0.7, static_cast<std::size_t>(state.range(0)), a, b));
+}
+BENCHMARK(bm_fsm_gelu)->Arg(128)->Arg(1024);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::banner("Fig. 2 — GELU transfer curves; Fig. 4 — ternary GELU",
+                "FSM saturates at 0 for x<0 and fluctuates; Bernstein fits coarsely and "
+                "fluctuates; naive SI flattens the dip; gate-assisted SI is exact and "
+                "fluctuation-free");
+
+  const bool fast = bench::fast_mode();
+  const int points = fast ? 15 : 36;
+  const int fsm_reps = fast ? 4 : 16;
+
+  // Designs under comparison.
+  sc::FsmGelu fsm(3.5);
+  const sc::BernsteinGelu bern(4);
+  const sc::GateAssistedSI gsi4 = sc::make_gelu_block(4);
+  const sc::GateAssistedSI gsi8 = sc::make_gelu_block(8);
+  const auto naive4 = sc::SelectiveInterconnect::synthesize_best_monotone(
+      sc::gelu_exact, gsi4.lin(), gsi4.lout(), gsi4.alpha_in(), gsi4.alpha_out());
+  const auto naive8 = sc::SelectiveInterconnect::synthesize_best_monotone(
+      sc::gelu_exact, gsi8.lin(), gsi8.lout(), gsi8.alpha_in(), gsi8.alpha_out());
+
+  std::printf("\n# x, gelu, fsm_128b, fsm_1024b, bern4_128b, bern4_1024b, "
+              "naive_si_4b, naive_si_8b, gate_si_4b, gate_si_8b\n");
+  for (int i = 0; i <= points; ++i) {
+    const double x = -3.0 + 3.5 * i / points;
+    double fsm128 = 0, fsm1024 = 0, bern128 = 0, bern1024 = 0;
+    for (int r = 0; r < fsm_reps; ++r) {
+      sc::LfsrSource sa(16, 0x100u + static_cast<std::uint32_t>(r) * 7919u);
+      sc::LfsrSource sb(17, 0x200u + static_cast<std::uint32_t>(r) * 104729u);
+      fsm128 += fsm.eval(x, 128, sa, sb);
+      fsm1024 += fsm.eval(x, 1024, sa, sb);
+      const auto seed = static_cast<std::uint64_t>(i) * 131 + static_cast<std::uint64_t>(r);
+      bern128 += bern.eval_stochastic(x, 128, seed);
+      bern1024 += bern.eval_stochastic(x, 1024, seed + 17);
+    }
+    std::printf("%+.3f, %+.4f, %+.4f, %+.4f, %+.4f, %+.4f, %+.4f, %+.4f, %+.4f, %+.4f\n", x,
+                sc::gelu_exact(x), fsm128 / fsm_reps, fsm1024 / fsm_reps, bern128 / fsm_reps,
+                bern1024 / fsm_reps, naive4.transfer(x), naive8.transfer(x), gsi4.transfer(x),
+                gsi8.transfer(x));
+  }
+
+  // Fig. 4: the ternary GELU block.
+  const sc::GateAssistedSI tern = sc::GateAssistedSI::ternary_gelu();
+  std::printf("\nFig. 4 — ternary GELU (8b input -> 2b output)\n");
+  std::printf("input_count  selection(s2 s1 s0)  output_bits  output_count  value\n");
+  for (int n = 0; n <= 8; ++n) {
+    const sc::ThermStream in = sc::ThermStream::from_value(sc::ThermValue{n, 8, 1.0});
+    const sc::ThermStream out = tern.apply(in);
+    const int s2 = n >= 2, s1 = n >= 4, s0 = n >= 7;
+    std::printf("     %d            %d %d %d             %s          %d        %+.0f\n", n, s2, s1,
+                s0, out.bits.to_string().c_str(), out.ones(), out.value());
+  }
+  std::printf("(paper truth table: s=000 -> 0, 100 -> -1, 110 -> 0, 111 -> +1)\n");
+
+  bench::run_timing_kernels(argc, argv);
+  return 0;
+}

@@ -1,0 +1,60 @@
+// bench_fig8_dse — reproduces Fig. 8: design-space exploration of the
+// iterative approximate softmax block for Bx = 2 and Bx = 4 (m = 64).
+// Sweeps the Table II parameters (2916 nominal candidates per Bx), costs
+// every feasible design, and prints the ADP/MAE Pareto front.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/dse.h"
+#include "hw/report.h"
+
+using namespace ascend;
+
+namespace {
+
+void bm_dse_point(benchmark::State& state) {
+  sc::SoftmaxIterConfig cfg;  // defaults
+  for (auto _ : state) benchmark::DoNotOptimize(sc::softmax_sc_mae(cfg, 1, 3));
+}
+BENCHMARK(bm_dse_point);
+
+void report(int bx, const core::DseResult& res) {
+  std::printf("\nBx = %d: %d nominal candidates, %d infeasible, %zu evaluated, %zu Pareto optima\n",
+              bx, res.nominal_candidates, res.infeasible, res.points.size(), res.pareto.size());
+  double adp_lo = 1e300, adp_hi = 0, mae_lo = 1e300, mae_hi = 0;
+  for (std::size_t idx : res.pareto) {
+    const core::DsePoint& p = res.points[idx];
+    adp_lo = std::min(adp_lo, p.adp());
+    adp_hi = std::max(adp_hi, p.adp());
+    mae_lo = std::min(mae_lo, p.mae);
+    mae_hi = std::max(mae_hi, p.mae);
+  }
+  std::printf("Pareto ADP range: %s .. %s um2*ns; MAE range: %.4f .. %.4f\n",
+              hw::sci(adp_lo).c_str(), hw::sci(adp_hi).c_str(), mae_lo, mae_hi);
+  std::printf("# ADP(um2*ns), MAE, [By, s1, s2, k, ax, ay, E]\n");
+  for (std::size_t idx : res.pareto) {
+    const core::DsePoint& p = res.points[idx];
+    std::printf("%-12s %.4f  [%d, %d, %d, %d, %.3f, %.5f, %d]\n", hw::sci(p.adp()).c_str(), p.mae,
+                p.cfg.by, p.cfg.s1, p.cfg.s2, p.cfg.k, p.cfg.alpha_x, p.cfg.alpha_y,
+                p.cfg.align_expand);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::banner("Fig. 8 — softmax design-space exploration",
+                "Bx=2: 12 Pareto optima, ADP 2.45e5..1.89e7, MAE 0.0098..0.0714 | "
+                "Bx=4: 21 Pareto optima");
+
+  const bool fast = bench::fast_mode();
+  const int mae_rows = fast ? 3 : 16;
+  const int m = fast ? 16 : 64;
+
+  report(2, core::sweep_softmax_design_space(2, m, mae_rows, 99));
+  report(4, core::sweep_softmax_design_space(4, m, mae_rows, 99));
+
+  bench::run_timing_kernels(argc, argv);
+  return 0;
+}

@@ -1,0 +1,110 @@
+// bench_table6_accelerator — reproduces Table VI: accelerator-level area and
+// accuracy for softmax block configurations [By, s1, s2, k] along the Pareto
+// front. Area uses the paper topology (64 tokens, dim 256, k parallel
+// softmax blocks); accuracy evaluates the trained SC-friendly ViT with the
+// bit-true SC softmax swapped in per configuration (synthetic task, see
+// DESIGN.md section 1).
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/accelerator.h"
+#include "hw/report.h"
+#include "vit/sc_inference.h"
+#include "vit/train.h"
+
+using namespace ascend;
+using namespace ascend::vit;
+
+namespace {
+
+void bm_accelerator_area(benchmark::State& state) {
+  core::AcceleratorConfig cfg;
+  for (auto _ : state) benchmark::DoNotOptimize(core::accelerator_area(cfg).total_area);
+}
+BENCHMARK(bm_accelerator_area);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ascend::bench::banner(
+      "Table VI — accelerator area & accuracy per softmax configuration",
+      "[4,128,2,2]: softmax 3.15e4, accel 4.24e6, 89.72/63.51 | [8,32,8,3]: 8.82e4, 4.47e6, "
+      "90.79/66.18 | [16,128,16,4]: 4.65e5, 6.04e6, 91.07/66.63 | [32,128,16,4]: 1.16e6, "
+      "8.84e6, 91.25/66.78");
+
+  const bool fast = ascend::bench::fast_mode();
+
+  // Train the SC-friendly low-precision ViT once (reduced pipeline).
+  PipelineOptions opt;
+  opt.config = VitConfig::bench_topology(10);
+  opt.stage_epochs = fast ? 2 : 6;
+  opt.finetune_epochs = fast ? 1 : 2;
+  opt.finetune_lr = 5e-5f;
+  opt.seed = 7;
+  opt.verbose = false;
+  const Dataset train = make_synthetic_vision(fast ? 320 : 1280, 10, 110);
+  const Dataset test = make_synthetic_vision(fast ? 160 : 400, 10, 210);
+  std::printf("training the SC-friendly W2-A2-R16 ViT (reduced pipeline)...\n");
+  const PipelineResult pipe = run_ascend_pipeline(opt, train, test);
+  VisionTransformer& model = *pipe.sc_friendly;
+  std::printf("float-softmax accuracy of the SC-friendly model: %.2f%%\n", pipe.acc_approx_ft);
+
+  struct Row {
+    int by, s1, s2, k;
+    double paper_softmax, paper_accel, paper_acc10;
+  };
+  const Row rows[] = {
+      {4, 128, 2, 2, 3.15e4, 4.24e6, 89.72},
+      {8, 32, 8, 3, 8.82e4, 4.47e6, 90.79},
+      {16, 128, 16, 4, 4.65e5, 6.04e6, 91.07},
+      {32, 128, 16, 4, 1.16e6, 8.84e6, 91.25},
+  };
+
+  std::printf("\n%-16s %-14s %-14s %-12s %-10s %-22s\n", "[By,s1,s2,k]", "softmax(um2)",
+              "accel(um2)", "softmax(%)", "acc(%)", "paper(sm/accel/acc)");
+  for (const Row& r : rows) {
+    core::AcceleratorConfig acfg;  // paper topology
+    acfg.softmax.bx = 4;
+    acfg.softmax.by = r.by;
+    acfg.softmax.s1 = r.s1;
+    acfg.softmax.s2 = r.s2;
+    acfg.softmax.k = r.k;
+    acfg.softmax.alpha_y = 1.0 / 64;
+    const core::AcceleratorReport rep = core::accelerator_area(acfg);
+
+    // Accuracy: run the trained model with the SC softmax at the paper
+    // config's By and k. The paper's s1/s2 values are tuned for m = 64
+    // attention rows; at this bench's reduced m = 16 they would dominate the
+    // error and mask the precision knob, so the accuracy column uses a mild
+    // fixed sub-sampling and isolates [By, k] (see EXPERIMENTS.md).
+    ScInferenceConfig sc_cfg;
+    sc_cfg.softmax.bx = 8;
+    sc_cfg.softmax.alpha_x = 1.0;
+    sc_cfg.softmax.by = r.by;
+    sc_cfg.softmax.k = r.k;
+    // By refines the y grid, with the step capped so y0 = 1/m stays
+    // representable: coarse configs saturate the attention peaks (accuracy
+    // cost), fine configs track them — the paper's Table VI accuracy knob.
+    sc_cfg.softmax.alpha_y =
+        std::min(1.5 / r.by, 2.0 / opt.config.tokens());
+    sc_cfg.softmax.s1 = 4;
+    sc_cfg.softmax.s2 = 2;
+    double acc = -1.0;
+    try {
+      acc = evaluate_sc(model, test, sc_cfg);
+    } catch (const std::exception& e) {
+      std::printf("  (config infeasible at m=%d: %s)\n", opt.config.tokens(), e.what());
+    }
+    std::printf("[%2d,%3d,%2d,%d]   %-14s %-14s %-12.2f %-10.2f %s/%s/%.2f\n", r.by, r.s1, r.s2,
+                r.k, hw::sci(rep.softmax_total_area).c_str(), hw::sci(rep.total_area).c_str(),
+                100.0 * rep.softmax_fraction(), acc, hw::sci(r.paper_softmax).c_str(),
+                hw::sci(r.paper_accel).c_str(), r.paper_acc10);
+  }
+  std::printf("\nshape checks: softmax area grows >30x from first to last config; the low-end\n"
+              "config keeps softmax a small fraction of total area; accuracy rises with By/k.\n");
+
+  ascend::bench::run_timing_kernels(argc, argv);
+  return 0;
+}

@@ -1,0 +1,34 @@
+#pragma once
+// bench_util.h — shared helpers for the paper-reproduction benches.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace ascend::bench {
+
+/// ASCEND_FAST=1 shrinks workloads for smoke runs.
+inline bool fast_mode() {
+  const char* v = std::getenv("ASCEND_FAST");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+/// Print the standard bench banner.
+inline void banner(const char* what, const char* paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("ASCEND reproduction: %s\n", what);
+  std::printf("Paper reference: %s\n", paper_ref);
+  if (fast_mode()) std::printf("(ASCEND_FAST=1: reduced workload)\n");
+  std::printf("================================================================\n");
+}
+
+/// Run the registered google-benchmark timing kernels after the table print.
+inline void run_timing_kernels(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+}
+
+}  // namespace ascend::bench

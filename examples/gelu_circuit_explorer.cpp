@@ -1,0 +1,46 @@
+// gelu_circuit_explorer — compare the four GELU circuit families at a chosen
+// data BSL and print their transfer curves and hardware cost.
+//
+// Usage: gelu_circuit_explorer [data_bsl]      (default 4)
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/ascend.h"
+
+using namespace ascend;
+
+int main(int argc, char** argv) {
+  const int b = (argc > 1) ? std::atoi(argv[1]) : 4;
+  if (b < 2 || b % 2 != 0) {
+    std::fprintf(stderr, "usage: %s [even data BSL >= 2]\n", argv[0]);
+    return 1;
+  }
+
+  const sc::GateAssistedSI ours = sc::make_gelu_block(b);
+  const auto naive = sc::SelectiveInterconnect::synthesize_best_monotone(
+      sc::gelu_exact, ours.lin(), ours.lout(), ours.alpha_in(), ours.alpha_out());
+  const sc::BernsteinGelu bern(4);
+  sc::FsmGelu fsm(3.5);
+
+  std::printf("GELU circuits at data BSL %d (input: %d wires, alpha %.4f; output scale %.4f)\n",
+              b, ours.lin(), ours.alpha_in(), ours.alpha_out());
+  std::printf("%8s %10s %10s %10s %10s %10s\n", "x", "gelu", "gate-SI", "naive-SI", "bern-1024b",
+              "fsm-1024b");
+  for (int i = 0; i <= 28; ++i) {
+    const double x = -3.0 + 3.5 * i / 28.0;
+    sc::LfsrSource sa(16, 0x10u + static_cast<std::uint32_t>(i));
+    sc::LfsrSource sb(17, 0x20u + static_cast<std::uint32_t>(i));
+    std::printf("%+8.3f %+10.4f %+10.4f %+10.4f %+10.4f %+10.4f\n", x, sc::gelu_exact(x),
+                ours.transfer(x), naive.transfer(x),
+                bern.eval_stochastic(x, 1024, static_cast<std::uint64_t>(i)),
+                fsm.eval(x, 1024, sa, sb));
+  }
+
+  const hw::GateInventory ginv = hw::cost_gate_si(ours.lin(), ours.lout(), ours.total_intervals());
+  const hw::GateInventory binv = hw::cost_bernstein(4, 1024);
+  std::printf("\ngate-SI:  %s\n", ginv.summary().c_str());
+  std::printf("bernstein: %s\n", binv.summary().c_str());
+  std::printf("ADP advantage (bernstein/gate-SI): %.2fx\n", binv.adp() / ginv.adp());
+  return 0;
+}

@@ -1,0 +1,65 @@
+// sc_vit_inference — train a small W2-A2-R16 BN-ViT on the synthetic task,
+// then run inference with the SC circuit blocks (iterative approximate
+// softmax + gate-assisted SI GELU) swapped in, and compare against float.
+//
+// This is the end-to-end path a user of the accelerator model would take.
+
+#include <cstdio>
+
+#include "core/ascend.h"
+
+using namespace ascend;
+using namespace ascend::vit;
+
+int main() {
+  VitConfig cfg = VitConfig::bench_topology(10);
+  cfg.dim = 48;
+  cfg.layers = 3;
+
+  const Dataset train = make_synthetic_vision(640, cfg.classes, 11);
+  const Dataset test = make_synthetic_vision(240, cfg.classes, 12);
+
+  std::printf("training a %d-layer/%d-head BN-ViT (dim %d, %d tokens)...\n", cfg.layers, cfg.heads,
+              cfg.dim, cfg.tokens());
+  VisionTransformer model(cfg, 3);
+  TrainOptions opt;
+  opt.epochs = 6;
+  opt.lr = 2e-3f;
+  opt.batch_size = 64;
+  train_model(model, nullptr, train, opt);
+
+  std::printf("quantizing to W2-A2-R16 and fine-tuning...\n");
+  model.apply_precision(PrecisionSpec::w2a2r16());
+  opt.epochs = 4;
+  opt.lr = 1e-3f;
+  train_model(model, nullptr, train, opt);
+
+  const double float_acc = evaluate(model, test);
+  std::printf("float (exact softmax/GELU) accuracy: %.2f%%\n", float_acc);
+
+  ScInferenceConfig sc_cfg;
+  sc_cfg.softmax.bx = 8;
+  sc_cfg.softmax.alpha_x = 1.0;  // covers attention logits up to +-4
+  sc_cfg.softmax.by = 32;
+  sc_cfg.softmax.k = 3;
+  sc_cfg.softmax.s1 = 4;
+  sc_cfg.softmax.s2 = 2;
+  sc_cfg.softmax.alpha_y = 3.0 / 32;  // y range +-1.5, step ~0.09
+  sc_cfg.use_sc_gelu = true;
+  sc_cfg.gelu_bsl = 16;
+  sc_cfg.gelu_range = 4.0;
+  const double sc_acc = evaluate_sc(model, test, sc_cfg);
+  std::printf("SC-circuit (iter softmax By=%d k=%d + gate-SI GELU %db) accuracy: %.2f%%\n",
+              sc_cfg.softmax.by, sc_cfg.softmax.k, sc_cfg.gelu_bsl, sc_acc);
+  std::printf("accuracy delta: %+.2f points\n", sc_acc - float_acc);
+
+  // What would this cost in silicon?
+  core::AcceleratorConfig acfg;
+  acfg.topology = cfg;
+  acfg.softmax = sc_cfg.softmax;
+  acfg.softmax.m = cfg.tokens();
+  const core::AcceleratorReport rep = core::accelerator_area(acfg);
+  std::printf("accelerator model: total %.3g um2 (softmax blocks %.3g um2, %.1f%%)\n",
+              rep.total_area, rep.softmax_total_area, 100.0 * rep.softmax_fraction());
+  return 0;
+}

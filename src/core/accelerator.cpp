@@ -1,0 +1,65 @@
+#include "core/accelerator.h"
+
+#include "sc/gate_si.h"
+
+namespace ascend::core {
+
+namespace {
+
+/// W-bit x A-bit dot-product unit of width `n`: n multipliers, a BSN over the
+/// product bundle, and a re-scaler back onto the residual grid.
+hw::GateInventory cost_dot_unit(int n, int w_bsl, int a_bsl, int r_bsl) {
+  hw::GateInventory inv;
+  const hw::GateInventory mult = hw::cost_therm_mult(w_bsl, a_bsl);
+  for (int i = 0; i < n; ++i) inv += mult;
+  const int prod_bits = w_bsl * a_bsl / 2;
+  // The product bundles arrive sorted from the multipliers: a merge tree
+  // suffices for the accumulation.
+  inv += hw::cost_bsn_merge(static_cast<std::size_t>(n) * prod_bits,
+                            static_cast<std::size_t>(prod_bits));
+  inv += hw::cost_rescaler(n * prod_bits, r_bsl);
+  return inv;
+}
+
+}  // namespace
+
+AcceleratorReport accelerator_area(const AcceleratorConfig& cfg) {
+  AcceleratorReport rep;
+  const int tokens = cfg.topology.tokens();
+  const int dim = cfg.topology.dim;
+
+  sc::SoftmaxIterConfig sm = cfg.softmax;
+  sm.m = tokens;
+  rep.softmax_block_area = hw::cost_softmax_iter(sm).area_um2();
+  rep.softmax_total_area = rep.softmax_block_area * sm.k;
+
+  // Token-parallel dot-product fabric (shared across QKV / proj / MLP
+  // matmuls, channel-serial).
+  const hw::GateInventory dot = cost_dot_unit(dim, cfg.w_bsl, cfg.a_bsl, cfg.r_bsl);
+  rep.dot_fabric_area = dot.area_um2() * tokens;
+
+  // GELU lanes (gate-assisted SI blocks, residual-precision input).
+  {
+    const sc::GateAssistedSI gelu = sc::make_gelu_block(cfg.gelu_bsl);
+    const hw::GateInventory g =
+        hw::cost_gate_si(gelu.lin(), gelu.lout(), gelu.total_intervals());
+    rep.gelu_area = g.area_um2() * tokens;
+  }
+
+  // BN lanes (one MAC per lane) and residual BSN adders on the R16 grid.
+  {
+    hw::GateInventory lane;
+    lane.add(hw::Cell::kFullAdder, 2);
+    lane.add(hw::Cell::kDff, 4);
+    hw::GateInventory res = hw::cost_bsn_merge(static_cast<std::size_t>(2 * cfg.r_bsl),
+                                               static_cast<std::size_t>(cfg.r_bsl));
+    res += hw::cost_rescaler(2 * cfg.r_bsl, cfg.r_bsl);
+    rep.norm_residual_area = (lane.area_um2() + res.area_um2()) * tokens;
+  }
+
+  rep.total_area =
+      rep.softmax_total_area + rep.dot_fabric_area + rep.gelu_area + rep.norm_residual_area;
+  return rep;
+}
+
+}  // namespace ascend::core

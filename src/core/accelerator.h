@@ -1,0 +1,46 @@
+#pragma once
+// accelerator.h — accelerator-level area model (Table VI).
+//
+// Microarchitecture assumed for the end-to-end W2-A2-R16 accelerator (a
+// token-parallel, channel-serial organisation in the style of the parallel
+// thermometer accelerators [5]/[15]):
+//   * `tokens` dot-product units of width `dim`: ternary truth-table
+//     multipliers feeding a BSN accumulation tree and an R16 re-scaler;
+//   * `tokens` gate-assisted-SI GELU lanes;
+//   * k iterative-approximate-softmax blocks so all k iterations of the
+//     attention rows stay fully parallel (the paper's Table VI footnote);
+//   * `tokens` BN lanes and residual BSN adders.
+// The softmax configuration is the [By, s1, s2, k] knob explored along the
+// Pareto front.
+
+#include "hw/cost_model.h"
+#include "sc/softmax_iter.h"
+#include "vit/config.h"
+
+namespace ascend::core {
+
+struct AcceleratorConfig {
+  vit::VitConfig topology = vit::VitConfig::paper_topology();
+  sc::SoftmaxIterConfig softmax;  ///< m is overridden with topology.tokens()
+  int w_bsl = 2;
+  int a_bsl = 2;
+  int r_bsl = 16;
+  int gelu_bsl = 8;
+};
+
+struct AcceleratorReport {
+  double softmax_block_area = 0.0;  ///< one iterative softmax block
+  double softmax_total_area = 0.0;  ///< k parallel blocks
+  double dot_fabric_area = 0.0;
+  double gelu_area = 0.0;
+  double norm_residual_area = 0.0;
+  double total_area = 0.0;
+  double softmax_fraction() const {
+    return total_area > 0 ? softmax_total_area / total_area : 0.0;
+  }
+};
+
+/// Evaluate the area model for a configuration.
+AcceleratorReport accelerator_area(const AcceleratorConfig& cfg);
+
+}  // namespace ascend::core

@@ -1,0 +1,96 @@
+#include "core/dse.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "hw/cost_model.h"
+
+namespace ascend::core {
+
+DseResult sweep_softmax_design_space(int bx, int m, int mae_rows, std::uint64_t seed) {
+  if (bx < 2 || bx % 2 != 0) throw std::invalid_argument("sweep: Bx must be even >= 2");
+  const int bys[] = {4, 8, 16, 32};
+  const int ks[] = {2, 3, 4};
+  const int s1s[] = {32, 64, 128};
+  const int s2s[] = {2, 8, 16};
+  const double ax_range[] = {4.0, 8.0, 16.0};   // alpha_x = range / (Bx/2)
+  const double ay_mul[] = {0.5, 1.0, 2.0};      // alpha_y = mul / m
+  const int expands[] = {2, 4, 8};
+
+  DseResult res;
+  std::vector<sc::SoftmaxIterConfig> feasible;
+  for (int by : bys)
+    for (int k : ks)
+      for (int s1 : s1s)
+        for (int s2 : s2s)
+          for (double axr : ax_range)
+            for (double aym : ay_mul)
+              for (int e : expands) {
+                ++res.nominal_candidates;
+                sc::SoftmaxIterConfig cfg;
+                cfg.m = m;
+                cfg.k = k;
+                cfg.bx = bx;
+                cfg.by = by;
+                cfg.s1 = s1;
+                cfg.s2 = s2;
+                cfg.alpha_x = axr / (bx / 2.0);
+                cfg.alpha_y = aym / m;
+                cfg.align_expand = e;
+                try {
+                  cfg.validate();
+                } catch (const std::invalid_argument&) {
+                  ++res.infeasible;
+                  continue;
+                }
+                feasible.push_back(cfg);
+              }
+
+  std::vector<DsePoint> evaluated(feasible.size());
+  std::vector<char> ok(feasible.size(), 0);
+#pragma omp parallel for schedule(dynamic)
+  for (long long i = 0; i < static_cast<long long>(feasible.size()); ++i) {
+    DsePoint p;
+    p.cfg = feasible[static_cast<std::size_t>(i)];
+    try {
+      const hw::GateInventory inv = hw::cost_softmax_iter(p.cfg);
+      p.area_um2 = inv.area_um2();
+      p.delay_ns = inv.delay_ns();
+      p.mae = sc::softmax_sc_mae(p.cfg, mae_rows, seed);
+      evaluated[static_cast<std::size_t>(i)] = p;
+      ok[static_cast<std::size_t>(i)] = 1;
+    } catch (const std::exception&) {
+      // Configuration turned out infeasible deeper in the datapath
+      // (e.g. no feasible re-scaling plan); skip it.
+    }
+  }
+  for (std::size_t i = 0; i < evaluated.size(); ++i) {
+    if (ok[i])
+      res.points.push_back(evaluated[i]);
+    else
+      ++res.infeasible;
+  }
+  res.pareto = pareto_front(res.points);
+  return res;
+}
+
+std::vector<std::size_t> pareto_front(const std::vector<DsePoint>& points) {
+  std::vector<std::size_t> order(points.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (points[a].adp() != points[b].adp()) return points[a].adp() < points[b].adp();
+    return points[a].mae < points[b].mae;
+  });
+  std::vector<std::size_t> front;
+  double best_mae = std::numeric_limits<double>::infinity();
+  for (std::size_t idx : order) {
+    if (points[idx].mae < best_mae - 1e-12) {
+      front.push_back(idx);
+      best_mae = points[idx].mae;
+    }
+  }
+  return front;
+}
+
+}  // namespace ascend::core

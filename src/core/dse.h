@@ -1,0 +1,42 @@
+#pragma once
+// dse.h — design-space exploration for the iterative softmax block (Fig. 8).
+//
+// Sweeps the Table II parameters around a fixed Bx: By (4 values) and six
+// 3-valued knobs' subset {k, s1, s2, alpha_x, alpha_y, align_expand} —
+// 4 * 3^5 * ... = 2916 nominal candidate configurations per Bx. Candidates
+// whose sub-sample rates do not divide the corresponding bundle lengths are
+// infeasible and skipped (counts are reported). Each feasible design is
+// costed (hw/cost_model.h) and measured (MAE over sampled attention rows),
+// then the ADP/MAE Pareto front is extracted.
+
+#include <cstdint>
+#include <vector>
+
+#include "sc/softmax_iter.h"
+
+namespace ascend::core {
+
+struct DsePoint {
+  sc::SoftmaxIterConfig cfg;
+  double area_um2 = 0.0;
+  double delay_ns = 0.0;
+  double mae = 0.0;
+  double adp() const { return area_um2 * delay_ns; }
+};
+
+struct DseResult {
+  std::vector<DsePoint> points;      ///< all feasible designs
+  std::vector<std::size_t> pareto;   ///< indices of the ADP/MAE Pareto front
+  int nominal_candidates = 0;
+  int infeasible = 0;
+};
+
+/// Run the sweep for a given Bx (paper: 2 and 4). `mae_rows` test vectors
+/// per design (reduce for smoke runs).
+DseResult sweep_softmax_design_space(int bx, int m = 64, int mae_rows = 16,
+                                     std::uint64_t seed = 99);
+
+/// Indices of the Pareto-optimal points (minimising both ADP and MAE).
+std::vector<std::size_t> pareto_front(const std::vector<DsePoint>& points);
+
+}  // namespace ascend::core

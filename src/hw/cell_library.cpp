@@ -1,0 +1,37 @@
+#include "hw/cell_library.h"
+
+#include <stdexcept>
+
+namespace ascend::hw {
+namespace {
+
+// Areas are drawn-cell area times a ~2.2x synthesis overhead (routing,
+// buffering, utilisation), which is what lands block totals in the same
+// regime as the paper's DC results.
+constexpr CellSpec kLibrary[] = {
+    {"INV", 0.9, 0.015},
+    {"NAND2", 1.3, 0.020},
+    {"NOR2", 1.3, 0.022},
+    {"AND2", 1.8, 0.030},
+    {"OR2", 1.8, 0.030},
+    {"XOR2", 2.8, 0.045},
+    {"MUX2", 3.2, 0.040},
+    {"DFF", 9.8, 0.120},
+    {"FA", 12.0, 0.080},
+    {"TIE", 0.4, 0.000},
+    {"XPOINT", 10.1, 0.025},
+};
+
+static_assert(sizeof(kLibrary) / sizeof(kLibrary[0]) == static_cast<int>(Cell::kCount),
+              "cell library table out of sync with Cell enum");
+
+}  // namespace
+
+const CellSpec& cell_spec(Cell c) {
+  const int idx = static_cast<int>(c);
+  if (idx < 0 || idx >= static_cast<int>(Cell::kCount))
+    throw std::out_of_range("cell_spec: bad cell kind");
+  return kLibrary[idx];
+}
+
+}  // namespace ascend::hw

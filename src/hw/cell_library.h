@@ -1,0 +1,46 @@
+#pragma once
+// cell_library.h — standard-cell area/delay constants for the cost model.
+//
+// The paper synthesises RTL with Synopsys Design Compiler on a TSMC 28 nm
+// library; that flow is proprietary, so this repo substitutes a gate-level
+// cost model: every SC block is lowered to a multiset of standard cells plus
+// a critical-path gate depth, and area/delay are evaluated against the
+// constants below. The constants approximate published 28 nm HPM cell data
+// (plus a uniform synthesis overhead factor for clock/route/buffering) and
+// were sanity-calibrated once against the paper's Table III/IV anchors; they
+// are never tuned per-experiment. See DESIGN.md section 1 for why relative
+// comparisons (ADP ratios, Pareto shapes) survive this substitution.
+
+namespace ascend::hw {
+
+/// Cell kinds used by the SC block lowerings.
+enum class Cell {
+  kInv,
+  kNand2,
+  kNor2,
+  kAnd2,
+  kOr2,
+  kXor2,
+  kMux2,
+  kDff,
+  kFullAdder,
+  kTieCell,        // constant-0/1 wire
+  kCrosspoint,     // configurable interconnect switch point (SI fabrics)
+  kCount
+};
+
+struct CellSpec {
+  const char* name;
+  double area_um2;   ///< placed area including synthesis overhead
+  double delay_ns;   ///< typical propagation delay contribution
+};
+
+/// Library lookup (indexed by Cell).
+const CellSpec& cell_spec(Cell c);
+
+/// Serial-SC clock periods (ns). The parallel thermometer datapath is
+/// combinational and uses gate-depth delays instead.
+inline constexpr double kSerialClockBernsteinNs = 0.08;  // Table III: 1024b -> 81.92 ns
+inline constexpr double kSerialClockFsmNs = 2.56;        // Table IV: 128b -> 327.7 ns
+
+}  // namespace ascend::hw

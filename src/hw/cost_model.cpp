@@ -1,0 +1,177 @@
+#include "hw/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sc/bsn.h"
+
+namespace ascend::hw {
+namespace {
+
+double stage_delay(Cell c) { return cell_spec(c).delay_ns; }
+
+/// Routing/selection margin added to every combinational block's path.
+constexpr double kComboMarginNs = 0.40;
+
+}  // namespace
+
+GateInventory cost_bsn(std::size_t n) {
+  GateInventory inv;
+  const std::size_t ce = sc::bsn_compare_exchange_count(n);
+  inv.add(Cell::kAnd2, ce);
+  inv.add(Cell::kOr2, ce);
+  inv.set_combinational_delay(static_cast<double>(sc::bsn_depth(n)) * stage_delay(Cell::kOr2));
+  return inv;
+}
+
+GateInventory cost_bsn_merge(std::size_t n, std::size_t leaf) {
+  GateInventory inv;
+  const std::size_t ce = sc::bsn_merge_compare_exchange_count(n, leaf);
+  inv.add(Cell::kAnd2, ce);
+  inv.add(Cell::kOr2, ce);
+  inv.set_combinational_delay(static_cast<double>(sc::bsn_merge_depth(n, leaf)) *
+                              stage_delay(Cell::kOr2));
+  return inv;
+}
+
+GateInventory cost_therm_mult(int la, int lb) {
+  GateInventory inv;
+  // One AND per input-bit pair feeding OR merge logic on La*Lb/2 output wires.
+  inv.add(Cell::kAnd2, static_cast<std::size_t>(la) * static_cast<std::size_t>(lb));
+  inv.add(Cell::kOr2, static_cast<std::size_t>(la) * static_cast<std::size_t>(lb) / 2);
+  inv.set_combinational_delay(stage_delay(Cell::kAnd2) + 2 * stage_delay(Cell::kOr2));
+  return inv;
+}
+
+GateInventory cost_rescaler(int lin, int lout) {
+  GateInventory inv;
+  // Expansion fan-out buffers on the input side, clamp multiplexing on the
+  // output side; the sub-sample taps themselves are free wiring.
+  inv.add(Cell::kInv, static_cast<std::size_t>(std::max(lin / 2, 1)));
+  inv.add(Cell::kMux2, static_cast<std::size_t>(lout));
+  inv.set_combinational_delay(stage_delay(Cell::kInv) + stage_delay(Cell::kMux2));
+  return inv;
+}
+
+GateInventory cost_naive_si(int lin, int lout) {
+  GateInventory inv;
+  inv.add(Cell::kCrosspoint, static_cast<std::size_t>(lin) * static_cast<std::size_t>(lout));
+  inv.set_combinational_delay(kComboMarginNs + 2 * stage_delay(Cell::kCrosspoint));
+  return inv;
+}
+
+GateInventory cost_gate_si(int lin, int lout, int intervals) {
+  GateInventory inv;
+  // Differential (tap + complement) selection fabric, then the assist gates:
+  // one AND + one INV per interval and an OR merge per output wire.
+  inv.add(Cell::kCrosspoint, 2 * static_cast<std::size_t>(lin) * static_cast<std::size_t>(lout));
+  inv.add(Cell::kAnd2, static_cast<std::size_t>(std::max(intervals, 0)));
+  inv.add(Cell::kInv, static_cast<std::size_t>(std::max(intervals, 0)));
+  inv.add(Cell::kOr2, static_cast<std::size_t>(lout));
+  inv.set_combinational_delay(kComboMarginNs + 2 * stage_delay(Cell::kCrosspoint) +
+                              stage_delay(Cell::kAnd2) + stage_delay(Cell::kInv) +
+                              stage_delay(Cell::kOr2));
+  return inv;
+}
+
+GateInventory cost_bernstein(int terms, int bsl) {
+  GateInventory inv;
+  // ReSC core: (terms-1)-input adder, terms-way coefficient multiplexer and
+  // output register. SNGs are shared/amortised as in the baseline's own
+  // accounting (see DESIGN.md).
+  inv.add(Cell::kFullAdder, static_cast<std::size_t>(std::max(terms - 1, 1)));
+  inv.add(Cell::kMux2, static_cast<std::size_t>(terms));
+  inv.add(Cell::kDff, 1);
+  inv.set_serial_delay(static_cast<std::size_t>(bsl), kSerialClockBernsteinNs);
+  return inv;
+}
+
+GateInventory cost_fsm_activation(int n_states, int bsl) {
+  GateInventory inv;
+  int state_bits = 1;
+  while ((1 << state_bits) < n_states) ++state_bits;
+  inv.add(Cell::kDff, static_cast<std::size_t>(state_bits));
+  inv.add(Cell::kAnd2, static_cast<std::size_t>(2 * state_bits));  // next-state logic
+  inv.add(Cell::kMux2, 1);                                         // output gating mux
+  inv.set_serial_delay(static_cast<std::size_t>(bsl), kSerialClockFsmNs);
+  return inv;
+}
+
+GateInventory cost_fsm_softmax(int m, int bsl, int n_states, int quotient_bits) {
+  GateInventory inv;
+  int state_bits = 1;
+  while ((1 << state_bits) < n_states) ++state_bits;
+  const auto mm = static_cast<std::size_t>(m);
+  // Shared LFSR SNG broadcast to all channels.
+  inv.add(Cell::kDff, 16);
+  inv.add(Cell::kXor2, 3);
+  // Per channel: threshold comparator, exp FSM, SC->binary counter.
+  inv.add(Cell::kFullAdder, mm * 8);                                     // comparator
+  inv.add(Cell::kDff, mm * static_cast<std::size_t>(state_bits));        // FSM state
+  inv.add(Cell::kAnd2, mm * static_cast<std::size_t>(2 * state_bits));   // FSM logic
+  inv.add(Cell::kDff, mm * 8);                                           // counter
+  // Leading-one detector over the max count plus per-channel barrel shifter
+  // (the shift normalization that replaces a true divider).
+  inv.add(Cell::kOr2, 16);
+  inv.add(Cell::kMux2, mm * static_cast<std::size_t>(quotient_bits));
+  inv.set_serial_delay(static_cast<std::size_t>(bsl), kSerialClockFsmNs);
+  return inv;
+}
+
+GateInventory cost_softmax_iter(const sc::SoftmaxIterConfig& cfg) {
+  const sc::SoftmaxIterLayout lay = sc::softmax_iter_layout(cfg);
+  GateInventory inv;
+  double iter_path = 0.0;
+
+  // MUL-1 per unit.
+  {
+    GateInventory g = cost_therm_mult(cfg.bx, cfg.by);
+    iter_path += g.delay_ns();
+    for (int i = 0; i < cfg.m; ++i) inv += g;
+  }
+  // Global BSN-1 over the z bundle (merge tree: the z bundles arrive sorted
+  // from the truth-table multipliers).
+  {
+    GateInventory g = cost_bsn_merge(static_cast<std::size_t>(lay.lsum),
+                                     static_cast<std::size_t>(lay.lz));
+    iter_path += g.delay_ns();
+    inv += g;
+  }
+  // MUL-2 per unit on the sub-sampled sum.
+  {
+    GateInventory g = cost_therm_mult(cfg.by, lay.lsum_sub);
+    iter_path += g.delay_ns();
+    for (int i = 0; i < cfg.m; ++i) inv += g;
+  }
+  // Re-scaling blocks (three operand aligners + the closing re-scale).
+  {
+    GateInventory ra = cost_rescaler(cfg.by, lay.la);
+    GateInventory rb = cost_rescaler(lay.lz, lay.lb);
+    GateInventory rc = cost_rescaler(lay.lw_sub, lay.lc);
+    GateInventory rf = cost_rescaler(lay.lconcat, cfg.by);
+    iter_path += std::max({ra.delay_ns(), rb.delay_ns(), rc.delay_ns()}) + rf.delay_ns();
+    for (int i = 0; i < cfg.m; ++i) {
+      inv += ra;
+      inv += rb;
+      inv += rc;
+      inv += rf;
+    }
+  }
+  // BSN-2 per unit (merge tree over the three sorted, aligned operands).
+  {
+    const int min_op = std::min({lay.la, lay.lb, lay.lc});
+    GateInventory g = cost_bsn_merge(static_cast<std::size_t>(lay.lconcat),
+                                     static_cast<std::size_t>(std::max(min_op, 1)));
+    iter_path += g.delay_ns();
+    for (int i = 0; i < cfg.m; ++i) inv += g;
+  }
+  // Iteration registers on the y feedback path.
+  inv.add(Cell::kDff, static_cast<std::size_t>(cfg.m) * static_cast<std::size_t>(cfg.by));
+
+  // The block iterates k times over the same hardware; each iteration adds
+  // the combinational path plus a register stage.
+  inv.set_combinational_delay(cfg.k * (iter_path + kComboMarginNs + stage_delay(Cell::kDff)));
+  return inv;
+}
+
+}  // namespace ascend::hw

@@ -1,0 +1,55 @@
+#pragma once
+// cost_model.h — lowering of every SC block in this repo to a GateInventory.
+//
+// Parallel (thermometer) blocks are combinational: their delay is the gate
+// depth along the critical path. Serial (stochastic) blocks run for BSL
+// cycles of the corresponding clock (cell_library.h). See DESIGN.md for the
+// substitution rationale versus the paper's Synopsys DC + TSMC 28 nm flow.
+
+#include "hw/gate_inventory.h"
+#include "sc/softmax_iter.h"
+
+namespace ascend::hw {
+
+// --- Thermometer datapath primitives ---------------------------------------
+
+/// Bitonic sorting network over n bit wires (compare-exchange = OR + AND).
+GateInventory cost_bsn(std::size_t n);
+
+/// Merge-tree BSN adder: sums already-sorted bundles of width `leaf` into a
+/// sorted bundle of width n with bitonic mergers instead of a full sorter.
+GateInventory cost_bsn_merge(std::size_t n, std::size_t leaf);
+
+/// Truth-table thermometer multiplier, La x Lb inputs -> La*Lb/2 outputs.
+GateInventory cost_therm_mult(int la, int lb);
+
+/// Re-scaling block of [15]: expansion fan-out, sub-sample taps, SI clamp.
+GateInventory cost_rescaler(int lin, int lout);
+
+// --- Nonlinear function blocks ----------------------------------------------
+
+/// Naive SI: single-ended selection fabric, wiring only.
+GateInventory cost_naive_si(int lin, int lout);
+
+/// Gate-assisted SI (ASCEND GELU block): differential selection fabric plus
+/// the assist gates (`intervals` = GateAssistedSI::total_intervals()).
+GateInventory cost_gate_si(int lin, int lout, int intervals);
+
+/// ReSC Bernstein-polynomial unit, serial over `bsl` cycles.
+GateInventory cost_bernstein(int terms, int bsl);
+
+/// Serial FSM activation unit (tanh/ReLU/GELU baselines).
+GateInventory cost_fsm_activation(int n_states, int bsl);
+
+// --- Softmax blocks ----------------------------------------------------------
+
+/// FSM-based softmax baseline [17]: m parallel exp-FSM channels with a shared
+/// SNG, SC->binary counters, binary adder tree and divider. Area is
+/// independent of BSL; delay is BSL cycles of the serial-SC clock.
+GateInventory cost_fsm_softmax(int m, int bsl, int n_states, int quotient_bits);
+
+/// ASCEND iterative approximate softmax block (Fig. 5), lowered from the
+/// exact same layout the functional simulation uses.
+GateInventory cost_softmax_iter(const sc::SoftmaxIterConfig& cfg);
+
+}  // namespace ascend::hw

@@ -1,0 +1,39 @@
+#include "hw/gate_inventory.h"
+
+#include <sstream>
+
+namespace ascend::hw {
+
+GateInventory& GateInventory::operator+=(const GateInventory& o) {
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += o.counts_[i];
+  return *this;
+}
+
+std::size_t GateInventory::total_cells() const {
+  std::size_t total = 0;
+  for (auto c : counts_) total += c;
+  return total;
+}
+
+double GateInventory::area_um2() const {
+  double area = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i)
+    area += static_cast<double>(counts_[i]) * cell_spec(static_cast<Cell>(i)).area_um2;
+  return area;
+}
+
+std::string GateInventory::summary() const {
+  std::ostringstream os;
+  os << "area=" << area_um2() << "um2 delay=" << delay_ns_ << "ns cells={";
+  bool first = true;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    if (!first) os << ", ";
+    os << cell_spec(static_cast<Cell>(i)).name << ":" << counts_[i];
+    first = false;
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace ascend::hw

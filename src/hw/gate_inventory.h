@@ -1,0 +1,45 @@
+#pragma once
+// gate_inventory.h — gate multiset + critical path for one hardware block.
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+#include "hw/cell_library.h"
+
+namespace ascend::hw {
+
+/// A lowered hardware block: how many of each cell, plus either a
+/// combinational critical-path delay or a (cycles x clock period) latency.
+class GateInventory {
+ public:
+  GateInventory() { counts_.fill(0); }
+
+  void add(Cell c, std::size_t n = 1) { counts_[static_cast<std::size_t>(c)] += n; }
+  /// Merge another block into this one (areas add; delay handled by caller).
+  GateInventory& operator+=(const GateInventory& o);
+
+  std::size_t count(Cell c) const { return counts_[static_cast<std::size_t>(c)]; }
+  std::size_t total_cells() const;
+
+  double area_um2() const;
+
+  /// Combinational path: `depth` stages of `per_stage` cell delay.
+  void set_combinational_delay(double ns) { delay_ns_ = ns; }
+  void add_combinational_delay(double ns) { delay_ns_ += ns; }
+  /// Serial path: cycles at a given clock period.
+  void set_serial_delay(std::size_t cycles, double clock_ns) {
+    delay_ns_ = static_cast<double>(cycles) * clock_ns;
+  }
+  double delay_ns() const { return delay_ns_; }
+
+  double adp() const { return area_um2() * delay_ns_; }
+
+  std::string summary() const;
+
+ private:
+  std::array<std::size_t, static_cast<std::size_t>(Cell::kCount)> counts_{};
+  double delay_ns_ = 0.0;
+};
+
+}  // namespace ascend::hw

@@ -1,0 +1,48 @@
+#include "hw/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace ascend::hw {
+
+std::string sci(double v, int significant) {
+  std::ostringstream os;
+  if (v == 0.0) return "0";
+  const double a = std::fabs(v);
+  if (a >= 0.01 && a < 10000.0) {
+    os << std::setprecision(significant + 2) << std::defaultfloat << v;
+  } else {
+    os << std::setprecision(significant - 1) << std::scientific << v;
+  }
+  return os.str();
+}
+
+std::string format_metrics_table(const std::string& title, const std::vector<BlockMetrics>& rows) {
+  std::vector<std::vector<std::string>> cells;
+  cells.push_back({"Design", "Variant", "Area(um2)", "Delay(ns)", "ADP(um2*ns)", "MAE"});
+  for (const auto& r : rows)
+    cells.push_back({r.design, r.variant, sci(r.area_um2), sci(r.delay_ns), sci(r.adp()),
+                     sci(r.mae, 3)});
+
+  std::vector<std::size_t> width(cells[0].size(), 0);
+  for (const auto& row : cells)
+    for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+
+  std::ostringstream os;
+  os << "== " << title << " ==\n";
+  for (std::size_t r = 0; r < cells.size(); ++r) {
+    for (std::size_t c = 0; c < cells[r].size(); ++c)
+      os << std::left << std::setw(static_cast<int>(width[c]) + 2) << cells[r][c];
+    os << "\n";
+    if (r == 0) {
+      std::size_t total = 0;
+      for (auto w : width) total += w + 2;
+      os << std::string(total, '-') << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace ascend::hw

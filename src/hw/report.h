@@ -1,0 +1,26 @@
+#pragma once
+// report.h — metric records and paper-style table formatting for the benches.
+
+#include <string>
+#include <vector>
+
+namespace ascend::hw {
+
+/// One row of a Table III / Table IV style comparison.
+struct BlockMetrics {
+  std::string design;
+  std::string variant;
+  double area_um2 = 0.0;
+  double delay_ns = 0.0;
+  double mae = 0.0;
+
+  double adp() const { return area_um2 * delay_ns; }
+};
+
+/// Render rows as an aligned text table with Area/Delay/ADP/MAE columns.
+std::string format_metrics_table(const std::string& title, const std::vector<BlockMetrics>& rows);
+
+/// Engineering-notation helper (e.g. 1.26e4) used across the benches.
+std::string sci(double v, int significant = 3);
+
+}  // namespace ascend::hw

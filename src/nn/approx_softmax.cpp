@@ -1,0 +1,73 @@
+#include "nn/approx_softmax.h"
+
+#include <stdexcept>
+
+namespace ascend::nn {
+
+ApproxSoftmax::ApproxSoftmax(int k) : k_(k) {
+  if (k < 1) throw std::invalid_argument("ApproxSoftmax: k >= 1");
+}
+
+void ApproxSoftmax::set_k(int k) {
+  if (k < 1) throw std::invalid_argument("ApproxSoftmax::set_k: k >= 1");
+  k_ = k;
+}
+
+Tensor ApproxSoftmax::forward(const Tensor& x) {
+  if (x.rank() != 2) throw std::invalid_argument("ApproxSoftmax::forward: rank-2 required");
+  const int rows = x.dim(0), m = x.dim(1);
+  cached_x_ = x;
+  cached_u_.clear();
+  cached_u_.reserve(static_cast<std::size_t>(k_));
+
+  Tensor y({rows, m}, 1.0f / static_cast<float>(m));
+  const float invk = 1.0f / static_cast<float>(k_);
+  for (int j = 0; j < k_; ++j) {
+    cached_u_.push_back(y);
+#pragma omp parallel for schedule(static) if (rows > 16)
+    for (int r = 0; r < rows; ++r) {
+      const float* xr = x.data() + static_cast<std::size_t>(r) * m;
+      float* yr = y.data() + static_cast<std::size_t>(r) * m;
+      float s = 0.0f;
+      for (int i = 0; i < m; ++i) s += xr[i] * yr[i];
+      for (int i = 0; i < m; ++i) {
+        const float z = xr[i] * yr[i];
+        yr[i] += (z - yr[i] * s) * invk;
+      }
+    }
+  }
+  return y;
+}
+
+Tensor ApproxSoftmax::backward(const Tensor& grad_out) {
+  check_same_shape(grad_out, cached_x_, "ApproxSoftmax::backward");
+  const int rows = grad_out.dim(0), m = grad_out.dim(1);
+  const float invk = 1.0f / static_cast<float>(k_);
+
+  Tensor g = grad_out;                 // running dL/dy_j
+  Tensor gx({rows, m});                // accumulated dL/dx
+  for (int j = k_ - 1; j >= 0; --j) {
+    const Tensor& u = cached_u_[static_cast<std::size_t>(j)];
+#pragma omp parallel for schedule(static) if (rows > 16)
+    for (int r = 0; r < rows; ++r) {
+      const float* xr = cached_x_.data() + static_cast<std::size_t>(r) * m;
+      const float* ur = u.data() + static_cast<std::size_t>(r) * m;
+      float* gr = g.data() + static_cast<std::size_t>(r) * m;
+      float* gxr = gx.data() + static_cast<std::size_t>(r) * m;
+      float s = 0.0f, gu = 0.0f;
+      for (int i = 0; i < m; ++i) {
+        s += xr[i] * ur[i];
+        gu += gr[i] * ur[i];
+      }
+      for (int i = 0; i < m; ++i) {
+        gxr[i] += (gr[i] - gu) * ur[i] * invk;
+        gr[i] = gr[i] * (1.0f + xr[i] * invk - s * invk) - gu * xr[i] * invk;
+      }
+    }
+  }
+  // g now holds dL/du_0, which flows nowhere (y_0 is the constant 1/m);
+  // the layer's input gradient is the accumulated dL/dx.
+  return gx;
+}
+
+}  // namespace ascend::nn

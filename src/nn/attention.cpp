@@ -1,0 +1,183 @@
+#include "nn/attention.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ascend::nn {
+
+MultiHeadSelfAttention::MultiHeadSelfAttention(int dim, int heads, Rng& rng, int approx_k)
+    : dim_(dim),
+      heads_(heads),
+      dh_(dim / heads),
+      qkv_(dim, 3 * dim, rng),
+      proj_(dim, dim, rng),
+      approx_sm_(approx_k) {
+  if (dim % heads != 0)
+    throw std::invalid_argument("MultiHeadSelfAttention: dim must be divisible by heads");
+}
+
+Tensor MultiHeadSelfAttention::forward(const Tensor& x, int batch, int tokens) {
+  if (x.rank() != 2 || x.dim(1) != dim_ || x.dim(0) != batch * tokens)
+    throw std::invalid_argument("MSA::forward: bad input shape");
+  batch_ = batch;
+  tokens_ = tokens;
+  const int bh = batch * heads_;
+  const float inv_sqrt_dh = 1.0f / std::sqrt(static_cast<float>(dh_));
+
+  const Tensor qkv_out = qkv_.forward(x);  // [B*T, 3*dim]
+
+  // Head-major gather: Q/K/V as [B*H*T, dh].
+  cached_q_ = Tensor({bh * tokens, dh_});
+  cached_k_ = Tensor({bh * tokens, dh_});
+  cached_v_ = Tensor({bh * tokens, dh_});
+  for (int b = 0; b < batch; ++b)
+    for (int t = 0; t < tokens; ++t) {
+      const float* src = qkv_out.data() + (static_cast<std::size_t>(b) * tokens + t) * 3 * dim_;
+      for (int h = 0; h < heads_; ++h) {
+        const std::size_t row = (static_cast<std::size_t>(b) * heads_ + h) * tokens + t;
+        for (int d = 0; d < dh_; ++d) {
+          cached_q_[row * dh_ + d] = src[h * dh_ + d];
+          cached_k_[row * dh_ + d] = src[dim_ + h * dh_ + d];
+          cached_v_[row * dh_ + d] = src[2 * dim_ + h * dh_ + d];
+        }
+      }
+    }
+
+  // Scores per (batch, head): S = Q K^T / sqrt(dh), flattened to [B*H*T, T].
+  Tensor scores({bh * tokens, tokens});
+#pragma omp parallel for schedule(static)
+  for (int g = 0; g < bh; ++g) {
+    const float* q = cached_q_.data() + static_cast<std::size_t>(g) * tokens * dh_;
+    const float* k = cached_k_.data() + static_cast<std::size_t>(g) * tokens * dh_;
+    float* s = scores.data() + static_cast<std::size_t>(g) * tokens * tokens;
+    for (int i = 0; i < tokens; ++i)
+      for (int j = 0; j < tokens; ++j) {
+        float acc = 0.0f;
+        for (int d = 0; d < dh_; ++d) acc += q[i * dh_ + d] * k[j * dh_ + d];
+        s[i * tokens + j] = acc * inv_sqrt_dh;
+      }
+  }
+
+  used_hook_ = static_cast<bool>(hook_);
+  if (used_hook_)
+    cached_attn_ = hook_(scores);
+  else if (softmax_kind_ == SoftmaxKind::kApprox)
+    cached_attn_ = approx_sm_.forward(scores);
+  else
+    cached_attn_ = softmax_rows(scores);
+
+  // Context: attn * V, merged back to [B*T, dim].
+  Tensor ctx({batch * tokens, dim_});
+#pragma omp parallel for schedule(static)
+  for (int g = 0; g < bh; ++g) {
+    const int b = g / heads_;
+    const int h = g % heads_;
+    const float* a = cached_attn_.data() + static_cast<std::size_t>(g) * tokens * tokens;
+    const float* v = cached_v_.data() + static_cast<std::size_t>(g) * tokens * dh_;
+    for (int i = 0; i < tokens; ++i) {
+      float* out = ctx.data() + (static_cast<std::size_t>(b) * tokens + i) * dim_ + h * dh_;
+      for (int d = 0; d < dh_; ++d) {
+        float acc = 0.0f;
+        for (int j = 0; j < tokens; ++j) acc += a[i * tokens + j] * v[j * dh_ + d];
+        out[d] = acc;
+      }
+    }
+  }
+  return proj_.forward(ctx);
+}
+
+Tensor MultiHeadSelfAttention::backward(const Tensor& grad_out) {
+  if (used_hook_)
+    throw std::logic_error("MSA::backward: cannot backprop through a softmax hook");
+  const int batch = batch_, tokens = tokens_;
+  const int bh = batch * heads_;
+  const float inv_sqrt_dh = 1.0f / std::sqrt(static_cast<float>(dh_));
+
+  const Tensor g_ctx_merged = proj_.backward(grad_out);  // [B*T, dim]
+
+  // Un-merge to [B*H*T, dh].
+  Tensor g_ctx({bh * tokens, dh_});
+  for (int b = 0; b < batch; ++b)
+    for (int t = 0; t < tokens; ++t)
+      for (int h = 0; h < heads_; ++h) {
+        const float* src = g_ctx_merged.data() + (static_cast<std::size_t>(b) * tokens + t) * dim_ + h * dh_;
+        float* dst = g_ctx.data() + ((static_cast<std::size_t>(b) * heads_ + h) * tokens + t) * dh_;
+        for (int d = 0; d < dh_; ++d) dst[d] = src[d];
+      }
+
+  // dAttn = g_ctx V^T ; dV = attn^T g_ctx.
+  Tensor g_attn({bh * tokens, tokens});
+  Tensor g_v({bh * tokens, dh_});
+#pragma omp parallel for schedule(static)
+  for (int g = 0; g < bh; ++g) {
+    const float* gc = g_ctx.data() + static_cast<std::size_t>(g) * tokens * dh_;
+    const float* v = cached_v_.data() + static_cast<std::size_t>(g) * tokens * dh_;
+    const float* a = cached_attn_.data() + static_cast<std::size_t>(g) * tokens * tokens;
+    float* ga = g_attn.data() + static_cast<std::size_t>(g) * tokens * tokens;
+    float* gv = g_v.data() + static_cast<std::size_t>(g) * tokens * dh_;
+    for (int i = 0; i < tokens; ++i)
+      for (int j = 0; j < tokens; ++j) {
+        float acc = 0.0f;
+        for (int d = 0; d < dh_; ++d) acc += gc[i * dh_ + d] * v[j * dh_ + d];
+        ga[i * tokens + j] = acc;
+      }
+    for (int j = 0; j < tokens; ++j)
+      for (int d = 0; d < dh_; ++d) {
+        float acc = 0.0f;
+        for (int i = 0; i < tokens; ++i) acc += a[i * tokens + j] * gc[i * dh_ + d];
+        gv[j * dh_ + d] = acc;
+      }
+  }
+
+  // Through the softmax.
+  Tensor g_scores = (softmax_kind_ == SoftmaxKind::kApprox)
+                        ? approx_sm_.backward(g_attn)
+                        : softmax_rows_backward(cached_attn_, g_attn);
+
+  // dQ = (dS * K) / sqrt(dh) ; dK = (dS^T * Q) / sqrt(dh).
+  Tensor g_q({bh * tokens, dh_});
+  Tensor g_k({bh * tokens, dh_});
+#pragma omp parallel for schedule(static)
+  for (int g = 0; g < bh; ++g) {
+    const float* gs = g_scores.data() + static_cast<std::size_t>(g) * tokens * tokens;
+    const float* q = cached_q_.data() + static_cast<std::size_t>(g) * tokens * dh_;
+    const float* k = cached_k_.data() + static_cast<std::size_t>(g) * tokens * dh_;
+    float* gq = g_q.data() + static_cast<std::size_t>(g) * tokens * dh_;
+    float* gk = g_k.data() + static_cast<std::size_t>(g) * tokens * dh_;
+    for (int i = 0; i < tokens; ++i)
+      for (int d = 0; d < dh_; ++d) {
+        float acc = 0.0f;
+        for (int j = 0; j < tokens; ++j) acc += gs[i * tokens + j] * k[j * dh_ + d];
+        gq[i * dh_ + d] = acc * inv_sqrt_dh;
+      }
+    for (int j = 0; j < tokens; ++j)
+      for (int d = 0; d < dh_; ++d) {
+        float acc = 0.0f;
+        for (int i = 0; i < tokens; ++i) acc += gs[i * tokens + j] * q[i * dh_ + d];
+        gk[j * dh_ + d] = acc * inv_sqrt_dh;
+      }
+  }
+
+  // Scatter back into the qkv layout [B*T, 3*dim].
+  Tensor g_qkv({batch * tokens, 3 * dim_});
+  for (int b = 0; b < batch; ++b)
+    for (int t = 0; t < tokens; ++t) {
+      float* dst = g_qkv.data() + (static_cast<std::size_t>(b) * tokens + t) * 3 * dim_;
+      for (int h = 0; h < heads_; ++h) {
+        const std::size_t row = (static_cast<std::size_t>(b) * heads_ + h) * tokens + t;
+        for (int d = 0; d < dh_; ++d) {
+          dst[h * dh_ + d] = g_q[row * dh_ + d];
+          dst[dim_ + h * dh_ + d] = g_k[row * dh_ + d];
+          dst[2 * dim_ + h * dh_ + d] = g_v[row * dh_ + d];
+        }
+      }
+    }
+  return qkv_.backward(g_qkv);
+}
+
+void MultiHeadSelfAttention::collect_params(std::vector<Param*>& out) {
+  qkv_.collect_params(out);
+  proj_.collect_params(out);
+}
+
+}  // namespace ascend::nn

@@ -1,0 +1,58 @@
+#pragma once
+// attention.h — multi-head self-attention with swappable softmax.
+//
+// The softmax over attention scores can be (a) exact, (b) the differentiable
+// iterative approximation (training stage 2), or (c) an arbitrary
+// inference-time hook — which is how the SC-circuit emulation of
+// vit/sc_inference.h injects the bit-true softmax block per configuration.
+
+#include <functional>
+#include <vector>
+
+#include "nn/approx_softmax.h"
+#include "nn/module.h"
+
+namespace ascend::nn {
+
+enum class SoftmaxKind { kExact, kApprox };
+
+class MultiHeadSelfAttention {
+ public:
+  MultiHeadSelfAttention(int dim, int heads, Rng& rng, int approx_k = 3);
+
+  /// x: [B*T, dim] (token-major). Returns [B*T, dim].
+  Tensor forward(const Tensor& x, int batch, int tokens);
+  Tensor backward(const Tensor& grad_out);
+
+  void set_softmax_kind(SoftmaxKind kind) { softmax_kind_ = kind; }
+  SoftmaxKind softmax_kind() const { return softmax_kind_; }
+  ApproxSoftmax& approx_softmax() { return approx_sm_; }
+
+  /// Inference-only softmax replacement applied to the raw score rows
+  /// [B*H*T, T]; supersedes softmax_kind when set. Backward through a hook
+  /// is not supported.
+  void set_softmax_hook(std::function<Tensor(const Tensor&)> hook) { hook_ = std::move(hook); }
+  void clear_softmax_hook() { hook_ = nullptr; }
+
+  Linear& qkv() { return qkv_; }
+  Linear& proj() { return proj_; }
+  void collect_params(std::vector<Param*>& out);
+
+  int dim() const { return dim_; }
+  int heads() const { return heads_; }
+
+ private:
+  int dim_, heads_, dh_;
+  Linear qkv_, proj_;
+  SoftmaxKind softmax_kind_ = SoftmaxKind::kExact;
+  ApproxSoftmax approx_sm_;
+  std::function<Tensor(const Tensor&)> hook_;
+
+  // Forward caches.
+  int batch_ = 0, tokens_ = 0;
+  bool used_hook_ = false;
+  Tensor cached_q_, cached_k_, cached_v_;  // [B*H*T, dh]
+  Tensor cached_attn_;                     // [B*H*T, T]
+};
+
+}  // namespace ascend::nn

@@ -1,0 +1,75 @@
+#include "nn/loss.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/ops.h"
+
+namespace ascend::nn {
+
+LossResult cross_entropy(const Tensor& logits, const std::vector<int>& labels) {
+  if (logits.rank() != 2 || logits.dim(0) != static_cast<int>(labels.size()))
+    throw std::invalid_argument("cross_entropy: bad shapes");
+  const int n = logits.dim(0), c = logits.dim(1);
+  const Tensor p = softmax_rows(logits);
+  LossResult res;
+  res.grad = Tensor({n, c});
+  double loss = 0.0;
+  for (int r = 0; r < n; ++r) {
+    const int y = labels[static_cast<std::size_t>(r)];
+    if (y < 0 || y >= c) throw std::invalid_argument("cross_entropy: label out of range");
+    loss -= std::log(std::max(p.at(r, y), 1e-12f));
+    for (int j = 0; j < c; ++j)
+      res.grad.at(r, j) = (p.at(r, j) - (j == y ? 1.0f : 0.0f)) / static_cast<float>(n);
+  }
+  res.value = loss / n;
+  return res;
+}
+
+LossResult kl_distill(const Tensor& student_logits, const Tensor& teacher_logits) {
+  check_same_shape(student_logits, teacher_logits, "kl_distill");
+  const int n = student_logits.dim(0), c = student_logits.dim(1);
+  const Tensor ps = softmax_rows(student_logits);
+  const Tensor pt = softmax_rows(teacher_logits);
+  LossResult res;
+  res.grad = Tensor({n, c});
+  double loss = 0.0;
+  for (int r = 0; r < n; ++r)
+    for (int j = 0; j < c; ++j) {
+      const float t = pt.at(r, j);
+      const float s = std::max(ps.at(r, j), 1e-12f);
+      if (t > 0.0f) loss += t * (std::log(std::max(t, 1e-12f)) - std::log(s));
+      res.grad.at(r, j) = (ps.at(r, j) - t) / static_cast<float>(n);
+    }
+  res.value = loss / n;
+  return res;
+}
+
+LossResult mse(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "mse");
+  LossResult res;
+  res.grad = Tensor(a.shape());
+  double loss = 0.0;
+  const auto n = static_cast<double>(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const float d = a[i] - b[i];
+    loss += static_cast<double>(d) * d;
+    res.grad[i] = 2.0f * d / static_cast<float>(n);
+  }
+  res.value = loss / n;
+  return res;
+}
+
+double accuracy(const Tensor& logits, const std::vector<int>& labels) {
+  const int n = logits.dim(0), c = logits.dim(1);
+  int correct = 0;
+  for (int r = 0; r < n; ++r) {
+    int best = 0;
+    for (int j = 1; j < c; ++j)
+      if (logits.at(r, j) > logits.at(r, best)) best = j;
+    if (best == labels[static_cast<std::size_t>(r)]) ++correct;
+  }
+  return static_cast<double>(correct) / n;
+}
+
+}  // namespace ascend::nn

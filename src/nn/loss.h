@@ -1,0 +1,31 @@
+#pragma once
+// loss.h — training objectives: cross-entropy and the KD losses of Section V.
+//
+// The two-stage pipeline distills with
+//   Loss = KL(Z_s || Z_t) + beta * (1/M) * sum_i MSE(S_i, T_i)
+// where Z are logits and S_i/T_i are per-layer block outputs (beta = 2).
+
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace ascend::nn {
+
+struct LossResult {
+  double value = 0.0;
+  Tensor grad;  // gradient wrt the first argument
+};
+
+/// Mean softmax cross-entropy over the batch; labels are class indices.
+LossResult cross_entropy(const Tensor& logits, const std::vector<int>& labels);
+
+/// Mean KL(teacher || student) over the batch, gradient wrt student logits.
+LossResult kl_distill(const Tensor& student_logits, const Tensor& teacher_logits);
+
+/// Mean squared error, gradient wrt `a`.
+LossResult mse(const Tensor& a, const Tensor& b);
+
+/// Top-1 accuracy.
+double accuracy(const Tensor& logits, const std::vector<int>& labels);
+
+}  // namespace ascend::nn

@@ -1,0 +1,97 @@
+#pragma once
+// module.h — network layers with explicit forward/backward passes.
+//
+// Each layer caches what its backward pass needs during forward. Gradients
+// accumulate into Param::grad; the trainer zeroes them between steps.
+
+#include <vector>
+
+#include "nn/ops.h"
+#include "nn/quant.h"
+#include "nn/rng.h"
+#include "nn/tensor.h"
+
+namespace ascend::nn {
+
+/// Fully connected layer, optionally with LSQ weight/input quantizers
+/// (ASCEND's W / A precision knobs).
+class Linear {
+ public:
+  Linear(int in_features, int out_features, Rng& rng, bool bias = true);
+
+  Tensor forward(const Tensor& x);             // [N, in] -> [N, out]
+  Tensor backward(const Tensor& grad_out);     // returns grad wrt x
+
+  void set_weight_quant(QuantSpec spec) { weight_quant_.reset_spec(spec); }
+  void set_input_quant(QuantSpec spec) { input_quant_.reset_spec(spec); }
+  void collect_params(std::vector<Param*>& out);
+
+  Param& weight() { return w_; }
+  Param& bias() { return b_; }
+  LsqQuantizer& weight_quant() { return weight_quant_; }
+  LsqQuantizer& input_quant() { return input_quant_; }
+  int in_features() const { return in_; }
+  int out_features() const { return out_; }
+
+ private:
+  int in_, out_;
+  bool has_bias_;
+  Param w_;  // [in, out]
+  Param b_;  // [out]
+  LsqQuantizer weight_quant_;
+  LsqQuantizer input_quant_;
+  Tensor cached_xq_;  // quantized input
+};
+
+/// LayerNorm over the last dimension of a rank-2 tensor (FP ViT baseline).
+class LayerNorm {
+ public:
+  explicit LayerNorm(int features, float eps = 1e-5f);
+  Tensor forward(const Tensor& x);
+  Tensor backward(const Tensor& grad_out);
+  void collect_params(std::vector<Param*>& out);
+  Param& gamma() { return gamma_; }
+  Param& beta() { return beta_; }
+
+ private:
+  int features_;
+  float eps_;
+  Param gamma_, beta_;
+  Tensor cached_xhat_;
+  std::vector<float> cached_invstd_;
+};
+
+/// BatchNorm over the first dimension of a rank-2 tensor (ASCEND replaces
+/// LN with BN for SC-friendliness; tokens and batch are flattened together).
+class BatchNorm {
+ public:
+  explicit BatchNorm(int features, float eps = 1e-5f, float momentum = 0.1f);
+  Tensor forward(const Tensor& x, bool training);
+  Tensor backward(const Tensor& grad_out);
+  void collect_params(std::vector<Param*>& out);
+  Param& gamma() { return gamma_; }
+  Param& beta() { return beta_; }
+  Tensor& running_mean() { return running_mean_; }
+  Tensor& running_var() { return running_var_; }
+
+ private:
+  int features_;
+  float eps_, momentum_;
+  Param gamma_, beta_;
+  Tensor running_mean_, running_var_;
+  Tensor cached_xhat_;
+  std::vector<float> cached_invstd_;
+  int cached_rows_ = 0;
+};
+
+/// Elementwise GELU layer.
+class Gelu {
+ public:
+  Tensor forward(const Tensor& x);
+  Tensor backward(const Tensor& grad_out);
+
+ private:
+  Tensor cached_x_;
+};
+
+}  // namespace ascend::nn

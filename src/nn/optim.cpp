@@ -1,0 +1,48 @@
+#include "nn/optim.h"
+
+#include <cmath>
+
+namespace ascend::nn {
+
+AdamW::AdamW(std::vector<Param*> params, float lr, float beta1, float beta2, float eps,
+             float weight_decay)
+    : params_(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {}
+
+void AdamW::zero_grad() {
+  for (Param* p : params_) p->zero_grad();
+}
+
+void AdamW::rebind(std::vector<Param*> params) {
+  params_ = std::move(params);
+  t_ = 0;
+}
+
+void AdamW::step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (Param* p : params_) {
+    const float wd = p->no_weight_decay ? 0.0f : weight_decay_;
+    for (std::size_t i = 0; i < p->value.size(); ++i) {
+      const float g = p->grad[i];
+      p->adam_m[i] = beta1_ * p->adam_m[i] + (1.0f - beta1_) * g;
+      p->adam_v[i] = beta2_ * p->adam_v[i] + (1.0f - beta2_) * g * g;
+      const float mhat = p->adam_m[i] / bc1;
+      const float vhat = p->adam_v[i] / bc2;
+      p->value[i] -= lr_ * (mhat / (std::sqrt(vhat) + eps_) + wd * p->value[i]);
+    }
+  }
+}
+
+float cosine_lr(float base_lr, long long step, long long total_steps) {
+  if (total_steps <= 0) return base_lr;
+  const double frac = std::min(1.0, static_cast<double>(step) / static_cast<double>(total_steps));
+  return static_cast<float>(base_lr * 0.5 * (1.0 + std::cos(frac * 3.14159265358979)));
+}
+
+}  // namespace ascend::nn

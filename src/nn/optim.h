@@ -1,0 +1,32 @@
+#pragma once
+// optim.h — AdamW ([26]) with cosine learning-rate decay.
+
+#include <vector>
+
+#include "nn/quant.h"
+
+namespace ascend::nn {
+
+class AdamW {
+ public:
+  AdamW(std::vector<Param*> params, float lr = 1e-3f, float beta1 = 0.9f, float beta2 = 0.999f,
+        float eps = 1e-8f, float weight_decay = 0.01f);
+
+  void zero_grad();
+  void step();
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+  /// Replace the parameter set (used after re-wiring quantizers).
+  void rebind(std::vector<Param*> params);
+
+ private:
+  std::vector<Param*> params_;
+  float lr_, beta1_, beta2_, eps_, weight_decay_;
+  long long t_ = 0;
+};
+
+/// Cosine decay from `base_lr` to ~0 over `total_steps`.
+float cosine_lr(float base_lr, long long step, long long total_steps);
+
+}  // namespace ascend::nn

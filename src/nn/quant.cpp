@@ -1,0 +1,81 @@
+#include "nn/quant.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ascend::nn {
+
+void Param::init_shape(std::vector<int> shape) {
+  value = Tensor(shape);
+  grad = Tensor(shape);
+  adam_m = Tensor(shape);
+  adam_v = Tensor(std::move(shape));
+}
+
+void Param::zero_grad() { grad.fill(0.0f); }
+
+QuantSpec QuantSpec::from_bsl(int bsl) {
+  if (bsl < 2 || bsl % 2 != 0)
+    throw std::invalid_argument("QuantSpec::from_bsl: BSL must be even >= 2");
+  QuantSpec s;
+  s.enabled = true;
+  s.qn = -bsl / 2;
+  s.qp = bsl / 2;
+  return s;
+}
+
+void LsqQuantizer::reset_spec(QuantSpec spec) {
+  spec_ = spec;
+  initialized_ = false;
+}
+
+Tensor LsqQuantizer::forward(const Tensor& x) {
+  if (!spec_.enabled) return x;
+  if (!initialized_) {
+    // LSQ init: s = 2 * mean|x| / sqrt(Qp).
+    double mean_abs = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) mean_abs += std::fabs(x[i]);
+    mean_abs /= std::max<std::size_t>(x.size(), 1);
+    step_.init_shape({1});
+    step_.value[0] = std::max(1e-4f, static_cast<float>(2.0 * mean_abs / std::sqrt(spec_.qp)));
+    step_.no_weight_decay = true;
+    initialized_ = true;
+  }
+  const float s = std::max(step_.value[0], 1e-6f);
+  cached_x_ = x;
+  cached_q_ = Tensor(x.shape());
+  Tensor out(x.shape());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const float q = std::clamp(std::round(x[i] / s), static_cast<float>(spec_.qn),
+                               static_cast<float>(spec_.qp));
+    cached_q_[i] = q;
+    out[i] = q * s;
+  }
+  return out;
+}
+
+Tensor LsqQuantizer::backward(const Tensor& grad_out) {
+  if (!spec_.enabled) return grad_out;
+  check_same_shape(grad_out, cached_x_, "LsqQuantizer::backward");
+  const float s = std::max(step_.value[0], 1e-6f);
+  const float gradscale =
+      1.0f / std::sqrt(static_cast<float>(cached_x_.size()) * static_cast<float>(spec_.qp));
+  Tensor gx(grad_out.shape());
+  double gs = 0.0;
+  for (std::size_t i = 0; i < grad_out.size(); ++i) {
+    const float xs = cached_x_[i] / s;
+    const bool inside = xs > static_cast<float>(spec_.qn) && xs < static_cast<float>(spec_.qp);
+    gx[i] = inside ? grad_out[i] : 0.0f;
+    const float ds = cached_q_[i] - (inside ? xs : 0.0f);
+    gs += static_cast<double>(grad_out[i]) * ds;
+  }
+  step_.grad[0] += static_cast<float>(gs) * gradscale;
+  return gx;
+}
+
+void LsqQuantizer::collect_params(std::vector<Param*>& out) {
+  if (spec_.enabled && initialized_) out.push_back(&step_);
+}
+
+}  // namespace ascend::nn

@@ -1,0 +1,72 @@
+#pragma once
+// quant.h — Learned Step-size Quantization (LSQ, [25]) with STE backward.
+//
+// ASCEND quantizes weights and activations to 2-bit-BSL thermometer numbers
+// (3 levels: -1, 0, +1 times a learned step) and residuals to 16-bit BSL
+// (17 levels). An n-bit *BSL* in the deterministic thermometer format
+// represents n+1 values — note this differs from binary n-bit quantization —
+// so the quantizer's integer range for BSL b is [-b/2, +b/2].
+//
+// Forward:  v = clamp(round(x/s), Qn, Qp) * s
+// Backward: dL/dx = dL/dv inside the clip range, 0 outside (STE);
+//           dL/ds = sum g * (q - x/s * inside) * gradscale,
+//           gradscale = 1/sqrt(numel * Qp).
+
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace ascend::nn {
+
+/// Learnable parameter with gradient and AdamW state.
+struct Param {
+  Tensor value;
+  Tensor grad;
+  Tensor adam_m;
+  Tensor adam_v;
+  bool no_weight_decay = false;
+
+  void init_shape(std::vector<int> shape);
+  void zero_grad();
+};
+
+struct QuantSpec {
+  bool enabled = false;
+  int qn = 0;  ///< most negative integer level
+  int qp = 0;  ///< most positive integer level
+
+  /// Quantizer for a thermometer bitstream length `bsl` (levels -b/2..+b/2).
+  static QuantSpec from_bsl(int bsl);
+  static QuantSpec ternary() { return from_bsl(2); }
+  static QuantSpec off() { return QuantSpec{}; }
+  int levels() const { return qp - qn + 1; }
+};
+
+class LsqQuantizer {
+ public:
+  explicit LsqQuantizer(QuantSpec spec = QuantSpec::off()) : spec_(spec) {}
+
+  const QuantSpec& spec() const { return spec_; }
+  bool enabled() const { return spec_.enabled; }
+  /// Replace the spec (used when progressively tightening precision); the
+  /// learned step is re-initialised on the next forward.
+  void reset_spec(QuantSpec spec);
+
+  /// Fake-quantized output; identity when disabled.
+  Tensor forward(const Tensor& x);
+  /// STE backward; accumulates the step-size gradient.
+  Tensor backward(const Tensor& grad_out);
+
+  float step() const { return step_.value.empty() ? 0.0f : step_.value[0]; }
+  void collect_params(std::vector<Param*>& out);
+
+ private:
+  QuantSpec spec_;
+  Param step_;
+  bool initialized_ = false;
+  // Caches from the last forward.
+  Tensor cached_x_;
+  Tensor cached_q_;  // integer levels as floats
+};
+
+}  // namespace ascend::nn

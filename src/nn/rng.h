@@ -1,0 +1,38 @@
+#pragma once
+// rng.h — deterministic random source for initialisation and data generation.
+
+#include <cstdint>
+#include <random>
+
+#include "nn/tensor.h"
+
+namespace ascend::nn {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 42) : engine_(seed) {}
+
+  float normal(float mean = 0.0f, float stddev = 1.0f) {
+    return std::normal_distribution<float>(mean, stddev)(engine_);
+  }
+  float uniform(float lo = 0.0f, float hi = 1.0f) {
+    return std::uniform_real_distribution<float>(lo, hi)(engine_);
+  }
+  int uniform_int(int lo, int hi) {  // inclusive bounds
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  }
+
+  void fill_normal(Tensor& t, float mean, float stddev) {
+    for (std::size_t i = 0; i < t.size(); ++i) t[i] = normal(mean, stddev);
+  }
+  void fill_uniform(Tensor& t, float lo, float hi) {
+    for (std::size_t i = 0; i < t.size(); ++i) t[i] = uniform(lo, hi);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace ascend::nn

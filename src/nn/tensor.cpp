@@ -1,0 +1,60 @@
+#include "nn/tensor.h"
+
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace ascend::nn {
+namespace {
+
+std::size_t element_count(const std::vector<int>& shape) {
+  std::size_t n = 1;
+  for (int d : shape) {
+    if (d <= 0) throw std::invalid_argument("Tensor: non-positive dimension");
+    n *= static_cast<std::size_t>(d);
+  }
+  return shape.empty() ? 0 : n;
+}
+
+}  // namespace
+
+Tensor::Tensor(std::vector<int> shape) : data_(element_count(shape), 0.0f), shape_(std::move(shape)) {}
+
+Tensor::Tensor(std::vector<int> shape, float fill)
+    : data_(element_count(shape), fill), shape_(std::move(shape)) {}
+
+int Tensor::dim(std::size_t i) const {
+  if (i >= shape_.size()) throw std::out_of_range("Tensor::dim");
+  return shape_[i];
+}
+
+Tensor Tensor::reshaped(std::vector<int> new_shape) const {
+  if (element_count(new_shape) != data_.size())
+    throw std::invalid_argument("Tensor::reshaped: element count mismatch");
+  Tensor t;
+  t.data_ = data_;
+  t.shape_ = std::move(new_shape);
+  return t;
+}
+
+void Tensor::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+double Tensor::sum() const { return std::accumulate(data_.begin(), data_.end(), 0.0); }
+
+double Tensor::mean() const { return data_.empty() ? 0.0 : sum() / static_cast<double>(data_.size()); }
+
+std::string Tensor::shape_str() const {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < shape_.size(); ++i) os << (i ? "," : "") << shape_[i];
+  os << "]";
+  return os.str();
+}
+
+void check_same_shape(const Tensor& a, const Tensor& b, const char* who) {
+  if (a.shape() != b.shape())
+    throw std::invalid_argument(std::string(who) + ": shape mismatch " + a.shape_str() + " vs " +
+                                b.shape_str());
+}
+
+}  // namespace ascend::nn

@@ -1,0 +1,56 @@
+#pragma once
+// tensor.h — minimal dense float tensor (row-major) for the ViT substrate.
+//
+// The network code treats tensors as shaped views over a contiguous float
+// buffer; all layer math lives in ops.h / the layer classes. Shapes are
+// small vectors of ints; rank is 1..4 in practice.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ascend::nn {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<int> shape);
+  Tensor(std::vector<int> shape, float fill);
+
+  static Tensor zeros(std::vector<int> shape) { return Tensor(std::move(shape)); }
+  static Tensor full(std::vector<int> shape, float v) { return Tensor(std::move(shape), v); }
+
+  const std::vector<int>& shape() const { return shape_; }
+  int dim(std::size_t i) const;
+  std::size_t rank() const { return shape_.size(); }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  /// 2-D accessors (rank-2 only, bounds unchecked in release hot paths).
+  float& at(int r, int c) { return data_[static_cast<std::size_t>(r) * shape_[1] + c]; }
+  float at(int r, int c) const { return data_[static_cast<std::size_t>(r) * shape_[1] + c]; }
+
+  /// Reinterpret the buffer with a new shape of identical element count.
+  Tensor reshaped(std::vector<int> new_shape) const;
+
+  void fill(float v);
+  /// Sum of all elements / mean of all elements.
+  double sum() const;
+  double mean() const;
+
+  std::string shape_str() const;
+
+ private:
+  std::vector<float> data_;
+  std::vector<int> shape_;
+};
+
+/// Throws unless both tensors have identical shapes.
+void check_same_shape(const Tensor& a, const Tensor& b, const char* who);
+
+}  // namespace ascend::nn

@@ -1,0 +1,166 @@
+#include "sc/bernstein.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "sc/gate_si.h"  // gelu_exact
+
+namespace ascend::sc {
+namespace {
+
+std::vector<double> binomials(int n) {
+  std::vector<double> c(static_cast<std::size_t>(n) + 1, 1.0);
+  for (int i = 1; i <= n; ++i) c[static_cast<std::size_t>(i)] = c[static_cast<std::size_t>(i - 1)] * (n - i + 1) / i;
+  return c;
+}
+
+/// Solve the symmetric positive-definite system M x = rhs by Gauss-Jordan
+/// elimination with partial pivoting (small systems only).
+std::vector<double> solve_spd(std::vector<std::vector<double>> m, std::vector<double> rhs) {
+  const std::size_t n = rhs.size();
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r)
+      if (std::fabs(m[r][col]) > std::fabs(m[pivot][col])) pivot = r;
+    std::swap(m[col], m[pivot]);
+    std::swap(rhs[col], rhs[pivot]);
+    const double d = m[col][col];
+    if (std::fabs(d) < 1e-14) throw std::runtime_error("solve_spd: singular matrix");
+    for (std::size_t c = col; c < n; ++c) m[col][c] /= d;
+    rhs[col] /= d;
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const double f = m[r][col];
+      if (f == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) m[r][c] -= f * m[col][c];
+      rhs[r] -= f * rhs[col];
+    }
+  }
+  return rhs;
+}
+
+}  // namespace
+
+BernsteinUnit::BernsteinUnit(std::vector<double> coefficients) : coeffs_(std::move(coefficients)) {
+  if (coeffs_.empty()) throw std::invalid_argument("BernsteinUnit: need >= 1 coefficient");
+  for (double b : coeffs_)
+    if (b < -1e-9 || b > 1.0 + 1e-9)
+      throw std::invalid_argument("BernsteinUnit: coefficients must lie in [0,1]");
+  for (double& b : coeffs_) b = std::clamp(b, 0.0, 1.0);
+  binom_ = binomials(degree());
+}
+
+double BernsteinUnit::eval_exact(double u) const {
+  u = std::clamp(u, 0.0, 1.0);
+  const int n = degree();
+  double sum = 0.0;
+  for (int i = 0; i <= n; ++i)
+    sum += coeffs_[static_cast<std::size_t>(i)] * binom_[static_cast<std::size_t>(i)] *
+           std::pow(u, i) * std::pow(1.0 - u, n - i);
+  return sum;
+}
+
+double BernsteinUnit::eval_stochastic(double u, std::size_t bsl, std::uint64_t seed) const {
+  u = std::clamp(u, 0.0, 1.0);
+  const int n = degree();
+  // Independent SNGs: one per input-stream copy plus one for the coefficient
+  // streams, with distinct widths and decorrelated seeds.
+  std::vector<Lfsr> inputs;
+  inputs.reserve(static_cast<std::size_t>(n));
+  auto mix = [&seed]() {  // splitmix64-style seed derivation
+    seed += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = seed;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return static_cast<std::uint32_t>(z ^ (z >> 31));
+  };
+  for (int i = 0; i < n; ++i) inputs.emplace_back(13 + (i % 8), mix());
+  Lfsr coef(16, mix());
+
+  std::size_t ones = 0;
+  for (std::size_t t = 0; t < bsl; ++t) {
+    // n independent input-stream copies summed by the ReSC adder.
+    int idx = 0;
+    for (int i = 0; i < n; ++i) {
+      Lfsr& g = inputs[static_cast<std::size_t>(i)];
+      idx += (static_cast<double>(g.next()) < u * static_cast<double>(g.range())) ? 1 : 0;
+    }
+    // The adder output addresses the coefficient-stream multiplexer.
+    const double b = coeffs_[static_cast<std::size_t>(idx)];
+    ones += (static_cast<double>(coef.next()) < b * static_cast<double>(coef.range())) ? 1 : 0;
+  }
+  return static_cast<double>(ones) / static_cast<double>(bsl);
+}
+
+BernsteinUnit BernsteinUnit::fit(const std::function<double(double)>& f, int terms,
+                                 int grid_points) {
+  if (terms < 1) throw std::invalid_argument("BernsteinUnit::fit: terms >= 1");
+  const int n = terms - 1;
+  const auto binom = binomials(n);
+  // Basis matrix on the grid.
+  std::vector<std::vector<double>> a(static_cast<std::size_t>(grid_points),
+                                     std::vector<double>(static_cast<std::size_t>(terms)));
+  std::vector<double> y(static_cast<std::size_t>(grid_points));
+  for (int g = 0; g < grid_points; ++g) {
+    const double u = static_cast<double>(g) / (grid_points - 1);
+    y[static_cast<std::size_t>(g)] = f(u);
+    for (int i = 0; i <= n; ++i)
+      a[static_cast<std::size_t>(g)][static_cast<std::size_t>(i)] =
+          binom[static_cast<std::size_t>(i)] * std::pow(u, i) * std::pow(1.0 - u, n - i);
+  }
+  // Normal equations.
+  std::vector<std::vector<double>> ata(static_cast<std::size_t>(terms),
+                                       std::vector<double>(static_cast<std::size_t>(terms), 0.0));
+  std::vector<double> aty(static_cast<std::size_t>(terms), 0.0);
+  for (int g = 0; g < grid_points; ++g)
+    for (int i = 0; i < terms; ++i) {
+      aty[static_cast<std::size_t>(i)] +=
+          a[static_cast<std::size_t>(g)][static_cast<std::size_t>(i)] * y[static_cast<std::size_t>(g)];
+      for (int j = 0; j < terms; ++j)
+        ata[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] +=
+            a[static_cast<std::size_t>(g)][static_cast<std::size_t>(i)] *
+            a[static_cast<std::size_t>(g)][static_cast<std::size_t>(j)];
+    }
+  std::vector<double> b = solve_spd(ata, aty);
+  for (double& v : b) v = std::clamp(v, 0.0, 1.0);
+  // Projected-gradient refinement keeps the solution optimal on the box.
+  double trace = 0.0;
+  for (int i = 0; i < terms; ++i) trace += ata[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)];
+  const double step = 1.0 / std::max(trace, 1e-9);
+  for (int it = 0; it < 4000; ++it) {
+    for (int i = 0; i < terms; ++i) {
+      double grad = -aty[static_cast<std::size_t>(i)];
+      for (int j = 0; j < terms; ++j)
+        grad += ata[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] * b[static_cast<std::size_t>(j)];
+      b[static_cast<std::size_t>(i)] = std::clamp(b[static_cast<std::size_t>(i)] - step * grad, 0.0, 1.0);
+    }
+  }
+  return BernsteinUnit(std::move(b));
+}
+
+BernsteinGelu::BernsteinGelu(int terms, double in_lo, double in_hi)
+    : in_lo_(in_lo),
+      in_hi_(in_hi),
+      // Output affine map chosen so GELU over the input range fits in [0,1]
+      // with a little headroom.
+      out_lo_(gelu_exact(-0.751) - 0.03),  // global GELU minimum ~ -0.17
+      out_hi_(gelu_exact(in_hi) + 0.03),
+      unit_(BernsteinUnit::fit(
+          [this](double u) {
+            const double x = in_lo_ + u * (in_hi_ - in_lo_);
+            return (gelu_exact(x) - out_lo_) / (out_hi_ - out_lo_);
+          },
+          terms)) {}
+
+double BernsteinGelu::eval_exact(double x) const {
+  const double u = (std::clamp(x, in_lo_, in_hi_) - in_lo_) / (in_hi_ - in_lo_);
+  return out_lo_ + unit_.eval_exact(u) * (out_hi_ - out_lo_);
+}
+
+double BernsteinGelu::eval_stochastic(double x, std::size_t bsl, std::uint64_t seed) const {
+  const double u = (std::clamp(x, in_lo_, in_hi_) - in_lo_) / (in_hi_ - in_lo_);
+  return out_lo_ + unit_.eval_stochastic(u, bsl, seed) * (out_hi_ - out_lo_);
+}
+
+}  // namespace ascend::sc

@@ -1,0 +1,75 @@
+#pragma once
+// bernstein.h — Bernstein-polynomial SC nonlinear units (ReSC baseline, [18]).
+//
+// A degree-n Bernstein polynomial with coefficients b_i in [0,1],
+//
+//     B(u) = sum_i b_i * C(n,i) * u^i * (1-u)^(n-i),   u in [0,1],
+//
+// is computed stochastically by the ReSC architecture: every clock cycle n
+// independent copies of the input stream are summed by a small adder, and
+// the result addresses a multiplexer that selects the current bit of the
+// coefficient stream b_i. The output probability equals B(u) exactly; the
+// error comes from (a) the polynomial fit and (b) stochastic fluctuation at
+// finite bitstream lengths — both of which this model reproduces.
+//
+// "k-term" in the paper's Table III = k coefficients = degree k-1.
+
+#include <functional>
+#include <vector>
+
+#include "sc/stoch_stream.h"
+
+namespace ascend::sc {
+
+/// Core Bernstein unit on the unit interval.
+class BernsteinUnit {
+ public:
+  /// Coefficients must lie in [0,1]; degree = coefficients.size() - 1.
+  explicit BernsteinUnit(std::vector<double> coefficients);
+
+  int degree() const { return static_cast<int>(coeffs_.size()) - 1; }
+  int terms() const { return static_cast<int>(coeffs_.size()); }
+  const std::vector<double>& coefficients() const { return coeffs_; }
+
+  /// Exact polynomial value (infinite-BSL limit).
+  double eval_exact(double u) const;
+
+  /// Stochastic evaluation with `bsl` cycles. The ReSC architecture requires
+  /// the degree() input-stream copies and the coefficient streams to be
+  /// statistically independent, so the unit instantiates one LFSR SNG per
+  /// stream internally (seeded from `seed`); sharing a single generator
+  /// across copies correlates the adder inputs and biases the result.
+  double eval_stochastic(double u, std::size_t bsl, std::uint64_t seed) const;
+
+  /// Least-squares fit of `f` on [0,1] with coefficients projected into
+  /// [0,1] (projected-gradient refinement after the unconstrained solve).
+  static BernsteinUnit fit(const std::function<double(double)>& f, int terms,
+                           int grid_points = 257);
+
+ private:
+  std::vector<double> coeffs_;
+  std::vector<double> binom_;  // C(n, i)
+};
+
+/// GELU wrapped onto the unit interval with affine input/output maps:
+/// x in [in_lo, in_hi] -> u in [0,1]; B(u) in [0,1] -> y in [out_lo, out_hi].
+class BernsteinGelu {
+ public:
+  /// The default input range covers the region the paper evaluates (Fig. 2's
+  /// x in [-3, 0.5] plus margin); a tighter range keeps the affine output map
+  /// near unity so the unit-interval fit error is not amplified.
+  BernsteinGelu(int terms, double in_lo = -4.0, double in_hi = 1.5);
+
+  int terms() const { return unit_.terms(); }
+  /// Fit-only transfer (no stochastic noise).
+  double eval_exact(double x) const;
+  /// Full stochastic evaluation at bitstream length `bsl`.
+  double eval_stochastic(double x, std::size_t bsl, std::uint64_t seed) const;
+
+ private:
+  double in_lo_, in_hi_;
+  double out_lo_, out_hi_;
+  BernsteinUnit unit_;
+};
+
+}  // namespace ascend::sc

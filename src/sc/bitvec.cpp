@@ -1,0 +1,130 @@
+#include "sc/bitvec.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace ascend::sc {
+
+BitVec::BitVec(std::size_t n, bool fill)
+    : words_(words_for(n), fill ? ~std::uint64_t{0} : 0), size_(n) {
+  mask_tail();
+}
+
+BitVec BitVec::from_string(const std::string& s) {
+  BitVec v(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '0' && s[i] != '1') throw std::invalid_argument("BitVec::from_string: bad char");
+    v.set(i, s[i] == '1');
+  }
+  return v;
+}
+
+bool BitVec::get(std::size_t i) const {
+  if (i >= size_) throw std::out_of_range("BitVec::get");
+  return (words_[i >> 6] >> (i & 63)) & 1u;
+}
+
+void BitVec::set(std::size_t i, bool v) {
+  if (i >= size_) throw std::out_of_range("BitVec::set");
+  const std::uint64_t mask = std::uint64_t{1} << (i & 63);
+  if (v)
+    words_[i >> 6] |= mask;
+  else
+    words_[i >> 6] &= ~mask;
+}
+
+std::size_t BitVec::count() const {
+  std::size_t c = 0;
+  for (auto w : words_) c += static_cast<std::size_t>(std::popcount(w));
+  return c;
+}
+
+void BitVec::push_back(bool v) {
+  if (words_for(size_ + 1) > words_.size()) words_.push_back(0);
+  ++size_;
+  set(size_ - 1, v);
+}
+
+void BitVec::append(const BitVec& other) {
+  for (std::size_t i = 0; i < other.size(); ++i) push_back(other.get(i));
+}
+
+BitVec BitVec::slice(std::size_t begin, std::size_t len) const {
+  if (begin + len > size_) throw std::out_of_range("BitVec::slice");
+  BitVec out(len);
+  for (std::size_t i = 0; i < len; ++i) out.set(i, get(begin + i));
+  return out;
+}
+
+BitVec BitVec::subsample(std::size_t first, std::size_t stride) const {
+  if (stride == 0) throw std::invalid_argument("BitVec::subsample: stride 0");
+  BitVec out;
+  for (std::size_t i = first; i < size_; i += stride) out.push_back(get(i));
+  return out;
+}
+
+BitVec BitVec::reversed() const {
+  BitVec out(size_);
+  for (std::size_t i = 0; i < size_; ++i) out.set(i, get(size_ - 1 - i));
+  return out;
+}
+
+BitVec BitVec::operator&(const BitVec& o) const {
+  check_same_size(o);
+  BitVec out = *this;
+  for (std::size_t w = 0; w < words_.size(); ++w) out.words_[w] &= o.words_[w];
+  return out;
+}
+
+BitVec BitVec::operator|(const BitVec& o) const {
+  check_same_size(o);
+  BitVec out = *this;
+  for (std::size_t w = 0; w < words_.size(); ++w) out.words_[w] |= o.words_[w];
+  return out;
+}
+
+BitVec BitVec::operator^(const BitVec& o) const {
+  check_same_size(o);
+  BitVec out = *this;
+  for (std::size_t w = 0; w < words_.size(); ++w) out.words_[w] ^= o.words_[w];
+  return out;
+}
+
+BitVec BitVec::operator~() const {
+  BitVec out = *this;
+  for (auto& w : out.words_) w = ~w;
+  out.mask_tail();
+  return out;
+}
+
+bool BitVec::operator==(const BitVec& o) const {
+  return size_ == o.size_ && words_ == o.words_;
+}
+
+std::string BitVec::to_string() const {
+  std::string s(size_, '0');
+  for (std::size_t i = 0; i < size_; ++i)
+    if (get(i)) s[i] = '1';
+  return s;
+}
+
+bool BitVec::is_sorted_descending() const {
+  bool seen_zero = false;
+  for (std::size_t i = 0; i < size_; ++i) {
+    const bool b = get(i);
+    if (!b) seen_zero = true;
+    else if (seen_zero) return false;
+  }
+  return true;
+}
+
+void BitVec::check_same_size(const BitVec& o) const {
+  if (size_ != o.size_) throw std::invalid_argument("BitVec: size mismatch");
+}
+
+void BitVec::mask_tail() {
+  const std::size_t rem = size_ & 63;
+  if (rem != 0 && !words_.empty()) words_.back() &= (~std::uint64_t{0}) >> (64 - rem);
+}
+
+}  // namespace ascend::sc

@@ -1,0 +1,70 @@
+#pragma once
+// bitvec.h — dense, word-packed bit vector used by every stochastic-computing
+// (SC) stream in ASCEND.
+//
+// A BitVec models a physical parallel bit bundle (one wire per bit) or, for
+// serial SC designs, the time-unrolled history of a single wire. Bit i of the
+// vector is bit i of the bundle; there is no implied numeric weight — in SC
+// every bit carries equal weight (the value is carried by the *count* of 1s).
+
+#include <cstdint>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ascend::sc {
+
+/// Dense bit vector with word-packed storage and O(L/64) bulk operations.
+class BitVec {
+ public:
+  BitVec() = default;
+  /// Construct with `n` bits, all initialised to `fill`.
+  explicit BitVec(std::size_t n, bool fill = false);
+  /// Construct from a string of '0'/'1' characters, index 0 first.
+  static BitVec from_string(const std::string& s);
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  bool get(std::size_t i) const;
+  void set(std::size_t i, bool v);
+
+  /// Number of 1 bits (population count).
+  std::size_t count() const;
+
+  /// Append a single bit at the end.
+  void push_back(bool v);
+  /// Append all bits of `other` after the current bits.
+  void append(const BitVec& other);
+
+  /// Bits [begin, begin+len) as a new vector.
+  BitVec slice(std::size_t begin, std::size_t len) const;
+  /// Every `stride`-th bit starting at `first` (models sub-sampling taps).
+  BitVec subsample(std::size_t first, std::size_t stride) const;
+  /// Bit order reversed.
+  BitVec reversed() const;
+
+  /// Element-wise logic (sizes must match).
+  BitVec operator&(const BitVec& o) const;
+  BitVec operator|(const BitVec& o) const;
+  BitVec operator^(const BitVec& o) const;
+  BitVec operator~() const;
+
+  bool operator==(const BitVec& o) const;
+
+  /// '0'/'1' string, index 0 first.
+  std::string to_string() const;
+
+  /// True when every 1 bit precedes every 0 bit (canonical thermometer order).
+  bool is_sorted_descending() const;
+
+ private:
+  void check_same_size(const BitVec& o) const;
+  void mask_tail();
+  static std::size_t words_for(std::size_t bits) { return (bits + 63) / 64; }
+
+  std::vector<std::uint64_t> words_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace ascend::sc

@@ -1,0 +1,83 @@
+#include "sc/bsn.h"
+
+#include <vector>
+
+namespace ascend::sc {
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+BitVec bsn_sort(const BitVec& bits) {
+  const std::size_t n = bits.size();
+  if (n <= 1) return bits;
+  const std::size_t padded = next_pow2(n);
+  // Padding zeros sink to the tail under a descending sort, so the first n
+  // positions of the sorted padded vector hold exactly the original bits'
+  // thermometer code.
+  std::vector<char> a(padded, 0);
+  for (std::size_t i = 0; i < n; ++i) a[i] = bits.get(i) ? 1 : 0;
+
+  // Standard iterative bitonic sorter, descending order.
+  for (std::size_t k = 2; k <= padded; k <<= 1) {
+    for (std::size_t j = k >> 1; j > 0; j >>= 1) {
+      for (std::size_t i = 0; i < padded; ++i) {
+        const std::size_t l = i ^ j;
+        if (l > i) {
+          const bool ascending = (i & k) != 0;
+          // Descending overall: within an "ascending" block of the classic
+          // formulation we place smaller first, i.e. swap when a[i] < a[l].
+          const bool swap_needed = ascending ? (a[i] > a[l]) : (a[i] < a[l]);
+          if (swap_needed) std::swap(a[i], a[l]);
+        }
+      }
+    }
+  }
+  BitVec out(n);
+  for (std::size_t i = 0; i < n; ++i) out.set(i, a[i] != 0);
+  return out;
+}
+
+std::size_t bsn_compare_exchange_count(std::size_t n) {
+  if (n <= 1) return 0;
+  const std::size_t p = next_pow2(n);
+  std::size_t s = 0;
+  for (std::size_t t = p; t > 1; t >>= 1) ++s;
+  return (p / 2) * s * (s + 1) / 2;
+}
+
+std::size_t bsn_depth(std::size_t n) {
+  if (n <= 1) return 0;
+  const std::size_t p = next_pow2(n);
+  std::size_t s = 0;
+  for (std::size_t t = p; t > 1; t >>= 1) ++s;
+  return s * (s + 1) / 2;
+}
+
+namespace {
+
+std::size_t log2_pow2(std::size_t p) {
+  std::size_t s = 0;
+  for (std::size_t t = p; t > 1; t >>= 1) ++s;
+  return s;
+}
+
+std::size_t merge_stage_sum(std::size_t n, std::size_t leaf) {
+  if (n <= 1) return 0;
+  const std::size_t t = log2_pow2(next_pow2(n));
+  std::size_t l = log2_pow2(next_pow2(leaf == 0 ? 1 : leaf));
+  if (l > t) l = t;
+  return t * (t + 1) / 2 - l * (l + 1) / 2;
+}
+
+}  // namespace
+
+std::size_t bsn_merge_compare_exchange_count(std::size_t n, std::size_t leaf) {
+  return (next_pow2(n) / 2) * merge_stage_sum(n, leaf);
+}
+
+std::size_t bsn_merge_depth(std::size_t n, std::size_t leaf) { return merge_stage_sum(n, leaf); }
+
+}  // namespace ascend::sc

@@ -1,0 +1,45 @@
+#pragma once
+// bsn.h — Bitonic Sorting Network over bit bundles.
+//
+// In the deterministic thermometer format, addition of same-scale numbers is
+// realised by concatenating the operand bundles and sorting the bits so that
+// all 1s come first ([5]). Sorting a bundle of single bits only needs
+// compare-exchange (CE) elements built from one OR and one AND gate:
+//
+//     (a, b)  ->  (a | b, a & b)      // descending order: 1s float up
+//
+// This module provides the bit-level network (used to validate functional
+// equivalence with count-level addition) and the CE-count/depth formulas the
+// hardware cost model consumes.
+
+#include <cstddef>
+
+#include "sc/bitvec.h"
+
+namespace ascend::sc {
+
+/// Sort `bits` into canonical thermometer order (all 1s first) using a
+/// bitonic network. Non-power-of-two sizes are zero-padded internally; the
+/// returned vector has the original length.
+BitVec bsn_sort(const BitVec& bits);
+
+/// Number of compare-exchange elements of a bitonic network over n inputs
+/// (n rounded up to the next power of two): (n/2) * s * (s+1) / 2, s = log2 n.
+std::size_t bsn_compare_exchange_count(std::size_t n);
+
+/// Logic depth (number of CE stages on the critical path): s * (s+1) / 2.
+std::size_t bsn_depth(std::size_t n);
+
+/// Adding *already sorted* bundles does not need a full sorter: a tree of
+/// bitonic mergers suffices. For total width n built from sorted leaves of
+/// width `leaf` (both rounded to powers of two), the merge tree costs
+///   CE = (n/2) * (T(T+1)/2 - L(L+1)/2),  T = log2 n, L = log2 leaf,
+/// and the critical path crosses the same stage count — a significant saving
+/// versus the full sorter that the BSN adders in the softmax block exploit.
+std::size_t bsn_merge_compare_exchange_count(std::size_t n, std::size_t leaf);
+std::size_t bsn_merge_depth(std::size_t n, std::size_t leaf);
+
+/// Smallest power of two >= n.
+std::size_t next_pow2(std::size_t n);
+
+}  // namespace ascend::sc

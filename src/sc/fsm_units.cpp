@@ -1,0 +1,87 @@
+#include "sc/fsm_units.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ascend::sc {
+
+FsmTanh::FsmTanh(int n_states) : n_states_(n_states), state_(n_states / 2) {
+  if (n_states < 2) throw std::invalid_argument("FsmTanh: need at least 2 states");
+}
+
+bool FsmTanh::step(bool in_bit) {
+  const bool out = state_ >= n_states_ / 2;
+  state_ += in_bit ? 1 : -1;
+  state_ = std::clamp(state_, 0, n_states_ - 1);
+  return out;
+}
+
+void FsmTanh::reset() { state_ = n_states_ / 2; }
+
+FsmExp::FsmExp(int n_states, int g) : n_states_(n_states), g_(g), state_(n_states / 2) {
+  if (n_states < 2 || g < 1 || g >= n_states)
+    throw std::invalid_argument("FsmExp: bad configuration");
+}
+
+bool FsmExp::step(bool in_bit) {
+  const bool out = state_ < n_states_ - g_;
+  state_ += in_bit ? 1 : -1;
+  state_ = std::clamp(state_, 0, n_states_ - 1);
+  return out;
+}
+
+void FsmExp::reset() { state_ = n_states_ / 2; }
+
+FsmGelu::FsmGelu(double scale, int n_states) : scale_(scale) {
+  if (scale <= 0) throw std::invalid_argument("FsmGelu: scale must be positive");
+  if (n_states == 0) {
+    // Match the Stanh slope to Phi(1.702 x): tanh(N q / 2) with q = x / scale
+    // should approximate tanh(0.851 x), so N ~ 1.702 * scale.
+    n_states = std::max(2, 2 * static_cast<int>(std::lround(1.702 * scale / 2.0)));
+  }
+  n_states_ = n_states;
+}
+
+double FsmGelu::eval(double x, std::size_t bsl, RandomSource& src, RandomSource& src_zero) {
+  const StochStream xs = StochStream::encode(x, bsl, StochFormat::kBipolar, scale_, src);
+  // p = 0.5 "bipolar zero" reference: a toggle flip-flop in hardware, exactly
+  // balanced (an LFSR window of 128 bits can be several percent off, which
+  // would bias the MUX output); src_zero only picks the toggle phase.
+  BitVec zero(bsl);
+  const bool phase = (src_zero.next() & 1u) != 0;
+  for (std::size_t t = 0; t < bsl; ++t) zero.set(t, ((t & 1u) != 0) == phase);
+  FsmTanh fsm(n_states_);
+  std::size_t ones = 0;
+  for (std::size_t t = 0; t < bsl; ++t) {
+    const bool xb = xs.bits.get(t);
+    const bool gate = fsm.step(xb);  // P(gate) ~ Phi(1.702 x)
+    const bool yb = gate ? xb : zero.get(t);
+    ones += yb ? 1 : 0;
+  }
+  const double p = static_cast<double>(ones) / static_cast<double>(bsl);
+  return scale_ * (2.0 * p - 1.0);
+}
+
+FsmRelu::FsmRelu(double scale, int n_states) : scale_(scale), n_states_(n_states) {
+  if (scale <= 0) throw std::invalid_argument("FsmRelu: scale must be positive");
+}
+
+double FsmRelu::eval(double x, std::size_t bsl, RandomSource& src, RandomSource& src_zero) {
+  const StochStream xs = StochStream::encode(x, bsl, StochFormat::kBipolar, scale_, src);
+  BitVec zero(bsl);
+  const bool phase = (src_zero.next() & 1u) != 0;
+  for (std::size_t t = 0; t < bsl; ++t) zero.set(t, ((t & 1u) != 0) == phase);
+  FsmTanh sign_fsm(n_states_);  // steep tanh ~ sign(x)
+  std::size_t ones = 0;
+  for (std::size_t t = 0; t < bsl; ++t) {
+    const bool xb = xs.bits.get(t);
+    const bool gate = sign_fsm.step(xb);
+    const bool yb = gate ? xb : zero.get(t);
+    ones += yb ? 1 : 0;
+  }
+  const double p = static_cast<double>(ones) / static_cast<double>(bsl);
+  return scale_ * (2.0 * p - 1.0);
+}
+
+}  // namespace ascend::sc

@@ -1,0 +1,90 @@
+#pragma once
+// fsm_units.h — FSM / saturating-counter SC nonlinear units (baselines).
+//
+// The classic serial-SC approach ([6]-[9]) realises nonlinear functions with
+// a saturating up/down counter driven by the bipolar input stream:
+//
+//   * FsmTanh  — Brown & Card "Stanh": N-state counter, output 1 when the
+//                state is in the upper half; P(out=1) ~ (1 + tanh(N x / 2))/2.
+//   * FsmExp   — "Sexp": output 0 only in the top G states;
+//                P(out=1) ~ exp(-2 G x) for x >= 0.
+//   * FsmGelu  — GELU baseline assembled the way serial-SC CNN accelerators
+//                build activation functions: a Stanh FSM estimates the
+//                Gaussian CDF gate Phi(1.702 x) and a MUX multiplies the
+//                input stream by it (select = FSM output, else a p = 0.5
+//                "zero" stream). For negative inputs the gate probability
+//                saturates and the output collapses to 0 — the systematic
+//                error of Fig. 2(a); short streams add random fluctuation.
+//   * FsmRelu  — same construction with a sign-tracking gate.
+//
+// These units are intentionally faithful to the baselines' weaknesses
+// (correlation between the FSM state and the input stream included).
+
+#include <cstdint>
+
+#include "sc/stoch_stream.h"
+
+namespace ascend::sc {
+
+/// Brown–Card saturating-counter tanh FSM.
+class FsmTanh {
+ public:
+  explicit FsmTanh(int n_states);
+  /// Consume one bipolar input bit; returns the output bit for this cycle
+  /// (computed from the state *before* the update, which slightly
+  /// decorrelates output and input as in the standard designs).
+  bool step(bool in_bit);
+  void reset();
+  int n_states() const { return n_states_; }
+
+ private:
+  int n_states_;
+  int state_;
+};
+
+/// Brown–Card exponential FSM: P(out) ~ exp(-2G x) for bipolar x in [0, 1].
+class FsmExp {
+ public:
+  FsmExp(int n_states, int g);
+  bool step(bool in_bit);
+  void reset();
+
+ private:
+  int n_states_;
+  int g_;
+  int state_;
+};
+
+/// Serial FSM-based GELU baseline.
+class FsmGelu {
+ public:
+  /// `scale` is the bipolar encoding scale of the input (x in [-scale, scale]).
+  /// `n_states` is chosen so that the Stanh slope matches Phi(1.702 x):
+  /// N ~ 1.702 * scale (rounded to an even count).
+  explicit FsmGelu(double scale, int n_states = 0);
+
+  /// Evaluate at `x` with a `bsl`-bit stream; returns the decoded output.
+  /// Randomness for the input SNG and the zero stream comes from `src` /
+  /// `src_zero` (must be independent sources).
+  double eval(double x, std::size_t bsl, RandomSource& src, RandomSource& src_zero);
+
+  double scale() const { return scale_; }
+  int n_states() const { return n_states_; }
+
+ private:
+  double scale_;
+  int n_states_;
+};
+
+/// Serial FSM-based ReLU baseline (sign-gated MUX, as in HEIF [9]).
+class FsmRelu {
+ public:
+  explicit FsmRelu(double scale, int n_states = 8);
+  double eval(double x, std::size_t bsl, RandomSource& src, RandomSource& src_zero);
+
+ private:
+  double scale_;
+  int n_states_;
+};
+
+}  // namespace ascend::sc

@@ -1,0 +1,134 @@
+#include "sc/gate_si.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace ascend::sc {
+namespace {
+
+int quantize_out(double y, int lout, double alpha_out) {
+  const int n = static_cast<int>(std::lround(y / alpha_out + lout / 2.0));
+  return std::clamp(n, 0, lout);
+}
+
+double grid_value(int n, int l, double alpha) { return alpha * (n - l / 2.0); }
+
+}  // namespace
+
+double gelu_exact(double x) { return 0.5 * x * (1.0 + std::erf(x / std::sqrt(2.0))); }
+
+GateAssistedSI::GateAssistedSI(int lin, int lout, double alpha_in, double alpha_out,
+                               std::vector<int> table)
+    : lin_(lin), lout_(lout), alpha_in_(alpha_in), alpha_out_(alpha_out), table_(std::move(table)) {
+  if (lin_ <= 0 || lout_ <= 0) throw std::invalid_argument("GateAssistedSI: BSLs must be positive");
+  if (static_cast<int>(table_.size()) != lin_ + 1)
+    throw std::invalid_argument("GateAssistedSI: table must have Lin+1 entries");
+  for (int v : table_)
+    if (v < 0 || v > lout_) throw std::invalid_argument("GateAssistedSI: table entry range");
+
+  wire_ivs_.resize(static_cast<std::size_t>(lout_));
+  for (int w = 0; w < lout_; ++w) {
+    auto& ivs = wire_ivs_[static_cast<std::size_t>(w)];
+    int start = -1;
+    for (int n = 0; n <= lin_; ++n) {
+      const bool on = table_[static_cast<std::size_t>(n)] > w;
+      if (on && start < 0) start = n;
+      if (!on && start >= 0) {
+        ivs.push_back({start, n - 1});
+        start = -1;
+      }
+    }
+    if (start >= 0) ivs.push_back({start, lin_});
+  }
+}
+
+int GateAssistedSI::total_intervals() const {
+  int total = 0;
+  for (const auto& ivs : wire_ivs_) total += static_cast<int>(ivs.size());
+  return total;
+}
+
+ThermValue GateAssistedSI::apply(const ThermValue& x) const {
+  if (x.length != lin_) throw std::invalid_argument("GateAssistedSI::apply: BSL mismatch");
+  return ThermValue{table_[static_cast<std::size_t>(x.ones)], lout_, alpha_out_};
+}
+
+ThermStream GateAssistedSI::apply(const ThermStream& x) const {
+  if (x.length() != lin_) throw std::invalid_argument("GateAssistedSI::apply: BSL mismatch");
+  if (!x.is_canonical()) throw std::invalid_argument("GateAssistedSI::apply: input must be canonical");
+  // Threshold signals: s_p = [n >= p]; s_0 is the constant 1 wire.
+  auto s = [&](int p) -> bool {
+    if (p <= 0) return true;
+    if (p > lin_) return false;
+    return x.bits.get(static_cast<std::size_t>(p - 1));
+  };
+  ThermStream out;
+  out.alpha = alpha_out_;
+  out.bits = BitVec(static_cast<std::size_t>(lout_));
+  for (int w = 0; w < lout_; ++w) {
+    bool bit = false;
+    for (const auto& iv : wire_ivs_[static_cast<std::size_t>(w)]) {
+      // I = s_begin & !s_{end+1}; the upper term vanishes when end == Lin.
+      if (s(iv.begin) && !s(iv.end + 1)) {
+        bit = true;
+        break;
+      }
+    }
+    out.bits.set(static_cast<std::size_t>(w), bit);
+  }
+  return out;
+}
+
+double GateAssistedSI::transfer(double x) const {
+  const ThermValue in = ThermValue::encode(x, lin_, alpha_in_);
+  return apply(in).value();
+}
+
+GateAssistedSI GateAssistedSI::synthesize(const std::function<double(double)>& f, int lin, int lout,
+                                          double alpha_in, double alpha_out) {
+  std::vector<int> table(static_cast<std::size_t>(lin) + 1);
+  for (int n = 0; n <= lin; ++n)
+    table[static_cast<std::size_t>(n)] = quantize_out(f(grid_value(n, lin, alpha_in)), lout, alpha_out);
+  return GateAssistedSI(lin, lout, alpha_in, alpha_out, std::move(table));
+}
+
+GateAssistedSI GateAssistedSI::ternary_gelu(double alpha_in, double alpha_out) {
+  // Fig. 4: as the input count grows the output code steps 0 -> -1 -> 0 -> +1,
+  // i.e. the output ones-count steps 1 -> 0 -> 1 -> 2. Selection signals fire
+  // at input counts 2, 4 and 7 (s[2], s[1], s[0] in the paper's naming).
+  std::vector<int> table = {1, 1, 0, 0, 1, 1, 1, 2, 2};
+  return GateAssistedSI(8, 2, alpha_in, alpha_out, std::move(table));
+}
+
+GateAssistedSI make_gelu_block(int b, double input_lo, double input_hi, int input_bsl) {
+  if (b < 2) throw std::invalid_argument("make_gelu_block: data BSL must be >= 2");
+  const double max_abs = std::max(std::fabs(input_lo), std::fabs(input_hi));
+  const double alpha_in = 2.0 * max_abs / input_bsl;
+
+  // Designer's choice of the output scaling factor: scan candidates and keep
+  // the one minimising the mean |quantized - exact| over the in-range grid.
+  double best_alpha = 1.0, best_err = std::numeric_limits<double>::infinity();
+  for (int c = 1; c <= 400; ++c) {
+    const double alpha = 0.005 * c;
+    double err = 0.0;
+    int cnt = 0;
+    for (int n = 0; n <= input_bsl; ++n) {
+      const double x = grid_value(n, input_bsl, alpha_in);
+      if (x < input_lo - 1e-12 || x > input_hi + 1e-12) continue;
+      const double g = gelu_exact(x);
+      const double q = grid_value(quantize_out(g, b, alpha), b, alpha);
+      err += std::fabs(q - g);
+      ++cnt;
+    }
+    err /= std::max(1, cnt);
+    if (err < best_err) {
+      best_err = err;
+      best_alpha = alpha;
+    }
+  }
+  return GateAssistedSI::synthesize(gelu_exact, input_bsl, b, alpha_in, best_alpha);
+}
+
+}  // namespace ascend::sc

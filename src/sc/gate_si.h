@@ -1,0 +1,84 @@
+#pragma once
+// gate_si.h — Gate-Assisted Selective Interconnect (ASCEND Section IV-A).
+//
+// Naive SI can only realise monotone count maps because each output wire is
+// connected straight to one input wire. ASCEND adds a few combinational
+// gates behind the selected wires so that each output bit becomes a small
+// logic function of threshold signals s_p = [n >= p], which makes *arbitrary*
+// count maps m(n) realisable — in particular the non-monotone GELU.
+//
+// Synthesis used here: output wire w carries the indicator I_w(n) = [m(n) > w].
+// Over n = 0..Lin, I_w is a union of maximal intervals [a, b]; each interval
+// costs one AND + one NOT (I = OR of s_a & !s_{b+1}), so the assist-gate cost
+// is proportional to the total number of intervals. The output bundle count
+// is sum_w I_w(n) = m(n) for every n, as required; the bundle need not be in
+// canonical order (a following BSN re-sorts it, exactly as in the paper's
+// datapath).
+//
+// The ternary GELU of Fig. 4 (8-bit input, 2-bit output, assist logic
+// y[1] = !(s[2] & !s[1]), y[0] = s[0]) is provided as a named constructor and
+// verified bit-for-bit against the paper's truth table in the tests.
+
+#include <functional>
+#include <vector>
+
+#include "sc/therm_arith.h"
+#include "sc/therm_stream.h"
+
+namespace ascend::sc {
+
+class GateAssistedSI {
+ public:
+  /// `table[n]` is the output ones-count for input ones-count n — arbitrary
+  /// values in [0, Lout], no monotonicity requirement.
+  GateAssistedSI(int lin, int lout, double alpha_in, double alpha_out, std::vector<int> table);
+
+  int lin() const { return lin_; }
+  int lout() const { return lout_; }
+  double alpha_in() const { return alpha_in_; }
+  double alpha_out() const { return alpha_out_; }
+  const std::vector<int>& table() const { return table_; }
+
+  /// Total number of "on" intervals across all output wires; the hardware
+  /// cost model charges the assist gates proportionally to this.
+  int total_intervals() const;
+
+  /// Count-level evaluation.
+  ThermValue apply(const ThermValue& x) const;
+  /// Bit-level evaluation through the interval logic on threshold signals.
+  /// The output bundle is NOT sorted; only its count is meaningful.
+  ThermStream apply(const ThermStream& x) const;
+  /// Decoded transfer function at input value `x` (including input encoding).
+  double transfer(double x) const;
+
+  /// Quantize an arbitrary `f` onto the grid (this is how the GELU blocks of
+  /// Table III are produced).
+  static GateAssistedSI synthesize(const std::function<double(double)>& f, int lin, int lout,
+                                   double alpha_in, double alpha_out);
+
+  /// The exact ternary GELU block of Fig. 4: Lin = 8, Lout = 2.
+  static GateAssistedSI ternary_gelu(double alpha_in = 1.0, double alpha_out = 1.0);
+
+ private:
+  struct Interval {
+    int begin;  // first n with I_w = 1
+    int end;    // last n with I_w = 1 (inclusive)
+  };
+
+  int lin_, lout_;
+  double alpha_in_, alpha_out_;
+  std::vector<int> table_;                       // size lin_+1
+  std::vector<std::vector<Interval>> wire_ivs_;  // per output wire
+};
+
+/// Reference GELU (exact erf form), used as the synthesis target everywhere.
+double gelu_exact(double x);
+
+/// Build the standard ASCEND GELU block for a given data BSL `b`:
+/// 16-bit (residual-precision) input covering `input_range`, b-bit output with
+/// the output scale chosen to minimise MAE of the quantized GELU over the
+/// input grid.
+GateAssistedSI make_gelu_block(int b, double input_lo = -3.0, double input_hi = 0.5,
+                               int input_bsl = 16);
+
+}  // namespace ascend::sc

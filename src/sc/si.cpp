@@ -1,0 +1,118 @@
+#include "sc/si.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ascend::sc {
+namespace {
+
+int quantize_out(double y, int lout, double alpha_out) {
+  const int n = static_cast<int>(std::lround(y / alpha_out + lout / 2.0));
+  return std::clamp(n, 0, lout);
+}
+
+double grid_value(int n, int l, double alpha) { return alpha * (n - l / 2.0); }
+
+}  // namespace
+
+SelectiveInterconnect::SelectiveInterconnect(int lin, int lout, double alpha_in, double alpha_out,
+                                             std::vector<int> table)
+    : lin_(lin), lout_(lout), alpha_in_(alpha_in), alpha_out_(alpha_out), table_(std::move(table)) {
+  if (lin_ <= 0 || lout_ <= 0) throw std::invalid_argument("SI: BSLs must be positive");
+  if (static_cast<int>(table_.size()) != lin_ + 1)
+    throw std::invalid_argument("SI: table must have Lin+1 entries");
+  int prev = 0;
+  for (int n = 0; n <= lin_; ++n) {
+    if (table_[n] < 0 || table_[n] > lout_) throw std::invalid_argument("SI: table entry range");
+    if (table_[n] < prev) throw std::invalid_argument("SI: table must be monotone non-decreasing");
+    prev = table_[n];
+  }
+  // t_j = smallest input count with output count > j.
+  thresholds_.assign(lout_, lin_ + 1);
+  for (int j = 0; j < lout_; ++j)
+    for (int n = 0; n <= lin_; ++n)
+      if (table_[n] > j) {
+        thresholds_[j] = n;
+        break;
+      }
+}
+
+ThermValue SelectiveInterconnect::apply(const ThermValue& x) const {
+  if (x.length != lin_) throw std::invalid_argument("SI::apply: BSL mismatch");
+  return ThermValue{table_[x.ones], lout_, alpha_out_};
+}
+
+ThermStream SelectiveInterconnect::apply(const ThermStream& x) const {
+  if (x.length() != lin_) throw std::invalid_argument("SI::apply: BSL mismatch");
+  if (!x.is_canonical()) throw std::invalid_argument("SI::apply: input must be canonical");
+  ThermStream out;
+  out.alpha = alpha_out_;
+  out.bits = BitVec(static_cast<std::size_t>(lout_));
+  for (int j = 0; j < lout_; ++j) {
+    const int t = thresholds_[j];
+    bool bit = false;
+    if (t == 0)
+      bit = true;  // constant-1 wire
+    else if (t <= lin_)
+      bit = x.bits.get(static_cast<std::size_t>(t - 1));  // [n >= t]
+    out.bits.set(static_cast<std::size_t>(j), bit);
+  }
+  return out;
+}
+
+double SelectiveInterconnect::transfer(double x) const {
+  const ThermValue in = ThermValue::encode(x, lin_, alpha_in_);
+  return apply(in).value();
+}
+
+SelectiveInterconnect SelectiveInterconnect::synthesize_monotone(
+    const std::function<double(double)>& f, int lin, int lout, double alpha_in, double alpha_out) {
+  std::vector<int> table(static_cast<std::size_t>(lin) + 1);
+  int prev = 0;
+  for (int n = 0; n <= lin; ++n) {
+    const int m = quantize_out(f(grid_value(n, lin, alpha_in)), lout, alpha_out);
+    if (m < prev)
+      throw std::invalid_argument("synthesize_monotone: target is not monotone on this grid");
+    table[static_cast<std::size_t>(n)] = m;
+    prev = m;
+  }
+  return SelectiveInterconnect(lin, lout, alpha_in, alpha_out, std::move(table));
+}
+
+SelectiveInterconnect SelectiveInterconnect::synthesize_best_monotone(
+    const std::function<double(double)>& f, int lin, int lout, double alpha_in, double alpha_out) {
+  // Pool-adjacent-violators over the quantization grid values.
+  const int npts = lin + 1;
+  std::vector<double> y(static_cast<std::size_t>(npts));
+  for (int n = 0; n < npts; ++n) y[static_cast<std::size_t>(n)] = f(grid_value(n, lin, alpha_in));
+
+  struct Block {
+    double sum;
+    int count;
+  };
+  std::vector<Block> blocks;
+  blocks.reserve(static_cast<std::size_t>(npts));
+  for (int n = 0; n < npts; ++n) {
+    blocks.push_back({y[static_cast<std::size_t>(n)], 1});
+    while (blocks.size() >= 2) {
+      auto& b = blocks[blocks.size() - 1];
+      auto& a = blocks[blocks.size() - 2];
+      if (a.sum / a.count <= b.sum / b.count) break;
+      a.sum += b.sum;
+      a.count += b.count;
+      blocks.pop_back();
+    }
+  }
+  std::vector<int> table;
+  table.reserve(static_cast<std::size_t>(npts));
+  int prev = 0;
+  for (const auto& b : blocks) {
+    const int m = std::max(prev, quantize_out(b.sum / b.count, lout, alpha_out));
+    for (int i = 0; i < b.count; ++i) table.push_back(m);
+    prev = m;
+  }
+  return SelectiveInterconnect(lin, lout, alpha_in, alpha_out, std::move(table));
+}
+
+}  // namespace ascend::sc

@@ -1,0 +1,60 @@
+#pragma once
+// si.h — naive Selective Interconnect (SI) nonlinear function units.
+//
+// SI ([5], [15]) computes a nonlinear function of a thermometer-coded number
+// purely by *wiring*: output wire j is connected to input wire t_j - 1, so
+// output bit j = [n >= t_j]. Because each output bit can only turn on as the
+// input count grows, naive SI realises exactly the monotone non-decreasing
+// count maps — ReLU and sigmoid work, GELU does not (Section III-A of the
+// paper). `synthesize_best_monotone` produces the best monotone fit of an
+// arbitrary target (pool-adjacent-violators isotonic regression), which is
+// the "naive SI" baseline of Fig. 2(c).
+
+#include <functional>
+#include <vector>
+
+#include "sc/therm_arith.h"
+#include "sc/therm_stream.h"
+
+namespace ascend::sc {
+
+class SelectiveInterconnect {
+ public:
+  /// `table[n]` is the output ones-count for input ones-count n, n = 0..Lin.
+  /// Must be monotone non-decreasing with entries in [0, Lout].
+  SelectiveInterconnect(int lin, int lout, double alpha_in, double alpha_out,
+                        std::vector<int> table);
+
+  int lin() const { return lin_; }
+  int lout() const { return lout_; }
+  double alpha_in() const { return alpha_in_; }
+  double alpha_out() const { return alpha_out_; }
+  const std::vector<int>& table() const { return table_; }
+
+  /// Count-level evaluation.
+  ThermValue apply(const ThermValue& x) const;
+  /// Bit-level evaluation: pure wiring from a canonical input bundle.
+  ThermStream apply(const ThermStream& x) const;
+  /// Decoded transfer function at input value `x` (including input encoding).
+  double transfer(double x) const;
+
+  /// Quantize `f` onto the SI grid; throws if the quantized map is not
+  /// monotone (use synthesize_best_monotone for such targets).
+  static SelectiveInterconnect synthesize_monotone(const std::function<double(double)>& f, int lin,
+                                                   int lout, double alpha_in, double alpha_out);
+
+  /// Best monotone approximation of an arbitrary `f` (isotonic regression via
+  /// pool-adjacent-violators), then quantized onto the SI grid. This is the
+  /// "naive SI" GELU baseline of Fig. 2(c).
+  static SelectiveInterconnect synthesize_best_monotone(const std::function<double(double)>& f,
+                                                        int lin, int lout, double alpha_in,
+                                                        double alpha_out);
+
+ private:
+  int lin_, lout_;
+  double alpha_in_, alpha_out_;
+  std::vector<int> table_;       // size lin_+1
+  std::vector<int> thresholds_;  // t_j per output wire; Lin+1 means "never on"
+};
+
+}  // namespace ascend::sc

@@ -1,0 +1,96 @@
+#include "sc/sng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ascend::sc {
+namespace {
+
+// Tap masks for maximal-length Fibonacci LFSRs, width 3..24.
+// Bit i of the mask taps register bit i (LSB = newest bit).
+constexpr std::uint32_t kTaps[] = {
+    0,          0,          0,
+    0x6,        0xC,        0x14,       0x30,       0x60,
+    0xB8,       0x110,      0x240,      0x500,      0xE08,
+    0x1C80,     0x3802,     0x6000,     0xD008,     0x12000,
+    0x20400,    0x72000,    0x90000,    0x140000,   0x300000,
+    0x420000,   0xE10000,
+};
+
+}  // namespace
+
+Lfsr::Lfsr(int width, std::uint32_t seed) : width_(width) {
+  if (width < 3 || width > 24) throw std::invalid_argument("Lfsr: width must be in [3,24]");
+  taps_ = kTaps[width];
+  state_ = seed & (range() - 1);
+  if (state_ == 0) state_ = 1;
+  // Warm-up: a small seed takes ~width shifts to fill the register, during
+  // which the output values are strongly biased low. Discard that transient
+  // so short streams are usable from the first bit.
+  for (int i = 0; i < 4 * width_; ++i) next();
+}
+
+std::uint32_t Lfsr::next() {
+  // Fibonacci form: XOR of tapped bits becomes the new LSB.
+  std::uint32_t feedback = 0;
+  std::uint32_t tapped = state_ & taps_;
+  while (tapped) {
+    feedback ^= tapped & 1u;
+    tapped >>= 1;
+  }
+  state_ = ((state_ << 1) | feedback) & (range() - 1);
+  if (state_ == 0) state_ = 1;  // unreachable for maximal taps, defensive
+  // Read the register bit-reversed (free in hardware: wire permutation).
+  // Consecutive raw states are related by a shift, so short windows of the
+  // raw value cluster below/above a comparator threshold; the reversal
+  // breaks that correlation and makes short-BSL streams usable.
+  std::uint32_t v = state_;
+  std::uint32_t r = 0;
+  for (int i = 0; i < width_; ++i) {
+    r = (r << 1) | (v & 1u);
+    v >>= 1;
+  }
+  return r;
+}
+
+VanDerCorput::VanDerCorput(int width, std::uint32_t start) : width_(width), counter_(start) {
+  if (width < 1 || width > 31) throw std::invalid_argument("VanDerCorput: width in [1,31]");
+}
+
+std::uint32_t VanDerCorput::next() {
+  std::uint32_t x = counter_++;
+  std::uint32_t r = 0;
+  for (int i = 0; i < width_; ++i) {
+    r = (r << 1) | (x & 1u);
+    x >>= 1;
+  }
+  return r;
+}
+
+BitVec generate_stream(double p, std::size_t length, RandomSource& src) {
+  p = std::clamp(p, 0.0, 1.0);
+  const double threshold = p * static_cast<double>(src.range());
+  BitVec out(length);
+  for (std::size_t i = 0; i < length; ++i) out.set(i, static_cast<double>(src.next()) < threshold);
+  return out;
+}
+
+BitVec generate_even_stream(double p, std::size_t length) {
+  p = std::clamp(p, 0.0, 1.0);
+  const auto ones = static_cast<std::size_t>(std::lround(p * static_cast<double>(length)));
+  BitVec out(length);
+  // Evenly space `ones` 1s: emit a 1 whenever the running error accumulator
+  // crosses the next integer (Bresenham-style).
+  std::size_t acc = 0;
+  for (std::size_t i = 0; i < length; ++i) {
+    acc += ones;
+    if (acc >= length) {
+      acc -= length;
+      out.set(i, true);
+    }
+  }
+  return out;
+}
+
+}  // namespace ascend::sc

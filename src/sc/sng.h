@@ -1,0 +1,93 @@
+#pragma once
+// sng.h — stochastic number generators (SNGs).
+//
+// Classic (non-deterministic) SC encodes a value as the probability of 1s in
+// a pseudo-random bitstream. The SNG compares a pseudo-random sequence with a
+// binary threshold; the paper's FSM / Bernstein / FSM-softmax baselines all
+// consume such streams. Three generators are provided:
+//
+//  * Lfsr              — maximal-length linear feedback shift register, the
+//                        standard low-cost hardware randomness source;
+//  * VanDerCorput      — base-2 low-discrepancy counter (a.k.a. "reversed
+//                        counter" SNG) giving quasi-deterministic streams with
+//                        lower fluctuation for the same bitstream length;
+//  * CounterComparator — plain binary counter + comparator, producing an
+//                        evenly spaced deterministic stream.
+
+#include <cstdint>
+
+#include "sc/bitvec.h"
+
+namespace ascend::sc {
+
+/// Maximal-length Fibonacci LFSR with width 3..24 bits.
+class Lfsr {
+ public:
+  /// `width` selects the register length; `seed` must be non-zero after
+  /// masking to `width` bits (a zero seed is silently replaced by 1).
+  explicit Lfsr(int width = 16, std::uint32_t seed = 0xACE1u);
+
+  /// Advance one step and return the new register state in [1, 2^width - 1].
+  std::uint32_t next();
+
+  int width() const { return width_; }
+  /// Exclusive upper bound of next(): 2^width.
+  std::uint32_t range() const { return std::uint32_t{1} << width_; }
+
+ private:
+  int width_;
+  std::uint32_t state_;
+  std::uint32_t taps_;
+};
+
+/// Base-2 Van der Corput sequence generator: returns bit-reversed counter
+/// values, uniformly filling [0, 2^width) with low discrepancy.
+class VanDerCorput {
+ public:
+  explicit VanDerCorput(int width = 16, std::uint32_t start = 0);
+  std::uint32_t next();
+  std::uint32_t range() const { return std::uint32_t{1} << width_; }
+
+ private:
+  int width_;
+  std::uint32_t counter_;
+};
+
+/// Abstract source of uniform integers for SNG comparison.
+class RandomSource {
+ public:
+  virtual ~RandomSource() = default;
+  virtual std::uint32_t next() = 0;
+  virtual std::uint32_t range() const = 0;
+};
+
+/// RandomSource adaptors.
+class LfsrSource final : public RandomSource {
+ public:
+  explicit LfsrSource(int width = 16, std::uint32_t seed = 0xACE1u) : lfsr_(width, seed) {}
+  std::uint32_t next() override { return lfsr_.next(); }
+  std::uint32_t range() const override { return lfsr_.range(); }
+
+ private:
+  Lfsr lfsr_;
+};
+
+class VdcSource final : public RandomSource {
+ public:
+  explicit VdcSource(int width = 16, std::uint32_t start = 0) : vdc_(width, start) {}
+  std::uint32_t next() override { return vdc_.next(); }
+  std::uint32_t range() const override { return vdc_.range(); }
+
+ private:
+  VanDerCorput vdc_;
+};
+
+/// Generate a `length`-bit stream whose probability of 1s approximates `p`
+/// (clamped to [0,1]) by comparing `src` against the threshold p * range.
+BitVec generate_stream(double p, std::size_t length, RandomSource& src);
+
+/// Deterministic counter-comparator stream: exactly round(p * length) ones,
+/// evenly spaced across the stream.
+BitVec generate_even_stream(double p, std::size_t length);
+
+}  // namespace ascend::sc

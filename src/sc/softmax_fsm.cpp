@@ -1,0 +1,71 @@
+#include "sc/softmax_fsm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "sc/fsm_units.h"
+#include "sc/softmax_iter.h"
+#include "sc/stoch_stream.h"
+
+namespace ascend::sc {
+
+std::vector<double> softmax_fsm(const std::vector<double>& x, const FsmSoftmaxConfig& cfg) {
+  if (static_cast<int>(x.size()) != cfg.m)
+    throw std::invalid_argument("softmax_fsm: input size != m");
+  if (cfg.bsl < 1 || cfg.quotient_bits < 1)
+    throw std::invalid_argument("softmax_fsm: bad configuration");
+
+  // Binary front-end: subtract the row maximum so every input is <= 0 and the
+  // exponential FSM operates in its valid region.
+  const double mx = *std::max_element(x.begin(), x.end());
+
+  std::vector<long long> counts(x.size(), 0);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double shifted = std::max(x[i] - mx, -cfg.scale);
+    // The FSM approximates exp(-2G v) for the bipolar value v of its input
+    // stream, so feed v = -shifted/scale >= 0; the effective temperature is
+    // scale / (2 g).
+    LfsrSource src(16, static_cast<std::uint32_t>(cfg.seed + 0x9E37 * (i + 1)));
+    const StochStream s = StochStream::encode(-shifted, static_cast<std::size_t>(cfg.bsl),
+                                              StochFormat::kBipolar, cfg.scale, src);
+    FsmExp fsm(cfg.n_states, cfg.g);
+    long long ones = 0;
+    for (int t = 0; t < cfg.bsl; ++t) ones += fsm.step(s.bits.get(static_cast<std::size_t>(t))) ? 1 : 0;
+    counts[i] = ones;  // SC -> binary conversion (counter)
+  }
+
+  // Shift normalization: instead of a true divider, the design scales every
+  // count by the power of two just above the largest count (leading-one
+  // detector + barrel shifter), then truncates to `quotient_bits`. Relative
+  // order is preserved exactly; absolute values are not softmax-normalised,
+  // which is the baseline's dominant (BSL-independent) error.
+  long long cmax = 0;
+  for (long long c : counts) cmax = std::max(cmax, c);
+  long long denom = 1;
+  while (denom < cmax) denom <<= 1;
+  const long long qmax = (1LL << cfg.quotient_bits);
+  std::vector<double> y(x.size(), 0.0);
+  if (cmax > 0) {
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const long long q = counts[i] * qmax / denom;  // shift + truncate
+      y[i] = static_cast<double>(q) / static_cast<double>(qmax);
+    }
+  }
+  return y;
+}
+
+double softmax_fsm_mae(const FsmSoftmaxConfig& cfg, int rows, std::uint64_t seed) {
+  const auto logits = sample_attention_logits(cfg.m, rows, seed);
+  double total = 0.0;
+  FsmSoftmaxConfig per_row = cfg;
+  for (std::size_t r = 0; r < logits.size(); ++r) {
+    per_row.seed = cfg.seed + 0x1234567ULL * r;
+    const auto ref = softmax_exact(logits[r]);
+    const auto got = softmax_fsm(logits[r], per_row);
+    for (std::size_t i = 0; i < ref.size(); ++i) total += std::fabs(got[i] - ref[i]);
+  }
+  return total / (static_cast<double>(rows) * cfg.m);
+}
+
+}  // namespace ascend::sc

@@ -1,0 +1,39 @@
+#pragma once
+// softmax_fsm.h — FSM-based softmax baseline ([17], also [16]).
+//
+// These designs accelerate softmax for CNN classifier heads with a hybrid
+// datapath: a binary front-end subtracts the row maximum, each shifted input
+// is converted to a stochastic bitstream, an exponential FSM produces the
+// exp() stream, and a counter converts back to binary. True division is the
+// expensive part such designs avoid: normalization is approximated by a
+// power-of-two shift against the largest count (leading-one detector +
+// shifter). The result preserves the relative order of the outputs exactly
+// but the values carry a large, BSL-independent systematic error — matching
+// the paper's characterisation ("only the relative order of outputs is
+// preserved while the computed values still exhibit a large error") and its
+// Table IV numbers (MAE ~0.1, nearly flat from 128b to 1024b).
+
+#include <cstdint>
+#include <vector>
+
+namespace ascend::sc {
+
+struct FsmSoftmaxConfig {
+  int m = 64;          ///< row-vector length
+  int bsl = 128;       ///< bitstream length per element
+  int n_states = 16;   ///< exponential FSM state count
+  int g = 2;           ///< exponential FSM output-region parameter
+  double scale = 4.0;  ///< bipolar encoding scale of the (max-shifted) inputs
+  int quotient_bits = 6;  ///< output precision after the shift normalization
+  std::uint64_t seed = 0x5EEDBA5Eu;  ///< per-row SNG seeding base
+};
+
+/// Evaluate the FSM-based softmax baseline on one row.
+std::vector<double> softmax_fsm(const std::vector<double>& x, const FsmSoftmaxConfig& cfg);
+
+/// Mean absolute error against exact softmax over `rows` test vectors drawn
+/// from the attention-logit distribution (same protocol as the iterative
+/// block, see softmax_iter.h).
+double softmax_fsm_mae(const FsmSoftmaxConfig& cfg, int rows, std::uint64_t seed);
+
+}  // namespace ascend::sc

@@ -1,0 +1,192 @@
+#include "sc/softmax_iter.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+namespace ascend::sc {
+namespace {
+
+int len_of(const ThermValue& v) { return v.length; }
+int len_of(const ThermStream& s) { return s.length(); }
+double alpha_of(const ThermValue& v) { return v.alpha; }
+double alpha_of(const ThermStream& s) { return s.alpha; }
+double value_of(const ThermValue& v) { return v.value(); }
+double value_of(const ThermStream& s) { return s.value(); }
+
+ThermValue encode_as(const ThermValue*, double x, int l, double a) {
+  return ThermValue::encode(x, l, a);
+}
+ThermStream encode_as(const ThermStream*, double x, int l, double a) {
+  return ThermStream::encode(x, l, a);
+}
+
+/// Target length for re-gridding a number onto scale `alpha_c`. `cap` bounds
+/// the bundle at the final y range (the closing re-scale would clip anything
+/// beyond it anyway), which keeps the per-unit BSN-2 small — the designer's
+/// range-vs-hardware trade the re-scaling blocks of [15] exist for.
+int alignment_length(double alpha, int length, double alpha_c, int cap) {
+  const double need = alpha * length / alpha_c;
+  int l = static_cast<int>(std::ceil(need - 1e-9));
+  if (l % 2 != 0) ++l;
+  return std::clamp(l, 2, cap);
+}
+
+/// The Fig. 5 datapath, generic over the count-level / bit-level number type.
+template <typename T>
+std::vector<double> run_softmax(const std::vector<double>& x, const SoftmaxIterConfig& cfg) {
+  cfg.validate();
+  if (static_cast<int>(x.size()) != cfg.m)
+    throw std::invalid_argument("softmax_iterative_sc: input size != m");
+  const T* tag = nullptr;
+  const double alpha_c = cfg.alpha_y / cfg.align_expand;
+  const int cap = cfg.by * cfg.align_expand;  // alignment bundles cover the y range
+
+  std::vector<T> xs, ys;
+  xs.reserve(x.size());
+  ys.reserve(x.size());
+  for (int i = 0; i < cfg.m; ++i) {
+    xs.push_back(encode_as(tag, x[static_cast<std::size_t>(i)], cfg.bx, cfg.alpha_x));
+    ys.push_back(encode_as(tag, 1.0 / cfg.m, cfg.by, cfg.alpha_y));
+  }
+
+  for (int j = 0; j < cfg.k; ++j) {
+    // MUL-1: z_i = x_i * y_i.
+    std::vector<T> zs;
+    zs.reserve(ys.size());
+    for (int i = 0; i < cfg.m; ++i)
+      zs.push_back(mult(xs[static_cast<std::size_t>(i)], ys[static_cast<std::size_t>(i)]));
+    // BSN-1: sum(z), output sub-sampled by s1 (centered taps: round-nearest).
+    T ssum = subsample(add(zs), cfg.s1, cfg.centered_subsample);
+
+    std::vector<T> next;
+    next.reserve(ys.size());
+    for (int i = 0; i < cfg.m; ++i) {
+      const T& yi = ys[static_cast<std::size_t>(i)];
+      // MUL-2: y_i * sum(z), output sub-sampled by s2, then negated.
+      T w = negate(subsample(mult(yi, ssum), cfg.s2, cfg.centered_subsample));
+      // Division by the constant k is free: only scales change.
+      T zk = divide_by_const(zs[static_cast<std::size_t>(i)], cfg.k);
+      T wk = divide_by_const(w, cfg.k);
+      // Re-scaling blocks align the three addends on the grid alpha_c.
+      T a = rescale(yi, alignment_length(alpha_of(yi), len_of(yi), alpha_c, cap), alpha_c,
+                    cfg.rescale_max_den);
+      T b = rescale(zk, alignment_length(alpha_of(zk), len_of(zk), alpha_c, cap), alpha_c,
+                    cfg.rescale_max_den);
+      T c = rescale(wk, alignment_length(alpha_of(wk), len_of(wk), alpha_c, cap), alpha_c,
+                    cfg.rescale_max_den);
+      // BSN-2 accumulates, and the closing re-scale returns y to (By, alpha_y).
+      next.push_back(rescale(add({a, b, c}), cfg.by, cfg.alpha_y, cfg.rescale_max_den));
+    }
+    ys = std::move(next);
+  }
+
+  std::vector<double> out(x.size());
+  for (int i = 0; i < cfg.m; ++i) out[static_cast<std::size_t>(i)] = value_of(ys[static_cast<std::size_t>(i)]);
+  return out;
+}
+
+}  // namespace
+
+SoftmaxIterLayout softmax_iter_layout(const SoftmaxIterConfig& cfg) {
+  cfg.validate();
+  SoftmaxIterLayout lay;
+  const double alpha_c = cfg.alpha_y / cfg.align_expand;
+  lay.lz = cfg.bx * cfg.by / 2;
+  lay.lsum = cfg.m * lay.lz;
+  lay.lsum_sub = lay.lsum / cfg.s1;
+  lay.lw = cfg.by * lay.lsum_sub / 2;
+  lay.lw_sub = lay.lw / cfg.s2;
+  const double alpha_z = cfg.alpha_x * cfg.alpha_y;
+  const double alpha_w = alpha_z * cfg.alpha_y * cfg.s1 * cfg.s2;
+  const int cap = cfg.by * cfg.align_expand;
+  lay.la = alignment_length(cfg.alpha_y, cfg.by, alpha_c, cap);
+  lay.lb = alignment_length(alpha_z / cfg.k, lay.lz, alpha_c, cap);
+  lay.lc = alignment_length(alpha_w / cfg.k, lay.lw_sub, alpha_c, cap);
+  lay.lconcat = lay.la + lay.lb + lay.lc;
+  return lay;
+}
+
+void SoftmaxIterConfig::validate() const {
+  if (m < 2) throw std::invalid_argument("SoftmaxIterConfig: m >= 2 required");
+  if (k < 1) throw std::invalid_argument("SoftmaxIterConfig: k >= 1 required");
+  if (bx < 2 || bx % 2 != 0) throw std::invalid_argument("SoftmaxIterConfig: Bx must be even >= 2");
+  if (by < 2 || by % 2 != 0) throw std::invalid_argument("SoftmaxIterConfig: By must be even >= 2");
+  if (alpha_x <= 0 || alpha_y <= 0) throw std::invalid_argument("SoftmaxIterConfig: alphas > 0");
+  if (align_expand < 1) throw std::invalid_argument("SoftmaxIterConfig: align_expand >= 1");
+  const long long lz = static_cast<long long>(bx) * by / 2;
+  const long long lsum = static_cast<long long>(m) * lz;
+  if (s1 < 1 || lsum % s1 != 0)
+    throw std::invalid_argument("SoftmaxIterConfig: s1 must divide m*Bx*By/2");
+  const long long lw = static_cast<long long>(by) * (lsum / s1) / 2;
+  if (s2 < 1 || lw % s2 != 0)
+    throw std::invalid_argument("SoftmaxIterConfig: s2 must divide By*len(sum(z))/2");
+}
+
+std::vector<double> softmax_exact(const std::vector<double>& x) {
+  if (x.empty()) return {};
+  const double mx = *std::max_element(x.begin(), x.end());
+  std::vector<double> y(x.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    y[i] = std::exp(x[i] - mx);
+    sum += y[i];
+  }
+  for (auto& v : y) v /= sum;
+  return y;
+}
+
+std::vector<double> softmax_iterative_ref(const std::vector<double>& x, int k) {
+  if (k < 1) throw std::invalid_argument("softmax_iterative_ref: k >= 1");
+  const std::size_t m = x.size();
+  std::vector<double> y(m, 1.0 / static_cast<double>(m));
+  std::vector<double> z(m);
+  for (int j = 0; j < k; ++j) {
+    double sum_z = 0.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      z[i] = x[i] * y[i];
+      sum_z += z[i];
+    }
+    for (std::size_t i = 0; i < m; ++i) y[i] += (z[i] - y[i] * sum_z) / k;
+  }
+  return y;
+}
+
+std::vector<double> softmax_iterative_sc(const std::vector<double>& x,
+                                         const SoftmaxIterConfig& cfg) {
+  return run_softmax<ThermValue>(x, cfg);
+}
+
+std::vector<double> softmax_iterative_sc_bits(const std::vector<double>& x,
+                                              const SoftmaxIterConfig& cfg) {
+  return run_softmax<ThermStream>(x, cfg);
+}
+
+std::vector<std::vector<double>> sample_attention_logits(int m, int rows, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> gauss(0.0, 1.0);
+  std::uniform_real_distribution<double> temp(0.5, 2.5);
+  std::vector<std::vector<double>> out;
+  out.reserve(static_cast<std::size_t>(rows));
+  for (int r = 0; r < rows; ++r) {
+    const double tau = temp(rng);
+    std::vector<double> row(static_cast<std::size_t>(m));
+    for (auto& v : row) v = gauss(rng) * tau;
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+double softmax_sc_mae(const SoftmaxIterConfig& cfg, int rows, std::uint64_t seed) {
+  const auto logits = sample_attention_logits(cfg.m, rows, seed);
+  double total = 0.0;
+  for (const auto& row : logits) {
+    const auto ref = softmax_exact(row);
+    const auto got = softmax_iterative_sc(row, cfg);
+    for (std::size_t i = 0; i < row.size(); ++i) total += std::fabs(got[i] - ref[i]);
+  }
+  return total / (static_cast<double>(rows) * cfg.m);
+}
+
+}  // namespace ascend::sc

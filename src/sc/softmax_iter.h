@@ -1,0 +1,97 @@
+#pragma once
+// softmax_iter.h — ASCEND's iterative approximate softmax (Section IV-B).
+//
+// Division and exponentiation are hostile to SC, so ASCEND adopts the
+// iterative approximation of [22]: with y(t) = softmax(t x), y(0) = 1/m and
+// y'(t) expressible from y(t), the softmax y(1) is reached by k explicit
+// Euler steps (Algorithm 1):
+//
+//     y0_i = 1/m
+//     for j = 1..k:
+//        z_i  = x_i * y_i
+//        y_i += (z_i - y_i * sum(z)) / k
+//
+// Only multiplications, accumulations and divisions by the *constant* k
+// remain — all cheap in the deterministic thermometer format (dividing by k
+// just divides the scaling factor).
+//
+// The SC circuit (Fig. 5) instantiates per-element compute units around two
+// global structures: BSN-1 sums the z bundle (its output sub-sampled by s1)
+// and BSN-2 performs the per-unit final accumulation after re-scaling blocks
+// align the operand scales; a closing re-scale returns y to (By, alpha_y)
+// for the next iteration. Table II's parameter set
+// [m, k, Bx, alpha_x, By, alpha_y, s1, s2] is exposed in SoftmaxIterConfig
+// (plus the alignment-grid expansion factor used by the re-scaling blocks).
+
+#include <cstdint>
+#include <vector>
+
+#include "sc/therm_arith.h"
+
+namespace ascend::sc {
+
+struct SoftmaxIterConfig {
+  int m = 64;   ///< row-vector length
+  int k = 3;    ///< iteration count
+  int bx = 4;   ///< BSL of x
+  int by = 8;   ///< BSL of y
+  int s1 = 32;  ///< sub-sample rate of sum(z)
+  int s2 = 8;   ///< sub-sample rate of y * sum(z)
+  double alpha_x = 2.0;        ///< scaling factor of x (range +-bx*alpha_x/2)
+  double alpha_y = 1.0 / 64;   ///< scaling factor of y
+  int align_expand = 4;        ///< re-scaling alignment grid: alpha_c = alpha_y / align_expand
+  int rescale_max_den = 64;    ///< rational-approximation bound in re-scaling blocks
+  /// Tap placement of the s1/s2 sub-samplers: centered taps (default) round
+  /// to nearest; end-of-group taps floor. Same wiring cost — the ablation
+  /// bench quantifies the accuracy difference.
+  bool centered_subsample = true;
+
+  /// Throws std::invalid_argument when sub-sample rates do not divide the
+  /// corresponding bundle lengths or any parameter is out of range.
+  void validate() const;
+};
+
+/// Static wiring plan of the Fig. 5 circuit for a configuration: every
+/// internal bundle length, shared between the functional simulation and the
+/// hardware cost model so the two can never drift apart.
+struct SoftmaxIterLayout {
+  int lz = 0;        ///< z_i = x_i * y_i bundle (Bx*By/2)
+  int lsum = 0;      ///< BSN-1 input (m * lz)
+  int lsum_sub = 0;  ///< BSN-1 output after s1 sub-sampling
+  int lw = 0;        ///< MUL-2 output (By * lsum_sub / 2)
+  int lw_sub = 0;    ///< MUL-2 output after s2 sub-sampling
+  int la = 0;        ///< y operand re-gridded on the alignment grid
+  int lb = 0;        ///< z/k operand re-gridded
+  int lc = 0;        ///< -y*sum(z)/k operand re-gridded
+  int lconcat = 0;   ///< BSN-2 input (la + lb + lc)
+};
+SoftmaxIterLayout softmax_iter_layout(const SoftmaxIterConfig& cfg);
+
+/// Exact softmax (reference for MAE).
+std::vector<double> softmax_exact(const std::vector<double>& x);
+
+/// Floating-point Algorithm 1 (isolates the k-truncation error from the SC
+/// quantization errors).
+std::vector<double> softmax_iterative_ref(const std::vector<double>& x, int k);
+
+/// Count-level SC emulation of the Fig. 5 circuit (bit-exact with the
+/// bit-level path below; fast enough for network-level evaluation).
+std::vector<double> softmax_iterative_sc(const std::vector<double>& x,
+                                         const SoftmaxIterConfig& cfg);
+
+/// Bit-level SC emulation through ThermStream / BSN / re-scaling primitives.
+/// Slower; used by the equivalence tests and small-circuit studies.
+std::vector<double> softmax_iterative_sc_bits(const std::vector<double>& x,
+                                              const SoftmaxIterConfig& cfg);
+
+/// Attention-logit test-vector generator following the paper's protocol
+/// (vectors sampled from the overall distribution of ViT softmax inputs):
+/// rows are Gaussian with per-row temperature drawn in [0.5, 2.5], giving a
+/// mixture of flat and peaky rows.
+std::vector<std::vector<double>> sample_attention_logits(int m, int rows, std::uint64_t seed);
+
+/// Mean absolute error of the SC circuit against exact softmax over `rows`
+/// sampled test vectors.
+double softmax_sc_mae(const SoftmaxIterConfig& cfg, int rows, std::uint64_t seed);
+
+}  // namespace ascend::sc

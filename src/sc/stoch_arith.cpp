@@ -1,0 +1,73 @@
+#include "sc/stoch_arith.h"
+
+#include <stdexcept>
+
+namespace ascend::sc {
+namespace {
+
+void check_binary_op(const StochStream& a, const StochStream& b, StochFormat fmt) {
+  if (a.format != fmt || b.format != fmt)
+    throw std::invalid_argument("stoch_arith: wrong stream format");
+  if (a.length() != b.length()) throw std::invalid_argument("stoch_arith: length mismatch");
+}
+
+}  // namespace
+
+StochStream mult_unipolar(const StochStream& a, const StochStream& b) {
+  check_binary_op(a, b, StochFormat::kUnipolar);
+  StochStream out;
+  out.format = StochFormat::kUnipolar;
+  out.scale = a.scale * b.scale;
+  out.bits = a.bits & b.bits;
+  return out;
+}
+
+StochStream mult_bipolar(const StochStream& a, const StochStream& b) {
+  check_binary_op(a, b, StochFormat::kBipolar);
+  StochStream out;
+  out.format = StochFormat::kBipolar;
+  out.scale = a.scale * b.scale;
+  out.bits = ~(a.bits ^ b.bits);
+  return out;
+}
+
+StochStream add_mux(const StochStream& a, const StochStream& b, const BitVec& select) {
+  if (a.format != b.format) throw std::invalid_argument("add_mux: format mismatch");
+  if (a.scale != b.scale) throw std::invalid_argument("add_mux: scale mismatch");
+  if (a.length() != b.length() || a.length() != select.size())
+    throw std::invalid_argument("add_mux: length mismatch");
+  StochStream out;
+  out.format = a.format;
+  out.scale = a.scale;
+  // out = select ? a : b
+  out.bits = (a.bits & select) | (b.bits & ~select);
+  return out;
+}
+
+StochStream add_mux_n(const std::vector<StochStream>& inputs, RandomSource& src) {
+  if (inputs.empty()) throw std::invalid_argument("add_mux_n: no inputs");
+  const std::size_t len = inputs[0].length();
+  for (const auto& s : inputs) {
+    if (s.length() != len) throw std::invalid_argument("add_mux_n: length mismatch");
+    if (s.format != inputs[0].format || s.scale != inputs[0].scale)
+      throw std::invalid_argument("add_mux_n: format/scale mismatch");
+  }
+  const std::size_t n = inputs.size();
+  StochStream out;
+  out.format = inputs[0].format;
+  out.scale = inputs[0].scale;
+  out.bits = BitVec(len);
+  for (std::size_t t = 0; t < len; ++t) {
+    const std::size_t idx = static_cast<std::size_t>(src.next()) % n;
+    out.bits.set(t, inputs[idx].bits.get(t));
+  }
+  return out;
+}
+
+long long apc_accumulate(const std::vector<StochStream>& inputs) {
+  long long total = 0;
+  for (const auto& s : inputs) total += static_cast<long long>(s.bits.count());
+  return total;
+}
+
+}  // namespace ascend::sc

@@ -1,0 +1,40 @@
+#pragma once
+// stoch_arith.h — arithmetic on classic stochastic bitstreams.
+//
+// The standard SC arithmetic gates (see e.g. SC-DCNN [7]):
+//   * unipolar multiply : AND gate,   p_out = p_a * p_b  (independent streams)
+//   * bipolar  multiply : XNOR gate,  x_out = x_a * x_b
+//   * scaled add        : MUX gate,   x_out = (x_a + x_b) / 2 with a p=0.5
+//                         select stream
+//   * accumulation      : accumulative parallel counter (APC) — pops the 1s
+//                         of many parallel streams into a binary sum
+//
+// All operations assume the operand streams are statistically independent;
+// correlated operands produce the well-known SC correlation error, which the
+// baseline circuit models in this repo intentionally exhibit.
+
+#include <vector>
+
+#include "sc/stoch_stream.h"
+
+namespace ascend::sc {
+
+/// AND-gate multiplier for unipolar streams. scales multiply.
+StochStream mult_unipolar(const StochStream& a, const StochStream& b);
+
+/// XNOR-gate multiplier for bipolar streams. scales multiply.
+StochStream mult_bipolar(const StochStream& a, const StochStream& b);
+
+/// MUX-gate scaled adder: out = (a + b) / 2, using `select` as the p=0.5
+/// select stream. Operands must share format and scale.
+StochStream add_mux(const StochStream& a, const StochStream& b, const BitVec& select);
+
+/// MUX-gate scaled adder over n inputs: out = mean(inputs), with the select
+/// index stream drawn from `src`. Operands must share format and scale.
+StochStream add_mux_n(const std::vector<StochStream>& inputs, RandomSource& src);
+
+/// Accumulative parallel counter: per-cycle popcount accumulated over time.
+/// Returns the total number of 1s across all streams (binary result).
+long long apc_accumulate(const std::vector<StochStream>& inputs);
+
+}  // namespace ascend::sc

@@ -1,0 +1,46 @@
+#include "sc/stoch_stream.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ascend::sc {
+namespace {
+
+double to_probability(double x, StochFormat format, double scale) {
+  if (scale <= 0) throw std::invalid_argument("StochStream: scale must be positive");
+  const double u = x / scale;
+  double p = (format == StochFormat::kUnipolar) ? u : (u + 1.0) / 2.0;
+  return std::clamp(p, 0.0, 1.0);
+}
+
+}  // namespace
+
+double StochStream::probability() const {
+  if (bits.empty()) return 0.0;
+  return static_cast<double>(bits.count()) / static_cast<double>(bits.size());
+}
+
+double StochStream::value() const {
+  const double p = probability();
+  return (format == StochFormat::kUnipolar) ? scale * p : scale * (2.0 * p - 1.0);
+}
+
+StochStream StochStream::encode(double x, std::size_t length, StochFormat format, double scale,
+                                RandomSource& src) {
+  StochStream s;
+  s.format = format;
+  s.scale = scale;
+  s.bits = generate_stream(to_probability(x, format, scale), length, src);
+  return s;
+}
+
+StochStream StochStream::encode_even(double x, std::size_t length, StochFormat format,
+                                     double scale) {
+  StochStream s;
+  s.format = format;
+  s.scale = scale;
+  s.bits = generate_even_stream(to_probability(x, format, scale), length);
+  return s;
+}
+
+}  // namespace ascend::sc

@@ -1,0 +1,41 @@
+#pragma once
+// stoch_stream.h — classic (random) stochastic bitstreams.
+//
+// A StochStream carries `bits` together with an encoding format and a scaling
+// factor. The represented value is
+//   unipolar:  scale * p           with p = count / length, value in [0, scale]
+//   bipolar :  scale * (2p - 1)    value in [-scale, scale]
+//
+// These streams are consumed by the FSM and Bernstein baselines; ASCEND's own
+// datapath uses deterministic thermometer streams (therm_stream.h).
+
+#include <cstddef>
+
+#include "sc/bitvec.h"
+#include "sc/sng.h"
+
+namespace ascend::sc {
+
+enum class StochFormat { kUnipolar, kBipolar };
+
+struct StochStream {
+  BitVec bits;
+  StochFormat format = StochFormat::kUnipolar;
+  double scale = 1.0;
+
+  std::size_t length() const { return bits.size(); }
+  /// Fraction of 1 bits.
+  double probability() const;
+  /// Decoded value (probability mapped through the format, times scale).
+  double value() const;
+
+  /// Encode `x` as a `length`-bit stream drawing randomness from `src`.
+  /// `x` is clamped to the representable range of the format/scale.
+  static StochStream encode(double x, std::size_t length, StochFormat format, double scale,
+                            RandomSource& src);
+
+  /// Deterministic encoding with evenly spaced ones (counter-comparator SNG).
+  static StochStream encode_even(double x, std::size_t length, StochFormat format, double scale);
+};
+
+}  // namespace ascend::sc

@@ -1,0 +1,255 @@
+#include "sc/therm_arith.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "sc/bsn.h"
+
+namespace ascend::sc {
+namespace {
+
+void check_even(int length, const char* who) {
+  if (length <= 0 || (length % 2) != 0)
+    throw std::invalid_argument(std::string(who) + ": BSL must be positive and even");
+}
+
+void check_same_alpha(double a, double b, const char* who) {
+  const double tol = 1e-9 * std::max({std::fabs(a), std::fabs(b), 1e-300});
+  if (std::fabs(a - b) > tol)
+    throw std::invalid_argument(std::string(who) + ": scaling factors must match");
+}
+
+long long floor_div(long long a, long long b) {
+  long long q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+
+/// Shared rescale bookkeeping so the bit-level and count-level paths use the
+/// exact same expansion factor, balanced padding, tap placement and clamp
+/// offset. Sub-sample taps are *centered* (offset (p-1)/2) which realises
+/// round-to-nearest instead of floor — important so that small softmax
+/// updates are not systematically swallowed by the y re-gridding.
+struct RescalePlan {
+  int expand_by = 1;     // q
+  int subsample_by = 1;  // p
+  long long tap_offset = 0;    // t0 = (p-1)/2: out count = (n + p-1-t0)/p
+  long long pad = 0;     // balanced pad amount j (j ones + j zeros)
+  long long clamp_offset = 0;  // off2: out count = clamp(n' - off2, 0, Lt)
+  long long mid_length = 0;    // length after expand+pad+subsample
+};
+
+RescalePlan make_rescale_plan(int length, double alpha, int target_length, double target_alpha,
+                              int max_denominator) {
+  if (target_length <= 0) throw std::invalid_argument("rescale: bad target length");
+  if (target_alpha <= 0 || alpha <= 0) throw std::invalid_argument("rescale: bad alpha");
+  RescalePlan plan;
+  const Rational r = approx_rational(target_alpha / alpha, max_denominator);
+  plan.expand_by = r.den;
+  plan.subsample_by = r.num;
+  const long long expanded = static_cast<long long>(length) * r.den;
+  // Balanced padding (j ones in front, j zeros behind) preserves the value
+  // and lets us hit a multiple of p; prefer a pad that also makes the final
+  // clamp offset an integer number of bit positions on each side.
+  long long chosen = -1;
+  for (long long j = 0; j < 2LL * r.num + 2; ++j) {
+    if ((expanded + 2 * j) % r.num != 0) continue;
+    const long long mid = (expanded + 2 * j) / r.num;
+    if (chosen < 0) {
+      chosen = j;
+      plan.mid_length = mid;
+    }
+    if ((mid - target_length) % 2 == 0) {
+      chosen = j;
+      plan.mid_length = mid;
+      break;
+    }
+  }
+  if (chosen < 0) throw std::logic_error("rescale: no feasible balanced padding");
+  plan.pad = chosen;
+  plan.tap_offset = (plan.subsample_by - 1) / 2;
+  plan.clamp_offset = floor_div(plan.mid_length - target_length, 2);
+  return plan;
+}
+
+}  // namespace
+
+Rational approx_rational(double ratio, int max_denominator) {
+  if (!(ratio > 0)) throw std::invalid_argument("approx_rational: ratio must be positive");
+  if (max_denominator < 1) throw std::invalid_argument("approx_rational: bad max_denominator");
+  Rational best;
+  double best_err = std::numeric_limits<double>::infinity();
+  for (int q = 1; q <= max_denominator; ++q) {
+    const int p = std::max(1, static_cast<int>(std::lround(ratio * q)));
+    const double err = std::fabs(static_cast<double>(p) / q - ratio);
+    if (err + 1e-15 < best_err) {
+      best_err = err;
+      best = Rational{p, q};
+      if (err == 0.0) break;
+    }
+  }
+  // Reduce the fraction.
+  int a = best.num, b = best.den;
+  while (b != 0) {
+    const int t = a % b;
+    a = b;
+    b = t;
+  }
+  best.num /= a;
+  best.den /= a;
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// Count-level path.
+// ---------------------------------------------------------------------------
+
+ThermValue mult(const ThermValue& a, const ThermValue& b) {
+  check_even(a.length, "mult");
+  check_even(b.length, "mult");
+  const long long qa = a.ones - a.length / 2;
+  const long long qb = b.ones - b.length / 2;
+  const long long lout = static_cast<long long>(a.length) * b.length / 2;
+  const long long n = qa * qb + lout / 2;
+  return ThermValue{static_cast<int>(n), static_cast<int>(lout), a.alpha * b.alpha};
+}
+
+ThermValue add(const std::vector<ThermValue>& xs) {
+  if (xs.empty()) throw std::invalid_argument("add: no operands");
+  ThermValue out{0, 0, xs[0].alpha};
+  for (const auto& x : xs) {
+    check_same_alpha(x.alpha, out.alpha, "add");
+    out.ones += x.ones;
+    out.length += x.length;
+  }
+  return out;
+}
+
+ThermValue negate(const ThermValue& a) { return ThermValue{a.length - a.ones, a.length, a.alpha}; }
+
+ThermValue expand(const ThermValue& a, int e) {
+  if (e < 1) throw std::invalid_argument("expand: factor must be >= 1");
+  return ThermValue{a.ones * e, a.length * e, a.alpha / e};
+}
+
+ThermValue subsample(const ThermValue& a, int s, bool centered) {
+  if (s < 1 || a.length % s != 0)
+    throw std::invalid_argument("subsample: rate must divide the BSL");
+  const int t0 = centered ? (s - 1) / 2 : s - 1;
+  return ThermValue{(a.ones + s - 1 - t0) / s, a.length / s, a.alpha * s};
+}
+
+ThermValue divide_by_const(const ThermValue& a, double k) {
+  if (!(k > 0)) throw std::invalid_argument("divide_by_const: k must be positive");
+  return ThermValue{a.ones, a.length, a.alpha / k};
+}
+
+ThermValue rescale(const ThermValue& a, int target_length, double target_alpha,
+                   int max_denominator) {
+  const RescalePlan plan =
+      make_rescale_plan(a.length, a.alpha, target_length, target_alpha, max_denominator);
+  long long n = static_cast<long long>(a.ones) * plan.expand_by + plan.pad;
+  // Centered-tap sub-sampling: round-to-nearest counts.
+  n = (n + plan.subsample_by - 1 - plan.tap_offset) / plan.subsample_by;
+  n -= plan.clamp_offset;                 // SI clamp re-centering
+  n = std::clamp<long long>(n, 0, target_length);
+  return ThermValue{static_cast<int>(n), target_length, target_alpha};
+}
+
+// ---------------------------------------------------------------------------
+// Bit-level path.
+// ---------------------------------------------------------------------------
+
+ThermStream mult(const ThermStream& a, const ThermStream& b) {
+  // Behavioural model of the truth-table multiplier of [10]: the output code
+  // is fully determined by the operand counts; we emit the canonical pattern.
+  return ThermStream::from_value(mult(a.to_value(), b.to_value()));
+}
+
+ThermStream add(const std::vector<ThermStream>& xs) {
+  if (xs.empty()) throw std::invalid_argument("add: no operands");
+  ThermStream out;
+  out.alpha = xs[0].alpha;
+  for (const auto& x : xs) {
+    check_same_alpha(x.alpha, out.alpha, "add");
+    out.bits.append(x.bits);
+  }
+  out.bits = bsn_sort(out.bits);
+  return out;
+}
+
+ThermStream negate(const ThermStream& a) {
+  ThermStream out;
+  out.alpha = a.alpha;
+  out.bits = (~a.bits).reversed();
+  return out;
+}
+
+ThermStream expand(const ThermStream& a, int e) {
+  if (e < 1) throw std::invalid_argument("expand: factor must be >= 1");
+  ThermStream out;
+  out.alpha = a.alpha / e;
+  out.bits = BitVec(static_cast<std::size_t>(a.length()) * e);
+  for (int i = 0; i < a.length(); ++i) {
+    const bool b = a.bits.get(static_cast<std::size_t>(i));
+    for (int r = 0; r < e; ++r) out.bits.set(static_cast<std::size_t>(i) * e + r, b);
+  }
+  return out;
+}
+
+ThermStream subsample(const ThermStream& a, int s, bool centered) {
+  if (s < 1 || a.length() % s != 0)
+    throw std::invalid_argument("subsample: rate must divide the BSL");
+  if (!a.is_canonical())
+    throw std::invalid_argument("subsample: bit-level subsampling requires a canonical bundle");
+  const int t0 = centered ? (s - 1) / 2 : s - 1;
+  ThermStream out;
+  out.alpha = a.alpha * s;
+  out.bits = a.bits.subsample(static_cast<std::size_t>(t0), static_cast<std::size_t>(s));
+  return out;
+}
+
+ThermStream divide_by_const(const ThermStream& a, double k) {
+  if (!(k > 0)) throw std::invalid_argument("divide_by_const: k must be positive");
+  ThermStream out = a;
+  out.alpha /= k;
+  return out;
+}
+
+ThermStream rescale(const ThermStream& a, int target_length, double target_alpha,
+                    int max_denominator) {
+  const RescalePlan plan =
+      make_rescale_plan(a.length(), a.alpha, target_length, target_alpha, max_denominator);
+  if (!a.is_canonical())
+    throw std::invalid_argument("rescale: bit-level rescaling requires a canonical bundle");
+  // Expand (wire fan-out).
+  ThermStream mid = expand(a, plan.expand_by);
+  // Balanced pad: `pad` constant-1 wires in front, `pad` constant-0 behind.
+  BitVec padded;
+  for (long long j = 0; j < plan.pad; ++j) padded.push_back(true);
+  padded.append(mid.bits);
+  for (long long j = 0; j < plan.pad; ++j) padded.push_back(false);
+  // Centered sub-sample taps at positions t0, t0+p, t0+2p, ...
+  BitVec sub = padded.subsample(static_cast<std::size_t>(plan.tap_offset),
+                                static_cast<std::size_t>(plan.subsample_by));
+  // Monotone SI clamp: out wire w = in wire (w + off), constants off the ends.
+  ThermStream out;
+  out.alpha = target_alpha;
+  out.bits = BitVec(static_cast<std::size_t>(target_length));
+  for (int w = 0; w < target_length; ++w) {
+    const long long src = w + plan.clamp_offset;
+    bool bit;
+    if (src < 0)
+      bit = true;  // below range: saturate low end contributes 1s
+    else if (src >= static_cast<long long>(sub.size()))
+      bit = false;  // above range: saturate
+    else
+      bit = sub.get(static_cast<std::size_t>(src));
+    out.bits.set(static_cast<std::size_t>(w), bit);
+  }
+  return out;
+}
+
+}  // namespace ascend::sc

@@ -1,0 +1,85 @@
+#pragma once
+// therm_arith.h — arithmetic on deterministic thermometer-coded numbers.
+//
+// Primitive set (each has a bit-level and a count-level realisation; tests
+// assert exact agreement):
+//
+//  * multiply     — truth-table multiplier of [10]: exact product of the two
+//                   signed levels, emitted on an (La*Lb/2)-bit bundle with
+//                   scale alpha_a * alpha_b.
+//  * add (BSN)    — concatenate same-scale bundles and bitonic-sort ([5]).
+//  * negate       — invert every bit (n -> L - n, i.e. q -> -q).
+//  * expand       — fan every wire out e times: exact, scale /= e.
+//  * subsample    — keep every s-th wire of a canonical bundle: scale *= s,
+//                   count floors (n -> floor(n/s)); this is the re-scaling
+//                   primitive of [15] and the source of the s1/s2
+//                   approximation error in the softmax block.
+//  * divide by k  — free: divide the scaling factor (no bitstream change).
+//  * rescale      — saturating re-scaling block: expand/subsample to the
+//                   target scale (rational ratio) followed by a monotone SI
+//                   clamp onto the target length.
+
+#include <vector>
+
+#include "sc/therm_stream.h"
+
+namespace ascend::sc {
+
+// ---------------------------------------------------------------------------
+// Count-level (fast) path.
+// ---------------------------------------------------------------------------
+
+/// Exact product: level_out = level_a * level_b on an (La*Lb/2)-bit bundle.
+/// Requires La*Lb even (every practical BSL here is a power of two).
+ThermValue mult(const ThermValue& a, const ThermValue& b);
+
+/// BSN addition of same-scale numbers: counts and lengths add.
+ThermValue add(const std::vector<ThermValue>& xs);
+
+/// q -> -q (bitwise NOT).
+ThermValue negate(const ThermValue& a);
+
+/// Fan-out expansion by integer factor e >= 1 (exact).
+ThermValue expand(const ThermValue& a, int e);
+
+/// Keep every s-th bit (s must divide length): alpha *= s. With the default
+/// end-of-group taps the count floors (n -> floor(n/s)); `centered` taps
+/// (offset (s-1)/2, same wiring cost) realise round-to-nearest, which the
+/// softmax datapath uses for its s1/s2 sub-samplers to avoid systematic bias.
+ThermValue subsample(const ThermValue& a, int s, bool centered = false);
+
+/// Divide by a constant k by scaling alpha only (no hardware on the stream).
+ThermValue divide_by_const(const ThermValue& a, double k);
+
+/// Saturating re-scaling block: map `a` onto a `target_length`-bit bundle
+/// with scale `target_alpha`. Values outside the target range saturate;
+/// in-range values quantize to the target grid (round-half-away-from-zero via
+/// the expand/subsample chain's floor, matched bit-exactly by the bit-level
+/// realisation). `max_denominator` bounds the rational approximation of the
+/// scale ratio.
+ThermValue rescale(const ThermValue& a, int target_length, double target_alpha,
+                   int max_denominator = 64);
+
+// ---------------------------------------------------------------------------
+// Bit-level (circuit-faithful) path.
+// ---------------------------------------------------------------------------
+
+ThermStream mult(const ThermStream& a, const ThermStream& b);
+ThermStream add(const std::vector<ThermStream>& xs);
+ThermStream negate(const ThermStream& a);
+ThermStream expand(const ThermStream& a, int e);
+ThermStream subsample(const ThermStream& a, int s, bool centered = false);
+ThermStream divide_by_const(const ThermStream& a, double k);
+ThermStream rescale(const ThermStream& a, int target_length, double target_alpha,
+                    int max_denominator = 64);
+
+/// Rational approximation p/q of `ratio` with q <= max_denominator
+/// (Stern–Brocot / continued-fraction based). Exposed for the cost model.
+struct Rational {
+  int num = 1;
+  int den = 1;
+  double as_double() const { return static_cast<double>(num) / den; }
+};
+Rational approx_rational(double ratio, int max_denominator);
+
+}  // namespace ascend::sc

@@ -1,0 +1,30 @@
+#include "sc/therm_stream.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ascend::sc {
+
+ThermValue ThermValue::encode(double x, int length, double alpha) {
+  if (length <= 0) throw std::invalid_argument("ThermValue::encode: length must be positive");
+  if (alpha <= 0) throw std::invalid_argument("ThermValue::encode: alpha must be positive");
+  const double level = x / alpha + length / 2.0;
+  const int n = static_cast<int>(std::lround(level));
+  return ThermValue{std::clamp(n, 0, length), length, alpha};
+}
+
+ThermStream ThermStream::from_value(const ThermValue& v) {
+  if (v.ones < 0 || v.ones > v.length) throw std::invalid_argument("ThermStream: bad ones count");
+  ThermStream s;
+  s.alpha = v.alpha;
+  s.bits = BitVec(static_cast<std::size_t>(v.length));
+  for (int i = 0; i < v.ones; ++i) s.bits.set(static_cast<std::size_t>(i), true);
+  return s;
+}
+
+ThermStream ThermStream::encode(double x, int length, double alpha) {
+  return from_value(ThermValue::encode(x, length, alpha));
+}
+
+}  // namespace ascend::sc

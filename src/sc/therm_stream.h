@@ -1,0 +1,61 @@
+#pragma once
+// therm_stream.h — deterministic thermometer-coded SC numbers.
+//
+// ASCEND's end-to-end datapath uses the deterministic thermometer format of
+// [10]/[5]/[15]: an L-bit parallel bundle where all 1s precede all 0s. With
+// scaling factor alpha, a bundle with n ones represents
+//
+//     x = alpha * (n - L/2),   n in [0, L]  =>  x in [-alpha*L/2, +alpha*L/2]
+//
+// i.e. an L-bit stream distinguishes exactly L+1 values. Because the code is
+// fully determined by the *count* of ones, every circuit in this library has
+// two provably equivalent realisations:
+//
+//   * ThermStream — explicit bit bundle (circuit-faithful, used by the bit-
+//                   level tests and the circuit benches);
+//   * ThermValue  — integer count + scale (fast path used inside network
+//                   evaluation). Tests assert the two paths agree exactly.
+
+#include <cstddef>
+
+#include "sc/bitvec.h"
+
+namespace ascend::sc {
+
+/// Count-level twin of ThermStream: (ones count, length, scale).
+struct ThermValue {
+  int ones = 0;   ///< number of 1 bits, in [0, length]
+  int length = 0; ///< bitstream length L (BSL)
+  double alpha = 1.0;
+
+  /// Signed level q = n - L/2, in [-L/2, L/2] (half-integer when L is odd).
+  double level() const { return ones - length / 2.0; }
+  /// Decoded value alpha * (n - L/2).
+  double value() const { return alpha * level(); }
+  /// Dynamic range half-width alpha * L / 2.
+  double range() const { return alpha * length / 2.0; }
+
+  /// Quantize `x` onto an L-bit thermometer grid with scale `alpha`
+  /// (round-to-nearest, saturating at the ends of the range).
+  static ThermValue encode(double x, int length, double alpha);
+};
+
+/// Bit-level thermometer stream.
+struct ThermStream {
+  BitVec bits;
+  double alpha = 1.0;
+
+  int length() const { return static_cast<int>(bits.size()); }
+  int ones() const { return static_cast<int>(bits.count()); }
+  double value() const { return alpha * (ones() - length() / 2.0); }
+  /// All 1s before all 0s? (BSN outputs are canonical; gate-assisted SI
+  /// outputs may legitimately be permuted — only the count carries value.)
+  bool is_canonical() const { return bits.is_sorted_descending(); }
+
+  ThermValue to_value() const { return ThermValue{ones(), length(), alpha}; }
+  /// Canonical bit pattern for a count-level number.
+  static ThermStream from_value(const ThermValue& v);
+  static ThermStream encode(double x, int length, double alpha);
+};
+
+}  // namespace ascend::sc

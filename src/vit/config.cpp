@@ -1,0 +1,39 @@
+#include "vit/config.h"
+
+#include <sstream>
+
+namespace ascend::vit {
+
+std::string PrecisionSpec::name() const {
+  if (is_fp()) return "FP";
+  std::ostringstream os;
+  os << "W" << (w_bsl == 0 ? std::string("fp") : std::to_string(w_bsl))
+     << "-A" << (a_bsl == 0 ? std::string("fp") : std::to_string(a_bsl))
+     << "-R" << (r_bsl == 0 ? std::string("fp") : std::to_string(r_bsl));
+  return os.str();
+}
+
+VitConfig VitConfig::paper_topology() {
+  VitConfig c;
+  c.image_size = 32;
+  c.patch_size = 4;  // 64 tokens, matching the paper's softmax m = 64
+  c.dim = 256;
+  c.layers = 7;
+  c.heads = 4;
+  c.mlp_ratio = 2;
+  return c;
+}
+
+VitConfig VitConfig::bench_topology(int classes) {
+  VitConfig c;
+  c.image_size = 32;
+  c.patch_size = 8;  // 16 tokens — CPU-scale
+  c.dim = 64;
+  c.layers = 4;
+  c.heads = 4;
+  c.mlp_ratio = 2;
+  c.classes = classes;
+  return c;
+}
+
+}  // namespace ascend::vit

@@ -1,0 +1,51 @@
+#pragma once
+// config.h — ViT topology and precision configuration.
+//
+// The paper evaluates a compact ViT (7 layers, 4 heads, following [24]) in
+// the W2-A2-R16 precision regime: weights and activations on 2-bit-BSL
+// thermometer grids (3 levels), residuals on 16-bit BSL (17 levels). The
+// default topology here is CPU-scaled for the synthetic dataset (DESIGN.md
+// section 1); `paper_topology()` returns the 7-layer/4-head shape.
+
+#include <string>
+
+namespace ascend::vit {
+
+/// W/A/R bitstream lengths; 0 disables quantization (full precision).
+struct PrecisionSpec {
+  int w_bsl = 0;
+  int a_bsl = 0;
+  int r_bsl = 0;
+
+  static PrecisionSpec fp() { return {0, 0, 0}; }
+  static PrecisionSpec w16a16r16() { return {16, 16, 16}; }
+  static PrecisionSpec w16a2r16() { return {16, 2, 16}; }
+  static PrecisionSpec w2a2r16() { return {2, 2, 16}; }
+  std::string name() const;
+  bool is_fp() const { return w_bsl == 0 && a_bsl == 0 && r_bsl == 0; }
+};
+
+enum class NormKind { kLayerNorm, kBatchNorm };
+
+struct VitConfig {
+  int image_size = 32;
+  int patch_size = 8;
+  int channels = 3;
+  int dim = 64;
+  int layers = 4;
+  int heads = 4;
+  int mlp_ratio = 2;
+  int classes = 10;
+  NormKind norm = NormKind::kBatchNorm;
+  int approx_softmax_k = 3;  ///< k used when the approximate softmax is on
+
+  int tokens() const { return (image_size / patch_size) * (image_size / patch_size); }
+  int patch_dim() const { return channels * patch_size * patch_size; }
+
+  /// The paper's lightweight topology (7 layers, 4 heads, 64 tokens).
+  static VitConfig paper_topology();
+  /// CPU-scaled default used by the training benches.
+  static VitConfig bench_topology(int classes = 10);
+};
+
+}  // namespace ascend::vit

@@ -1,0 +1,101 @@
+#include "vit/dataset.h"
+
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+namespace ascend::vit {
+namespace {
+
+struct ClassStyle {
+  int shape;       // 0 disk, 1 square, 2 ring, 3 stripes, 4 checker
+  float hue;       // base colour angle
+  float freq;      // texture frequency
+};
+
+ClassStyle style_for(int cls, int classes) {
+  ClassStyle s;
+  s.shape = cls % 5;
+  s.hue = static_cast<float>(cls) / static_cast<float>(classes) * 6.2831853f;
+  s.freq = 1.0f + static_cast<float>(cls / 5) * 1.7f;
+  return s;
+}
+
+void hue_to_rgb(float hue, float* rgb) {
+  rgb[0] = 0.5f + 0.5f * std::cos(hue);
+  rgb[1] = 0.5f + 0.5f * std::cos(hue - 2.094f);
+  rgb[2] = 0.5f + 0.5f * std::cos(hue + 2.094f);
+}
+
+}  // namespace
+
+Dataset make_synthetic_vision(int n, int classes, std::uint64_t seed, int image_size) {
+  if (classes < 2 || n < 1) throw std::invalid_argument("make_synthetic_vision: bad sizes");
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<float> uni(0.0f, 1.0f);
+  std::normal_distribution<float> gauss(0.0f, 1.0f);
+
+  Dataset d;
+  d.classes = classes;
+  d.image_size = image_size;
+  d.images = nn::Tensor({n, 3 * image_size * image_size});
+  d.labels.resize(static_cast<std::size_t>(n));
+
+  const int hw = image_size;
+  for (int i = 0; i < n; ++i) {
+    const int cls = static_cast<int>(rng() % static_cast<std::uint64_t>(classes));
+    d.labels[static_cast<std::size_t>(i)] = cls;
+    const ClassStyle st = style_for(cls, classes);
+
+    float rgb[3];
+    hue_to_rgb(st.hue + 0.55f * (uni(rng) - 0.5f), rgb);  // colour jitter
+    const float cx = hw * (0.3f + 0.4f * uni(rng));
+    const float cy = hw * (0.3f + 0.4f * uni(rng));
+    const float radius = hw * (0.14f + 0.16f * uni(rng));
+    const float phase = uni(rng) * 6.2831853f;
+
+    float* img = d.images.data() + static_cast<std::size_t>(i) * 3 * hw * hw;
+    for (int y = 0; y < hw; ++y)
+      for (int x = 0; x < hw; ++x) {
+        const float dx = static_cast<float>(x) - cx;
+        const float dy = static_cast<float>(y) - cy;
+        const float r = std::sqrt(dx * dx + dy * dy);
+        bool inside = false;
+        switch (st.shape) {
+          case 0: inside = r < radius; break;
+          case 1: inside = std::fabs(dx) < radius && std::fabs(dy) < radius; break;
+          case 2: inside = r < radius && r > 0.55f * radius; break;
+          case 3: inside = std::sin(st.freq * 0.7f * static_cast<float>(x) + phase) > 0.1f &&
+                           r < 1.6f * radius;
+                  break;
+          default: inside = (std::sin(st.freq * 0.6f * x + phase) *
+                             std::sin(st.freq * 0.6f * y + phase)) > 0.0f && r < 1.5f * radius;
+        }
+        const float tex = 0.15f * std::sin(st.freq * (dx + dy) * 0.4f + phase);
+        for (int c = 0; c < 3; ++c) {
+          float v = inside ? rgb[c] + tex : 0.12f + 0.05f * std::sin(0.3f * (x + y) + phase);
+          v += 0.18f * gauss(rng);  // pixel noise
+          img[(c * hw + y) * hw + x] = 2.0f * v - 1.0f;
+        }
+      }
+  }
+  return d;
+}
+
+Batch take_batch(const Dataset& data, const std::vector<int>& indices) {
+  const int pix = data.channels * data.image_size * data.image_size;
+  Batch b;
+  b.images = nn::Tensor({static_cast<int>(indices.size()), pix});
+  b.labels.reserve(indices.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const int idx = indices[i];
+    if (idx < 0 || idx >= data.size()) throw std::out_of_range("take_batch: bad index");
+    for (int p = 0; p < pix; ++p)
+      b.images[i * static_cast<std::size_t>(pix) + p] =
+          data.images[static_cast<std::size_t>(idx) * pix + p];
+    b.labels.push_back(data.labels[static_cast<std::size_t>(idx)]);
+  }
+  return b;
+}
+
+}  // namespace ascend::vit

@@ -1,0 +1,41 @@
+#pragma once
+// dataset.h — synthetic vision classification task (CIFAR stand-in).
+//
+// CIFAR10/100 cannot be redistributed in this repo, so the accuracy
+// experiments run on a procedurally generated 32x32x3 task that exercises
+// the identical training/quantization code paths (DESIGN.md section 1):
+// each class is defined by a shape family (disk / square / ring / stripes /
+// checker), a class colour, and a texture frequency; samples draw position,
+// size and colour jitter plus pixel noise, so the task is learnable but not
+// linearly trivial. `classes = 10` mirrors CIFAR10, `classes = 20` is the
+// fine-grained stand-in for CIFAR100 (more classes, closer class pairs).
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace ascend::vit {
+
+struct Dataset {
+  nn::Tensor images;        ///< [N, channels*H*W], values roughly in [-1, 1]
+  std::vector<int> labels;  ///< class indices
+  int classes = 0;
+  int image_size = 32;
+  int channels = 3;
+
+  int size() const { return images.empty() ? 0 : images.dim(0); }
+};
+
+/// Generate `n` samples over `classes` classes.
+Dataset make_synthetic_vision(int n, int classes, std::uint64_t seed, int image_size = 32);
+
+struct Batch {
+  nn::Tensor images;
+  std::vector<int> labels;
+};
+
+/// Gather the given sample indices into a batch.
+Batch take_batch(const Dataset& data, const std::vector<int>& indices);
+
+}  // namespace ascend::vit

@@ -1,0 +1,295 @@
+#include "vit/model.h"
+
+#include <stdexcept>
+
+namespace ascend::vit {
+
+using nn::Tensor;
+
+// ---------------------------------------------------------------------------
+// NormLayer
+// ---------------------------------------------------------------------------
+
+NormLayer::NormLayer(NormKind kind, int features) : kind_(kind) {
+  if (kind_ == NormKind::kLayerNorm)
+    ln_ = std::make_unique<nn::LayerNorm>(features);
+  else
+    bn_ = std::make_unique<nn::BatchNorm>(features);
+}
+
+Tensor NormLayer::forward(const Tensor& x, bool training) {
+  return kind_ == NormKind::kLayerNorm ? ln_->forward(x) : bn_->forward(x, training);
+}
+
+Tensor NormLayer::backward(const Tensor& grad) {
+  return kind_ == NormKind::kLayerNorm ? ln_->backward(grad) : bn_->backward(grad);
+}
+
+void NormLayer::collect_params(std::vector<nn::Param*>& out) {
+  if (kind_ == NormKind::kLayerNorm)
+    ln_->collect_params(out);
+  else
+    bn_->collect_params(out);
+}
+
+// ---------------------------------------------------------------------------
+// Mlp
+// ---------------------------------------------------------------------------
+
+Mlp::Mlp(int dim, int hidden, nn::Rng& rng) : fc1_(dim, hidden, rng), fc2_(hidden, dim, rng) {}
+
+Tensor Mlp::forward(const Tensor& x) {
+  Tensor h = fc1_.forward(x);
+  used_hook_ = static_cast<bool>(hook_);
+  h = used_hook_ ? hook_(h) : gelu_.forward(h);
+  return fc2_.forward(h);
+}
+
+Tensor Mlp::backward(const Tensor& grad) {
+  if (used_hook_) throw std::logic_error("Mlp::backward: cannot backprop through a GELU hook");
+  Tensor g = fc2_.backward(grad);
+  g = gelu_.backward(g);
+  return fc1_.backward(g);
+}
+
+void Mlp::collect_params(std::vector<nn::Param*>& out) {
+  fc1_.collect_params(out);
+  fc2_.collect_params(out);
+}
+
+// ---------------------------------------------------------------------------
+// EncoderBlock
+// ---------------------------------------------------------------------------
+
+EncoderBlock::EncoderBlock(const VitConfig& cfg, nn::Rng& rng)
+    : norm1_(cfg.norm, cfg.dim),
+      norm2_(cfg.norm, cfg.dim),
+      msa_(cfg.dim, cfg.heads, rng, cfg.approx_softmax_k),
+      mlp_(cfg.dim, cfg.dim * cfg.mlp_ratio, rng) {}
+
+Tensor EncoderBlock::forward(const Tensor& x, int batch, int tokens, bool training) {
+  Tensor a = norm1_.forward(x, training);
+  a = msa_.forward(a, batch, tokens);
+  Tensor x1 = rq1_.forward(nn::add(x, a));
+  Tensor b = norm2_.forward(x1, training);
+  b = mlp_.forward(b);
+  return rq2_.forward(nn::add(x1, b));
+}
+
+Tensor EncoderBlock::backward(const Tensor& grad) {
+  Tensor g = rq2_.backward(grad);
+  // g flows to both x1 (identity) and the MLP branch.
+  Tensor g_mlp = mlp_.backward(g);
+  Tensor g_x1 = nn::add(g, norm2_.backward(g_mlp));
+  Tensor g1 = rq1_.backward(g_x1);
+  Tensor g_msa = msa_.backward(g1);
+  return nn::add(g1, norm1_.backward(g_msa));
+}
+
+void EncoderBlock::collect_params(std::vector<nn::Param*>& out) {
+  norm1_.collect_params(out);
+  msa_.collect_params(out);
+  rq1_.collect_params(out);
+  norm2_.collect_params(out);
+  mlp_.collect_params(out);
+  rq2_.collect_params(out);
+}
+
+// ---------------------------------------------------------------------------
+// VisionTransformer
+// ---------------------------------------------------------------------------
+
+VisionTransformer::VisionTransformer(const VitConfig& cfg, std::uint64_t seed)
+    : cfg_(cfg),
+      rng_(seed),
+      patch_embed_(cfg.patch_dim(), cfg.dim, rng_),
+      final_norm_(cfg.norm, cfg.dim),
+      head_(cfg.dim, cfg.classes, rng_) {
+  pos_embed_.init_shape({cfg_.tokens(), cfg_.dim});
+  rng_.fill_normal(pos_embed_.value, 0.0f, 0.02f);
+  pos_embed_.no_weight_decay = true;
+  blocks_.reserve(static_cast<std::size_t>(cfg_.layers));
+  for (int l = 0; l < cfg_.layers; ++l) blocks_.emplace_back(cfg_, rng_);
+}
+
+Tensor VisionTransformer::patchify(const Tensor& images) const {
+  const int b = images.dim(0);
+  const int hw = cfg_.image_size;
+  const int p = cfg_.patch_size;
+  const int grid = hw / p;
+  const int t = cfg_.tokens();
+  const int pd = cfg_.patch_dim();
+  if (images.dim(1) != cfg_.channels * hw * hw)
+    throw std::invalid_argument("VisionTransformer: bad image size");
+  Tensor out({b * t, pd});
+  for (int img = 0; img < b; ++img) {
+    const float* src = images.data() + static_cast<std::size_t>(img) * cfg_.channels * hw * hw;
+    for (int gy = 0; gy < grid; ++gy)
+      for (int gx = 0; gx < grid; ++gx) {
+        float* dst = out.data() + (static_cast<std::size_t>(img) * t + gy * grid + gx) * pd;
+        int idx = 0;
+        for (int c = 0; c < cfg_.channels; ++c)
+          for (int py = 0; py < p; ++py)
+            for (int px = 0; px < p; ++px)
+              dst[idx++] = src[(c * hw + gy * p + py) * hw + gx * p + px];
+      }
+  }
+  return out;
+}
+
+Tensor VisionTransformer::forward(const Tensor& images, bool training) {
+  const int batch = images.dim(0);
+  const int tokens = cfg_.tokens();
+  cached_batch_ = batch;
+
+  Tensor x = patch_embed_.forward(patchify(images));  // [B*T, dim]
+  for (int b = 0; b < batch; ++b)
+    for (int t = 0; t < tokens; ++t)
+      for (int d = 0; d < cfg_.dim; ++d)
+        x[(static_cast<std::size_t>(b) * tokens + t) * cfg_.dim + d] +=
+            pos_embed_.value[static_cast<std::size_t>(t) * cfg_.dim + d];
+
+  block_outputs_.clear();
+  block_outputs_.reserve(blocks_.size());
+  for (auto& blk : blocks_) {
+    x = blk.forward(x, batch, tokens, training);
+    block_outputs_.push_back(x);
+  }
+  x = final_norm_.forward(x, training);
+
+  // Mean pool over tokens.
+  cached_pooled_ = Tensor({batch, cfg_.dim});
+  for (int b = 0; b < batch; ++b)
+    for (int t = 0; t < tokens; ++t)
+      for (int d = 0; d < cfg_.dim; ++d)
+        cached_pooled_.at(b, d) += x[(static_cast<std::size_t>(b) * tokens + t) * cfg_.dim + d] /
+                                   static_cast<float>(tokens);
+  return head_.forward(cached_pooled_);
+}
+
+void VisionTransformer::backward(const Tensor& grad_logits,
+                                 const std::vector<Tensor>* feature_grads) {
+  const int batch = cached_batch_;
+  const int tokens = cfg_.tokens();
+  Tensor g_pool = head_.backward(grad_logits);  // [B, dim]
+
+  // Un-pool.
+  Tensor g({batch * tokens, cfg_.dim});
+  for (int b = 0; b < batch; ++b)
+    for (int t = 0; t < tokens; ++t)
+      for (int d = 0; d < cfg_.dim; ++d)
+        g[(static_cast<std::size_t>(b) * tokens + t) * cfg_.dim + d] =
+            g_pool.at(b, d) / static_cast<float>(tokens);
+
+  g = final_norm_.backward(g);
+  for (int l = static_cast<int>(blocks_.size()) - 1; l >= 0; --l) {
+    if (feature_grads != nullptr && static_cast<std::size_t>(l) < feature_grads->size() &&
+        !(*feature_grads)[static_cast<std::size_t>(l)].empty())
+      nn::add_inplace(g, (*feature_grads)[static_cast<std::size_t>(l)]);
+    g = blocks_[static_cast<std::size_t>(l)].backward(g);
+  }
+
+  // Position embedding gradient (sum over batch).
+  for (int b = 0; b < batch; ++b)
+    for (int t = 0; t < tokens; ++t)
+      for (int d = 0; d < cfg_.dim; ++d)
+        pos_embed_.grad[static_cast<std::size_t>(t) * cfg_.dim + d] +=
+            g[(static_cast<std::size_t>(b) * tokens + t) * cfg_.dim + d];
+  patch_embed_.backward(g);
+}
+
+std::vector<nn::Param*> VisionTransformer::params() {
+  std::vector<nn::Param*> out;
+  patch_embed_.collect_params(out);
+  out.push_back(&pos_embed_);
+  for (auto& blk : blocks_) blk.collect_params(out);
+  final_norm_.collect_params(out);
+  head_.collect_params(out);
+  return out;
+}
+
+std::vector<nn::Param*> VisionTransformer::structural_params() {
+  std::vector<nn::Param*> out;
+  std::vector<nn::Param*> all = params();
+  // Quantizer steps are scalar [1] params flagged no_weight_decay; filter by
+  // identity instead: rebuild the list without the quantizer contributions.
+  out.reserve(all.size());
+  std::vector<nn::Param*> quant;
+  for (auto& blk : blocks_) {
+    blk.msa().qkv().weight_quant().collect_params(quant);
+    blk.msa().qkv().input_quant().collect_params(quant);
+    blk.msa().proj().weight_quant().collect_params(quant);
+    blk.msa().proj().input_quant().collect_params(quant);
+    blk.mlp().fc1().weight_quant().collect_params(quant);
+    blk.mlp().fc1().input_quant().collect_params(quant);
+    blk.mlp().fc2().weight_quant().collect_params(quant);
+    blk.mlp().fc2().input_quant().collect_params(quant);
+    blk.residual_quant1().collect_params(quant);
+    blk.residual_quant2().collect_params(quant);
+  }
+  for (nn::Param* p : all) {
+    bool is_quant = false;
+    for (nn::Param* q : quant)
+      if (p == q) {
+        is_quant = true;
+        break;
+      }
+    if (!is_quant) out.push_back(p);
+  }
+  return out;
+}
+
+void VisionTransformer::copy_weights_from(VisionTransformer& other) {
+  auto dst = structural_params();
+  auto src = other.structural_params();
+  if (dst.size() != src.size())
+    throw std::invalid_argument("copy_weights_from: topology mismatch");
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    if (dst[i]->value.shape() != src[i]->value.shape())
+      throw std::invalid_argument("copy_weights_from: parameter shape mismatch");
+    dst[i]->value = src[i]->value;
+  }
+}
+
+void VisionTransformer::apply_precision(const PrecisionSpec& spec) {
+  precision_ = spec;
+  const nn::QuantSpec wq =
+      spec.w_bsl > 0 ? nn::QuantSpec::from_bsl(spec.w_bsl) : nn::QuantSpec::off();
+  const nn::QuantSpec aq =
+      spec.a_bsl > 0 ? nn::QuantSpec::from_bsl(spec.a_bsl) : nn::QuantSpec::off();
+  const nn::QuantSpec rq =
+      spec.r_bsl > 0 ? nn::QuantSpec::from_bsl(spec.r_bsl) : nn::QuantSpec::off();
+  for (auto& blk : blocks_) {
+    blk.msa().qkv().set_weight_quant(wq);
+    blk.msa().qkv().set_input_quant(aq);
+    blk.msa().proj().set_weight_quant(wq);
+    blk.msa().proj().set_input_quant(aq);
+    blk.mlp().fc1().set_weight_quant(wq);
+    blk.mlp().fc1().set_input_quant(aq);
+    blk.mlp().fc2().set_weight_quant(wq);
+    blk.mlp().fc2().set_input_quant(aq);
+    blk.residual_quant1().reset_spec(rq);
+    blk.residual_quant2().reset_spec(rq);
+  }
+}
+
+void VisionTransformer::set_softmax_kind(nn::SoftmaxKind kind) {
+  for (auto& blk : blocks_) blk.msa().set_softmax_kind(kind);
+}
+
+void VisionTransformer::set_softmax_hook(std::function<Tensor(const Tensor&)> hook) {
+  for (auto& blk : blocks_) blk.msa().set_softmax_hook(hook);
+}
+
+void VisionTransformer::set_gelu_hook(std::function<Tensor(const Tensor&)> hook) {
+  for (auto& blk : blocks_) blk.mlp().set_gelu_hook(hook);
+}
+
+void VisionTransformer::clear_hooks() {
+  for (auto& blk : blocks_) {
+    blk.msa().clear_softmax_hook();
+    blk.mlp().clear_gelu_hook();
+  }
+}
+
+}  // namespace ascend::vit

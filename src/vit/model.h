@@ -1,0 +1,136 @@
+#pragma once
+// model.h — the BN/LN Vision Transformer with explicit backward.
+//
+// Architecture (pre-norm encoder, mean-pool classifier):
+//   patchify -> Linear patch embed -> +pos embed
+//   L x [ norm -> MSA -> +residual -> Rq ; norm -> MLP -> +residual -> Rq ]
+//   final norm -> mean pool -> Linear head
+//
+// Rq are the residual LSQ quantizers (the R16 knob). Following common
+// low-precision-transformer practice the patch embedding and the classifier
+// head stay full precision; all encoder linears carry the W/A quantizers.
+// Block outputs are cached as the feature taps for KD.
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "nn/attention.h"
+#include "nn/module.h"
+#include "vit/config.h"
+
+namespace ascend::vit {
+
+/// Norm layer dispatching between LayerNorm and BatchNorm.
+class NormLayer {
+ public:
+  NormLayer(NormKind kind, int features);
+  nn::Tensor forward(const nn::Tensor& x, bool training);
+  nn::Tensor backward(const nn::Tensor& grad);
+  void collect_params(std::vector<nn::Param*>& out);
+  NormKind kind() const { return kind_; }
+
+ private:
+  NormKind kind_;
+  std::unique_ptr<nn::LayerNorm> ln_;
+  std::unique_ptr<nn::BatchNorm> bn_;
+};
+
+/// MLP block: fc1 -> GELU -> fc2, with an optional inference-time GELU hook
+/// (SC gate-assisted-SI emulation).
+class Mlp {
+ public:
+  Mlp(int dim, int hidden, nn::Rng& rng);
+  nn::Tensor forward(const nn::Tensor& x);
+  nn::Tensor backward(const nn::Tensor& grad);
+  void collect_params(std::vector<nn::Param*>& out);
+  nn::Linear& fc1() { return fc1_; }
+  nn::Linear& fc2() { return fc2_; }
+  void set_gelu_hook(std::function<nn::Tensor(const nn::Tensor&)> hook) { hook_ = std::move(hook); }
+  void clear_gelu_hook() { hook_ = nullptr; }
+
+ private:
+  nn::Linear fc1_, fc2_;
+  nn::Gelu gelu_;
+  std::function<nn::Tensor(const nn::Tensor&)> hook_;
+  bool used_hook_ = false;
+};
+
+/// One transformer encoder block.
+class EncoderBlock {
+ public:
+  EncoderBlock(const VitConfig& cfg, nn::Rng& rng);
+  nn::Tensor forward(const nn::Tensor& x, int batch, int tokens, bool training);
+  nn::Tensor backward(const nn::Tensor& grad);
+  void collect_params(std::vector<nn::Param*>& out);
+
+  nn::MultiHeadSelfAttention& msa() { return msa_; }
+  Mlp& mlp() { return mlp_; }
+  nn::LsqQuantizer& residual_quant1() { return rq1_; }
+  nn::LsqQuantizer& residual_quant2() { return rq2_; }
+  NormLayer& norm1() { return norm1_; }
+  NormLayer& norm2() { return norm2_; }
+
+ private:
+  NormLayer norm1_, norm2_;
+  nn::MultiHeadSelfAttention msa_;
+  Mlp mlp_;
+  nn::LsqQuantizer rq1_, rq2_;
+};
+
+class VisionTransformer {
+ public:
+  VisionTransformer(const VitConfig& cfg, std::uint64_t seed);
+
+  const VitConfig& config() const { return cfg_; }
+
+  /// images: [B, channels*H*W] raw pixels in [0,1]-ish. Returns logits [B, classes].
+  nn::Tensor forward(const nn::Tensor& images, bool training);
+  /// Backward from the logits gradient; optional per-block feature gradients
+  /// (KD MSE taps) are added at the corresponding block boundary.
+  void backward(const nn::Tensor& grad_logits,
+                const std::vector<nn::Tensor>* feature_grads = nullptr);
+
+  /// Block outputs [B*T, dim] cached by the last forward (KD feature taps).
+  const std::vector<nn::Tensor>& block_outputs() const { return block_outputs_; }
+
+  /// Trainable parameters (includes LSQ steps once initialised by a forward).
+  std::vector<nn::Param*> params();
+  /// Architecture parameters only (no quantizer steps) — used for stage
+  /// initialisation copies along the progressive-quantization pipeline.
+  std::vector<nn::Param*> structural_params();
+  /// Copy structural parameters from a same-topology model.
+  void copy_weights_from(VisionTransformer& other);
+
+  /// Configure the W/A/R quantizers on every encoder block.
+  void apply_precision(const PrecisionSpec& spec);
+  const PrecisionSpec& precision() const { return precision_; }
+
+  /// Switch every block between exact and iterative-approximate softmax.
+  void set_softmax_kind(nn::SoftmaxKind kind);
+  /// Inference-time SC emulation hooks (see vit/sc_inference.h).
+  void set_softmax_hook(std::function<nn::Tensor(const nn::Tensor&)> hook);
+  void set_gelu_hook(std::function<nn::Tensor(const nn::Tensor&)> hook);
+  void clear_hooks();
+
+  std::vector<EncoderBlock>& blocks() { return blocks_; }
+
+ private:
+  nn::Tensor patchify(const nn::Tensor& images) const;
+
+  VitConfig cfg_;
+  nn::Rng rng_;
+  PrecisionSpec precision_;
+  nn::Linear patch_embed_;
+  nn::Param pos_embed_;  // [tokens, dim]
+  std::vector<EncoderBlock> blocks_;
+  NormLayer final_norm_;
+  nn::Linear head_;
+
+  // Forward caches.
+  int cached_batch_ = 0;
+  std::vector<nn::Tensor> block_outputs_;
+  nn::Tensor cached_pooled_;
+};
+
+}  // namespace ascend::vit

@@ -1,0 +1,101 @@
+// Unit tests for the accelerator area model and the softmax DSE.
+
+#include <gtest/gtest.h>
+
+#include "core/accelerator.h"
+#include "core/dse.h"
+
+using namespace ascend;
+using namespace ascend::core;
+
+TEST(Accelerator, AreaComposition) {
+  AcceleratorConfig cfg;
+  cfg.softmax.by = 8;
+  cfg.softmax.s1 = 32;
+  cfg.softmax.s2 = 8;
+  cfg.softmax.k = 3;
+  const AcceleratorReport rep = accelerator_area(cfg);
+  EXPECT_GT(rep.total_area, 0.0);
+  EXPECT_NEAR(rep.total_area,
+              rep.softmax_total_area + rep.dot_fabric_area + rep.gelu_area +
+                  rep.norm_residual_area,
+              1e-6);
+  EXPECT_DOUBLE_EQ(rep.softmax_total_area, rep.softmax_block_area * cfg.softmax.k);
+  // The paper's regime: total in the millions of um^2, softmax a small slice
+  // at the low-end configuration.
+  EXPECT_GT(rep.total_area, 5e5);
+  EXPECT_LT(rep.softmax_fraction(), 0.5);
+}
+
+TEST(Accelerator, SoftmaxAreaGrowsAlongParetoConfigs) {
+  // Table VI: [4,128,2,2] -> [8,32,8,3] -> [16,128,16,4] -> [32,128,16,4]
+  const int bys[] = {4, 8, 16, 32};
+  const int s1s[] = {128, 32, 128, 128};
+  const int s2s[] = {2, 8, 16, 16};
+  const int ks[] = {2, 3, 4, 4};
+  double prev = 0.0;
+  double first_total = 0.0, last_total = 0.0;
+  for (int i = 0; i < 4; ++i) {
+    AcceleratorConfig cfg;
+    cfg.softmax.by = bys[i];
+    cfg.softmax.s1 = s1s[i];
+    cfg.softmax.s2 = s2s[i];
+    cfg.softmax.k = ks[i];
+    cfg.softmax.alpha_y = 1.0 / 64;
+    const AcceleratorReport rep = accelerator_area(cfg);
+    EXPECT_GT(rep.softmax_total_area, prev) << "config " << i;
+    prev = rep.softmax_total_area;
+    if (i == 0) first_total = rep.total_area;
+    last_total = rep.total_area;
+  }
+  // The softmax growth must be dramatic (paper: >30x block area) while the
+  // low-end config keeps softmax a small fraction of the accelerator.
+  AcceleratorConfig low;
+  low.softmax.by = 4;
+  low.softmax.s1 = 128;
+  low.softmax.s2 = 2;
+  low.softmax.k = 2;
+  EXPECT_GT(prev / accelerator_area(low).softmax_total_area, 10.0);
+  EXPECT_GT(last_total, first_total);
+}
+
+TEST(Dse, SmallSweepProducesParetoFront) {
+  // Reduced-m sweep to keep the test fast; the bench runs the full m = 64.
+  const DseResult res = sweep_softmax_design_space(/*bx=*/2, /*m=*/16, /*mae_rows=*/4, 1);
+  EXPECT_EQ(res.nominal_candidates, 2916);
+  EXPECT_GT(static_cast<int>(res.points.size()), 500);
+  EXPECT_EQ(static_cast<int>(res.points.size()) + res.infeasible, res.nominal_candidates);
+  ASSERT_FALSE(res.pareto.empty());
+
+  // Pareto front: strictly increasing ADP, strictly decreasing MAE.
+  for (std::size_t i = 1; i < res.pareto.size(); ++i) {
+    const DsePoint& a = res.points[res.pareto[i - 1]];
+    const DsePoint& b = res.points[res.pareto[i]];
+    EXPECT_LE(a.adp(), b.adp());
+    EXPECT_GT(a.mae, b.mae);
+  }
+  // No point dominates a front member.
+  for (std::size_t f : res.pareto)
+    for (const DsePoint& p : res.points) {
+      const bool dominates = p.adp() < res.points[f].adp() - 1e-9 &&
+                             p.mae < res.points[f].mae - 1e-12;
+      EXPECT_FALSE(dominates);
+    }
+}
+
+TEST(Dse, RejectsBadBx) {
+  EXPECT_THROW(sweep_softmax_design_space(3), std::invalid_argument);
+}
+
+TEST(ParetoFront, HandlesEdgeCases) {
+  std::vector<DsePoint> pts;
+  EXPECT_TRUE(pareto_front(pts).empty());
+  DsePoint a;
+  a.area_um2 = 1;
+  a.delay_ns = 1;
+  a.mae = 0.5;
+  pts.push_back(a);
+  const auto front = pareto_front(pts);
+  ASSERT_EQ(front.size(), 1u);
+  EXPECT_EQ(front[0], 0u);
+}

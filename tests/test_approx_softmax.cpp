@@ -1,0 +1,70 @@
+// Unit tests for the differentiable iterative approximate softmax.
+
+#include <gtest/gtest.h>
+
+#include "nn/approx_softmax.h"
+#include "nn/rng.h"
+#include "sc/softmax_iter.h"
+#include "test_util.h"
+
+using namespace ascend::nn;
+
+TEST(ApproxSoftmaxNn, MatchesFloatAlgorithmOne) {
+  // The layer must be the exact same recurrence as sc::softmax_iterative_ref.
+  ApproxSoftmax layer(3);
+  Rng rng(1);
+  Tensor x({5, 7});
+  rng.fill_normal(x, 0, 1.2);
+  const Tensor y = layer.forward(x);
+  for (int r = 0; r < 5; ++r) {
+    std::vector<double> row(7);
+    for (int c = 0; c < 7; ++c) row[static_cast<std::size_t>(c)] = x.at(r, c);
+    const auto ref = ascend::sc::softmax_iterative_ref(row, 3);
+    for (int c = 0; c < 7; ++c) EXPECT_NEAR(y.at(r, c), ref[static_cast<std::size_t>(c)], 1e-5);
+  }
+}
+
+TEST(ApproxSoftmaxNn, KOneIsSingleEulerStep) {
+  ApproxSoftmax layer(1);
+  Tensor x({1, 2});
+  x[0] = 1.0f;
+  x[1] = -1.0f;
+  const Tensor y = layer.forward(x);
+  // y0 = 0.5; z = {0.5, -0.5}; S = 0; y = y0 + z = {1.0, 0.0}.
+  EXPECT_NEAR(y[0], 1.0f, 1e-6);
+  EXPECT_NEAR(y[1], 0.0f, 1e-6);
+}
+
+TEST(ApproxSoftmaxNn, GradCheck) {
+  for (int k : {1, 2, 3, 5}) {
+    ApproxSoftmax layer(k);
+    Rng rng(10 + k);
+    Tensor x({3, 5});
+    rng.fill_normal(x, 0, 1);
+    Tensor gy({3, 5});
+    rng.fill_normal(gy, 0, 1);
+
+    (void)layer.forward(x);
+    const Tensor gx = layer.backward(gy);
+    auto loss = [&]() {
+      const Tensor y = layer.forward(x);
+      double l = 0;
+      for (std::size_t i = 0; i < y.size(); ++i) l += y[i] * gy[i];
+      return l;
+    };
+    EXPECT_LT(ascend::testing::max_grad_error(x, loss, gx), 3e-2) << "k=" << k;
+  }
+}
+
+TEST(ApproxSoftmaxNn, SetKValidates) {
+  ApproxSoftmax layer(2);
+  EXPECT_THROW(layer.set_k(0), std::invalid_argument);
+  layer.set_k(4);
+  EXPECT_EQ(layer.k(), 4);
+  EXPECT_THROW(ApproxSoftmax(0), std::invalid_argument);
+}
+
+TEST(ApproxSoftmaxNn, RejectsNonRank2) {
+  ApproxSoftmax layer(2);
+  EXPECT_THROW(layer.forward(Tensor({4})), std::invalid_argument);
+}

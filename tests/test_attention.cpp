@@ -1,0 +1,99 @@
+// Unit tests for multi-head self-attention.
+
+#include <gtest/gtest.h>
+
+#include "nn/attention.h"
+#include "test_util.h"
+
+using namespace ascend::nn;
+
+TEST(Msa, ForwardShape) {
+  Rng rng(1);
+  MultiHeadSelfAttention msa(8, 2, rng);
+  Tensor x({2 * 4, 8});
+  rng.fill_normal(x, 0, 1);
+  const Tensor y = msa.forward(x, /*batch=*/2, /*tokens=*/4);
+  EXPECT_EQ(y.dim(0), 8);
+  EXPECT_EQ(y.dim(1), 8);
+  EXPECT_THROW(msa.forward(Tensor({7, 8}), 2, 4), std::invalid_argument);
+  EXPECT_THROW(MultiHeadSelfAttention(7, 2, rng), std::invalid_argument);
+}
+
+TEST(Msa, GradCheckExactSoftmax) {
+  Rng rng(2);
+  MultiHeadSelfAttention msa(6, 2, rng);
+  Tensor x({1 * 3, 6});
+  rng.fill_normal(x, 0, 0.7);
+  Tensor gy({3, 6});
+  rng.fill_normal(gy, 0, 1);
+
+  auto loss = [&]() {
+    const Tensor y = msa.forward(x, 1, 3);
+    double l = 0;
+    for (std::size_t i = 0; i < y.size(); ++i) l += y[i] * gy[i];
+    return l;
+  };
+  std::vector<Param*> ps;
+  msa.collect_params(ps);
+  for (Param* p : ps) p->zero_grad();
+  (void)msa.forward(x, 1, 3);
+  const Tensor gx = msa.backward(gy);
+  EXPECT_LT(ascend::testing::max_grad_error(x, loss, gx), 4e-2);
+  // Also grad-check one weight matrix.
+  EXPECT_LT(ascend::testing::max_grad_error(msa.qkv().weight().value, loss,
+                                            msa.qkv().weight().grad),
+            4e-2);
+}
+
+TEST(Msa, GradCheckApproxSoftmax) {
+  Rng rng(3);
+  MultiHeadSelfAttention msa(4, 1, rng, /*approx_k=*/2);
+  msa.set_softmax_kind(SoftmaxKind::kApprox);
+  Tensor x({3, 4});
+  rng.fill_normal(x, 0, 0.7);
+  Tensor gy({3, 4});
+  rng.fill_normal(gy, 0, 1);
+
+  auto loss = [&]() {
+    const Tensor y = msa.forward(x, 1, 3);
+    double l = 0;
+    for (std::size_t i = 0; i < y.size(); ++i) l += y[i] * gy[i];
+    return l;
+  };
+  (void)msa.forward(x, 1, 3);
+  const Tensor gx = msa.backward(gy);
+  EXPECT_LT(ascend::testing::max_grad_error(x, loss, gx), 4e-2);
+}
+
+TEST(Msa, ApproxDiffersFromExact) {
+  Rng rng(4);
+  MultiHeadSelfAttention msa(8, 2, rng, 2);
+  Tensor x({4, 8});
+  rng.fill_normal(x, 0, 1.0);
+  const Tensor exact = msa.forward(x, 1, 4);
+  msa.set_softmax_kind(SoftmaxKind::kApprox);
+  const Tensor approx = msa.forward(x, 1, 4);
+  double diff = 0;
+  for (std::size_t i = 0; i < exact.size(); ++i) diff += std::fabs(exact[i] - approx[i]);
+  EXPECT_GT(diff, 1e-4);  // k=2 truncation is visible
+  EXPECT_LT(diff / static_cast<double>(exact.size()), 3.0);  // but not wild
+}
+
+TEST(Msa, SoftmaxHookOverrides) {
+  Rng rng(5);
+  MultiHeadSelfAttention msa(4, 1, rng);
+  Tensor x({2, 4});
+  rng.fill_normal(x, 0, 1);
+  bool called = false;
+  msa.set_softmax_hook([&called](const Tensor& scores) {
+    called = true;
+    Tensor uniform(scores.shape(), 1.0f / scores.dim(1));
+    return uniform;
+  });
+  (void)msa.forward(x, 1, 2);
+  EXPECT_TRUE(called);
+  EXPECT_THROW(msa.backward(Tensor({2, 4})), std::logic_error);
+  msa.clear_softmax_hook();
+  (void)msa.forward(x, 1, 2);
+  EXPECT_NO_THROW(msa.backward(Tensor({2, 4})));
+}

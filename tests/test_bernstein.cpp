@@ -1,0 +1,108 @@
+// Unit tests for the Bernstein-polynomial (ReSC) baseline.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sc/bernstein.h"
+#include "sc/gate_si.h"  // gelu_exact
+
+using namespace ascend::sc;
+
+TEST(Bernstein, ConstantPolynomial) {
+  BernsteinUnit u({0.3});
+  for (double x : {0.0, 0.5, 1.0}) EXPECT_DOUBLE_EQ(u.eval_exact(x), 0.3);
+}
+
+TEST(Bernstein, LinearPolynomialEndpoints) {
+  // Degree-1 Bernstein: B(u) = b0 (1-u) + b1 u.
+  BernsteinUnit u({0.1, 0.9});
+  EXPECT_DOUBLE_EQ(u.eval_exact(0.0), 0.1);
+  EXPECT_DOUBLE_EQ(u.eval_exact(1.0), 0.9);
+  EXPECT_NEAR(u.eval_exact(0.5), 0.5, 1e-12);
+}
+
+TEST(Bernstein, CoefficientsValidated) {
+  EXPECT_THROW(BernsteinUnit({1.2}), std::invalid_argument);
+  EXPECT_THROW(BernsteinUnit({-0.1, 0.5}), std::invalid_argument);
+  EXPECT_THROW(BernsteinUnit({}), std::invalid_argument);
+}
+
+TEST(BernsteinFit, RecoversRepresentableTarget) {
+  // x^2 on [0,1] is exactly degree-2 Bernstein with b = {0, 0, 1}.
+  const BernsteinUnit u = BernsteinUnit::fit([](double x) { return x * x; }, 3);
+  EXPECT_NEAR(u.coefficients()[0], 0.0, 1e-3);
+  EXPECT_NEAR(u.coefficients()[1], 0.0, 1e-3);
+  EXPECT_NEAR(u.coefficients()[2], 1.0, 1e-3);
+}
+
+TEST(BernsteinFit, ErrorDecreasesWithDegree) {
+  auto target = [](double u) { return 0.5 + 0.4 * std::sin(6.0 * u); };
+  auto fit_err = [&](int terms) {
+    const BernsteinUnit u = BernsteinUnit::fit(target, terms);
+    double err = 0.0;
+    for (int i = 0; i <= 200; ++i) {
+      const double x = i / 200.0;
+      err += std::fabs(u.eval_exact(x) - target(x));
+    }
+    return err / 201.0;
+  };
+  const double e4 = fit_err(4), e6 = fit_err(6), e8 = fit_err(8);
+  EXPECT_GT(e4, e6);
+  EXPECT_GT(e6, e8);
+}
+
+TEST(BernsteinStochastic, ConvergesToExactWithBsl) {
+  const BernsteinUnit u = BernsteinUnit::fit([](double x) { return x * x; }, 4);
+  const double exact = u.eval_exact(0.6);
+  double err_short = 0.0, err_long = 0.0;
+  const int reps = 24;
+  for (int r = 0; r < reps; ++r) {
+    err_short += std::fabs(u.eval_stochastic(0.6, 128, 1000 + r) - exact);
+    err_long += std::fabs(u.eval_stochastic(0.6, 8192, 2000 + r) - exact);
+  }
+  EXPECT_LT(err_long / reps, err_short / reps);
+  EXPECT_LT(err_long / reps, 0.02);
+}
+
+TEST(BernsteinGelu, FitQualityImprovesWithTerms) {
+  // Measured over the unit's own input range (fit error only).
+  auto mae = [](int terms) {
+    const BernsteinGelu g(terms);
+    double total = 0.0;
+    int cnt = 0;
+    for (int i = 0; i <= 300; ++i) {
+      const double x = -4.0 + 5.5 * i / 300.0;
+      total += std::fabs(g.eval_exact(x) - gelu_exact(x));
+      ++cnt;
+    }
+    return total / cnt;
+  };
+  const double m4 = mae(4), m5 = mae(5), m6 = mae(6);
+  EXPECT_GT(m4, m5);
+  EXPECT_GT(m5, m6);
+  EXPECT_LT(m6, 0.06);  // degree-5 over the fit range: decent, not exact
+}
+
+TEST(BernsteinGelu, StochasticEvaluationTracksFit) {
+  const BernsteinGelu g(5);
+  for (double x : {-2.0, -0.75, 0.0, 1.5}) {
+    double acc = 0.0;
+    const int reps = 16;
+    for (int r = 0; r < reps; ++r)
+      acc += g.eval_stochastic(x, 2048, static_cast<std::uint64_t>(r) * 31 + 5);
+    EXPECT_NEAR(acc / reps, g.eval_exact(x), 0.08) << "x=" << x;
+  }
+}
+
+TEST(BernsteinGelu, ShortStreamsFluctuate) {
+  // Fig. 2(b): noticeable computation fluctuation at short BSL.
+  const BernsteinGelu g(4);
+  double lo = 1e9, hi = -1e9;
+  for (int seed = 1; seed <= 12; ++seed) {
+    const double y = g.eval_stochastic(0.0, 128, static_cast<std::uint64_t>(seed));
+    lo = std::min(lo, y);
+    hi = std::max(hi, y);
+  }
+  EXPECT_GT(hi - lo, 0.05);
+}

@@ -1,0 +1,138 @@
+// Unit tests for the word-packed bit vector.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "sc/bitvec.h"
+
+using ascend::sc::BitVec;
+
+TEST(BitVec, DefaultIsEmpty) {
+  BitVec v;
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.count(), 0u);
+}
+
+TEST(BitVec, ConstructFilled) {
+  BitVec zeros(70, false);
+  EXPECT_EQ(zeros.size(), 70u);
+  EXPECT_EQ(zeros.count(), 0u);
+  BitVec ones(70, true);
+  EXPECT_EQ(ones.count(), 70u);
+  for (std::size_t i = 0; i < 70; ++i) EXPECT_TRUE(ones.get(i));
+}
+
+TEST(BitVec, SetGetRoundtrip) {
+  BitVec v(130);
+  v.set(0, true);
+  v.set(63, true);
+  v.set(64, true);
+  v.set(129, true);
+  EXPECT_TRUE(v.get(0));
+  EXPECT_TRUE(v.get(63));
+  EXPECT_TRUE(v.get(64));
+  EXPECT_TRUE(v.get(129));
+  EXPECT_FALSE(v.get(1));
+  EXPECT_EQ(v.count(), 4u);
+  v.set(63, false);
+  EXPECT_EQ(v.count(), 3u);
+}
+
+TEST(BitVec, OutOfRangeThrows) {
+  BitVec v(8);
+  EXPECT_THROW(v.get(8), std::out_of_range);
+  EXPECT_THROW(v.set(9, true), std::out_of_range);
+}
+
+TEST(BitVec, FromStringToString) {
+  const std::string s = "1101001";
+  BitVec v = BitVec::from_string(s);
+  EXPECT_EQ(v.to_string(), s);
+  EXPECT_EQ(v.count(), 4u);
+  EXPECT_THROW(BitVec::from_string("10x"), std::invalid_argument);
+}
+
+TEST(BitVec, PushBackAndAppend) {
+  BitVec v;
+  for (int i = 0; i < 100; ++i) v.push_back(i % 3 == 0);
+  EXPECT_EQ(v.size(), 100u);
+  EXPECT_EQ(v.count(), 34u);
+  BitVec w = BitVec::from_string("11");
+  w.append(v);
+  EXPECT_EQ(w.size(), 102u);
+  EXPECT_EQ(w.count(), 36u);
+  EXPECT_TRUE(w.get(0));
+  EXPECT_TRUE(w.get(2));  // first bit of v (i=0 -> true)
+}
+
+TEST(BitVec, Slice) {
+  BitVec v = BitVec::from_string("11010011");
+  EXPECT_EQ(v.slice(2, 4).to_string(), "0100");
+  EXPECT_EQ(v.slice(0, 8).to_string(), "11010011");
+  EXPECT_THROW(v.slice(5, 4), std::out_of_range);
+}
+
+TEST(BitVec, Subsample) {
+  BitVec v = BitVec::from_string("10101010");
+  EXPECT_EQ(v.subsample(0, 2).to_string(), "1111");
+  EXPECT_EQ(v.subsample(1, 2).to_string(), "0000");
+  EXPECT_EQ(v.subsample(3, 4).to_string(), "00");
+  EXPECT_THROW(v.subsample(0, 0), std::invalid_argument);
+}
+
+TEST(BitVec, Reversed) {
+  BitVec v = BitVec::from_string("1100");
+  EXPECT_EQ(v.reversed().to_string(), "0011");
+}
+
+TEST(BitVec, LogicOps) {
+  BitVec a = BitVec::from_string("1100");
+  BitVec b = BitVec::from_string("1010");
+  EXPECT_EQ((a & b).to_string(), "1000");
+  EXPECT_EQ((a | b).to_string(), "1110");
+  EXPECT_EQ((a ^ b).to_string(), "0110");
+  EXPECT_EQ((~a).to_string(), "0011");
+  BitVec c(5);
+  EXPECT_THROW(a & c, std::invalid_argument);
+}
+
+TEST(BitVec, NotMasksTailCorrectly) {
+  // ~ must not set ghost bits beyond size (would corrupt count()).
+  BitVec v(67, false);
+  BitVec n = ~v;
+  EXPECT_EQ(n.count(), 67u);
+  BitVec nn = ~n;
+  EXPECT_EQ(nn.count(), 0u);
+}
+
+TEST(BitVec, SortedDescendingDetection) {
+  EXPECT_TRUE(BitVec::from_string("111000").is_sorted_descending());
+  EXPECT_TRUE(BitVec::from_string("000000").is_sorted_descending());
+  EXPECT_TRUE(BitVec::from_string("111111").is_sorted_descending());
+  EXPECT_FALSE(BitVec::from_string("110100").is_sorted_descending());
+  EXPECT_TRUE(BitVec().is_sorted_descending());
+}
+
+class BitVecRandomOps : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitVecRandomOps, CountMatchesNaive) {
+  std::mt19937 rng(GetParam());
+  const std::size_t n = 1 + rng() % 300;
+  BitVec v(n);
+  std::size_t expect = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool b = rng() & 1;
+    v.set(i, b);
+    expect += b;
+  }
+  EXPECT_EQ(v.count(), expect);
+  // De Morgan on random vectors.
+  BitVec w(n);
+  for (std::size_t i = 0; i < n; ++i) w.set(i, rng() & 1);
+  EXPECT_EQ((~(v & w)).to_string(), ((~v) | (~w)).to_string());
+  EXPECT_EQ((~(v | w)).to_string(), ((~v) & (~w)).to_string());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitVecRandomOps, ::testing::Range(1, 17));

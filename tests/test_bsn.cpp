@@ -1,0 +1,95 @@
+// Unit tests for the bitonic sorting network.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "sc/bsn.h"
+
+using namespace ascend::sc;
+
+TEST(Bsn, NextPow2) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(1000), 1024u);
+}
+
+TEST(Bsn, SortsSmallVectors) {
+  EXPECT_EQ(bsn_sort(BitVec::from_string("0101")).to_string(), "1100");
+  EXPECT_EQ(bsn_sort(BitVec::from_string("0011")).to_string(), "1100");
+  EXPECT_EQ(bsn_sort(BitVec::from_string("1111")).to_string(), "1111");
+  EXPECT_EQ(bsn_sort(BitVec::from_string("0000")).to_string(), "0000");
+}
+
+TEST(Bsn, HandlesTrivialSizes) {
+  EXPECT_EQ(bsn_sort(BitVec()).size(), 0u);
+  EXPECT_EQ(bsn_sort(BitVec::from_string("1")).to_string(), "1");
+  EXPECT_EQ(bsn_sort(BitVec::from_string("0")).to_string(), "0");
+}
+
+TEST(Bsn, ExhaustiveWidth8) {
+  // Every 8-bit pattern must sort to the canonical code with the same count.
+  for (int pattern = 0; pattern < 256; ++pattern) {
+    BitVec v(8);
+    for (int b = 0; b < 8; ++b) v.set(static_cast<std::size_t>(b), (pattern >> b) & 1);
+    const std::size_t ones = v.count();
+    const BitVec sorted = bsn_sort(v);
+    EXPECT_EQ(sorted.count(), ones);
+    EXPECT_TRUE(sorted.is_sorted_descending()) << sorted.to_string();
+  }
+}
+
+class BsnRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(BsnRandom, NonPowerOfTwoSizes) {
+  std::mt19937 rng(GetParam());
+  const std::size_t n = 2 + rng() % 600;  // exercises the zero-padding path
+  BitVec v(n);
+  for (std::size_t i = 0; i < n; ++i) v.set(i, rng() & 1);
+  const std::size_t ones = v.count();
+  const BitVec sorted = bsn_sort(v);
+  EXPECT_EQ(sorted.size(), n);
+  EXPECT_EQ(sorted.count(), ones);
+  EXPECT_TRUE(sorted.is_sorted_descending());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BsnRandom, ::testing::Range(100, 120));
+
+TEST(Bsn, CompareExchangeCountFormula) {
+  // Classic bitonic CE counts: n/2 * s(s+1)/2 with s = log2 n.
+  EXPECT_EQ(bsn_compare_exchange_count(2), 1u);
+  EXPECT_EQ(bsn_compare_exchange_count(4), 6u);
+  EXPECT_EQ(bsn_compare_exchange_count(8), 24u);
+  EXPECT_EQ(bsn_compare_exchange_count(16), 80u);
+  EXPECT_EQ(bsn_compare_exchange_count(1024), 28160u);
+  EXPECT_EQ(bsn_compare_exchange_count(0), 0u);
+  EXPECT_EQ(bsn_compare_exchange_count(1), 0u);
+  // Non-power-of-two rounds up.
+  EXPECT_EQ(bsn_compare_exchange_count(5), bsn_compare_exchange_count(8));
+}
+
+TEST(Bsn, DepthFormula) {
+  EXPECT_EQ(bsn_depth(2), 1u);
+  EXPECT_EQ(bsn_depth(4), 3u);
+  EXPECT_EQ(bsn_depth(8), 6u);
+  EXPECT_EQ(bsn_depth(1024), 55u);
+}
+
+TEST(BsnMerge, CheaperThanFullSort) {
+  // Merging sorted bundles must cost strictly less than sorting from
+  // scratch, and reduce to the full sorter when leaves are single bits.
+  EXPECT_LT(bsn_merge_compare_exchange_count(512, 8), bsn_compare_exchange_count(512));
+  EXPECT_EQ(bsn_merge_compare_exchange_count(512, 1), bsn_compare_exchange_count(512));
+  EXPECT_EQ(bsn_merge_compare_exchange_count(64, 64), 0u);  // already sorted
+  // Known value: n=512 (T=9), leaf=8 (L=3): 256*(45-6) = 9984.
+  EXPECT_EQ(bsn_merge_compare_exchange_count(512, 8), 9984u);
+  EXPECT_EQ(bsn_merge_depth(512, 8), 39u);
+}
+
+TEST(Bsn, CostGrowsSuperlinearly) {
+  // Doubling the width more than doubles the CE count (N log^2 N scaling) —
+  // the effect that makes By the dominant area knob in the softmax block.
+  for (std::size_t n = 8; n <= 2048; n *= 2)
+    EXPECT_GT(bsn_compare_exchange_count(2 * n), 2 * bsn_compare_exchange_count(n));
+}

@@ -1,0 +1,160 @@
+// Cross-cutting equivalence tests: the properties that let the fast
+// count-level network evaluation stand in for the bit-level circuits.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "nn/quant.h"
+#include "nn/rng.h"
+#include "sc/softmax_iter.h"
+#include "sc/therm_arith.h"
+
+using namespace ascend;
+using namespace ascend::sc;
+
+// ---------------------------------------------------------------------------
+// SC linear algebra is exact on quantized values: a dot product computed with
+// truth-table multipliers and a BSN adder equals the float dot product of the
+// quantized operands — the reason vit/sc_inference only needs to emulate the
+// nonlinear blocks.
+// ---------------------------------------------------------------------------
+
+TEST(CircuitEquivalence, ThermDotProductIsExact) {
+  std::mt19937 rng(1);
+  std::uniform_int_distribution<int> wlevel(0, 2), alevel(0, 2);
+  const double alpha_w = 0.37, alpha_a = 0.61;
+  for (int trial = 0; trial < 50; ++trial) {
+    const int n = 2 + static_cast<int>(rng() % 30);
+    std::vector<ThermValue> prods;
+    double expect = 0.0;
+    for (int i = 0; i < n; ++i) {
+      const ThermValue w{wlevel(rng), 2, alpha_w};  // ternary weight
+      const ThermValue a{alevel(rng), 2, alpha_a};  // ternary activation
+      prods.push_back(mult(w, a));
+      expect += w.value() * a.value();
+    }
+    const ThermValue acc = add(prods);
+    EXPECT_NEAR(acc.value(), expect, 1e-12);
+  }
+}
+
+TEST(CircuitEquivalence, LsqValuesLandOnThermGrid) {
+  // Every LSQ-quantized value is representable exactly as a thermometer
+  // number with alpha = step and BSL = quantizer levels - 1.
+  nn::LsqQuantizer q(nn::QuantSpec::from_bsl(2));
+  nn::Rng nrng(2);
+  nn::Tensor x({64, 4});
+  nrng.fill_normal(x, 0, 1);
+  const nn::Tensor y = q.forward(x);
+  const double step = q.step();
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    const ThermValue t = ThermValue::encode(y[i], 2, step);
+    EXPECT_NEAR(t.value(), y[i], 1e-6);
+  }
+}
+
+TEST(CircuitEquivalence, ResidualAccumulationExactOnR16Grid) {
+  // W2*A2 products re-gridded onto the R16 residual grid, then accumulated:
+  // the only inexactness is the documented re-scaler quantization.
+  const double alpha_r = 0.25;
+  std::mt19937 rng(3);
+  for (int trial = 0; trial < 30; ++trial) {
+    const ThermValue p1{static_cast<int>(rng() % 3), 2, 0.5};
+    const ThermValue p2{static_cast<int>(rng() % 3), 2, 0.5};
+    const ThermValue r1 = rescale(mult(p1, ThermValue{2, 2, 1.0}), 16, alpha_r);
+    const ThermValue r2 = rescale(mult(p2, ThermValue{2, 2, 1.0}), 16, alpha_r);
+    const ThermValue sum = add({r1, r2});
+    EXPECT_NEAR(sum.value(), r1.value() + r2.value(), 1e-12);
+    EXPECT_LE(std::fabs(r1.value() - p1.value()), alpha_r + 1e-12);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Full softmax block: bit-level == count-level across a configuration sweep.
+// ---------------------------------------------------------------------------
+
+struct SoftmaxEqCase {
+  int m, k, bx, by, s1, s2, e;
+  double ax, ay;
+};
+
+class SoftmaxBitCountEquivalence : public ::testing::TestWithParam<SoftmaxEqCase> {};
+
+TEST_P(SoftmaxBitCountEquivalence, Exact) {
+  const SoftmaxEqCase c = GetParam();
+  SoftmaxIterConfig cfg;
+  cfg.m = c.m;
+  cfg.k = c.k;
+  cfg.bx = c.bx;
+  cfg.by = c.by;
+  cfg.s1 = c.s1;
+  cfg.s2 = c.s2;
+  cfg.align_expand = c.e;
+  cfg.alpha_x = c.ax;
+  cfg.alpha_y = c.ay;
+  const auto rows = sample_attention_logits(cfg.m, 6, 0xE0);
+  for (const auto& row : rows) {
+    const auto fast = softmax_iterative_sc(row, cfg);
+    const auto bits = softmax_iterative_sc_bits(row, cfg);
+    for (std::size_t i = 0; i < fast.size(); ++i) EXPECT_DOUBLE_EQ(fast[i], bits[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, SoftmaxBitCountEquivalence,
+    ::testing::Values(SoftmaxEqCase{4, 2, 2, 4, 2, 2, 2, 2.0, 0.25},
+                      SoftmaxEqCase{8, 3, 4, 8, 4, 4, 4, 1.0, 0.125},
+                      SoftmaxEqCase{8, 2, 4, 8, 8, 2, 2, 1.5, 0.125},
+                      SoftmaxEqCase{8, 4, 4, 4, 4, 2, 4, 1.0, 0.125},
+                      SoftmaxEqCase{16, 3, 2, 4, 8, 2, 2, 2.0, 1.0 / 16},
+                      SoftmaxEqCase{8, 3, 4, 8, 4, 4, 4, 0.8, 0.15},
+                      SoftmaxEqCase{8, 1, 4, 8, 4, 4, 4, 1.0, 0.125}));
+
+// ---------------------------------------------------------------------------
+// Floor vs centered tap ablation is visible but bounded.
+// ---------------------------------------------------------------------------
+
+TEST(CircuitEquivalence, TapPlacementChangesResultsBoundedly) {
+  SoftmaxIterConfig cfg;
+  cfg.m = 16;
+  cfg.k = 3;
+  cfg.bx = 8;
+  cfg.by = 16;
+  cfg.s1 = 16;
+  cfg.s2 = 4;
+  cfg.alpha_x = 0.75;
+  cfg.alpha_y = 1.0 / 16;
+  cfg.centered_subsample = true;
+  const double centered = softmax_sc_mae(cfg, 24, 6);
+  cfg.centered_subsample = false;
+  const double floored = softmax_sc_mae(cfg, 24, 6);
+  EXPECT_LE(centered, floored + 1e-9);           // rounding never hurts on average
+  EXPECT_LT(floored, 4.0 * centered + 0.05);     // and floor is not catastrophic
+}
+
+// ---------------------------------------------------------------------------
+// Chained re-scaling keeps values within the accumulated grid error.
+// ---------------------------------------------------------------------------
+
+class RescaleChain : public ::testing::TestWithParam<int> {};
+
+TEST_P(RescaleChain, ErrorStaysBounded) {
+  std::mt19937 rng(GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    const ThermValue start{static_cast<int>(rng() % 33), 32, 0.05};
+    ThermValue v = start;
+    double max_alpha = v.alpha;
+    for (int hop = 0; hop < 4; ++hop) {
+      const int lt = 2 * (4 + static_cast<int>(rng() % 14));
+      const double at = 0.03 * (1 + static_cast<int>(rng() % 8));
+      // Keep the value in range to avoid saturation (tested separately).
+      if (std::fabs(v.value()) > at * lt / 2.0 - at) break;
+      v = rescale(v, lt, at);
+      max_alpha = std::max(max_alpha, at);
+    }
+    EXPECT_LE(std::fabs(v.value() - start.value()), 4.0 * 1.5 * max_alpha + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RescaleChain, ::testing::Range(50, 58));

@@ -1,0 +1,111 @@
+// Unit tests for the synthetic vision dataset.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "vit/dataset.h"
+
+using namespace ascend::vit;
+
+TEST(SyntheticVision, ShapesAndLabels) {
+  const Dataset d = make_synthetic_vision(50, 10, 1);
+  EXPECT_EQ(d.size(), 50);
+  EXPECT_EQ(d.images.dim(1), 3 * 32 * 32);
+  EXPECT_EQ(d.classes, 10);
+  for (int label : d.labels) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, 10);
+  }
+}
+
+TEST(SyntheticVision, DeterministicPerSeed) {
+  const Dataset a = make_synthetic_vision(10, 10, 42);
+  const Dataset b = make_synthetic_vision(10, 10, 42);
+  EXPECT_EQ(a.labels, b.labels);
+  for (std::size_t i = 0; i < a.images.size(); ++i) EXPECT_FLOAT_EQ(a.images[i], b.images[i]);
+  const Dataset c = make_synthetic_vision(10, 10, 43);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.images.size() && !any_diff; ++i)
+    any_diff = a.images[i] != c.images[i];
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SyntheticVision, PixelRangeBounded) {
+  const Dataset d = make_synthetic_vision(20, 10, 7);
+  for (std::size_t i = 0; i < d.images.size(); ++i) {
+    EXPECT_GT(d.images[i], -3.0f);
+    EXPECT_LT(d.images[i], 3.0f);
+  }
+}
+
+TEST(SyntheticVision, ClassesAreSeparable) {
+  // Nearest-centroid classification on raw pixels must beat chance by a wide
+  // margin — otherwise the accuracy benches would be meaningless.
+  const int classes = 10;
+  const Dataset train = make_synthetic_vision(400, classes, 11);
+  const Dataset test = make_synthetic_vision(200, classes, 12);
+  const int pix = 3 * 32 * 32;
+
+  std::vector<std::vector<double>> centroid(classes, std::vector<double>(pix, 0.0));
+  std::vector<int> count(classes, 0);
+  for (int i = 0; i < train.size(); ++i) {
+    const int c = train.labels[static_cast<std::size_t>(i)];
+    ++count[static_cast<std::size_t>(c)];
+    for (int p = 0; p < pix; ++p)
+      centroid[static_cast<std::size_t>(c)][static_cast<std::size_t>(p)] +=
+          train.images[static_cast<std::size_t>(i) * pix + p];
+  }
+  for (int c = 0; c < classes; ++c)
+    for (int p = 0; p < pix; ++p)
+      centroid[static_cast<std::size_t>(c)][static_cast<std::size_t>(p)] /=
+          std::max(count[static_cast<std::size_t>(c)], 1);
+
+  int correct = 0;
+  for (int i = 0; i < test.size(); ++i) {
+    double best = 1e300;
+    int best_c = 0;
+    for (int c = 0; c < classes; ++c) {
+      double dist = 0;
+      for (int p = 0; p < pix; ++p) {
+        const double d = test.images[static_cast<std::size_t>(i) * pix + p] -
+                         centroid[static_cast<std::size_t>(c)][static_cast<std::size_t>(p)];
+        dist += d * d;
+      }
+      if (dist < best) {
+        best = dist;
+        best_c = c;
+      }
+    }
+    correct += (best_c == test.labels[static_cast<std::size_t>(i)]) ? 1 : 0;
+  }
+  const double acc = static_cast<double>(correct) / test.size();
+  EXPECT_GT(acc, 0.2);  // chance = 0.1
+}
+
+TEST(SyntheticVision, TwentyClassVariantHarder) {
+  const Dataset d = make_synthetic_vision(30, 20, 5);
+  EXPECT_EQ(d.classes, 20);
+  int max_label = 0;
+  for (int l : d.labels) max_label = std::max(max_label, l);
+  EXPECT_GT(max_label, 9);  // uses the extended label space
+}
+
+TEST(TakeBatch, GathersRows) {
+  const Dataset d = make_synthetic_vision(10, 10, 3);
+  const Batch b = take_batch(d, {3, 7});
+  EXPECT_EQ(b.images.dim(0), 2);
+  EXPECT_EQ(b.labels.size(), 2u);
+  EXPECT_EQ(b.labels[0], d.labels[3]);
+  const int pix = 3 * 32 * 32;
+  for (int p = 0; p < pix; ++p)
+    EXPECT_FLOAT_EQ(b.images[static_cast<std::size_t>(p)],
+                    d.images[3 * static_cast<std::size_t>(pix) + p]);
+  EXPECT_THROW(take_batch(d, {99}), std::out_of_range);
+}
+
+TEST(SyntheticVision, RejectsBadArgs) {
+  EXPECT_THROW(make_synthetic_vision(0, 10, 1), std::invalid_argument);
+  EXPECT_THROW(make_synthetic_vision(5, 1, 1), std::invalid_argument);
+}

@@ -1,0 +1,125 @@
+// Unit tests for the FSM / saturating-counter baseline units.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sc/fsm_units.h"
+
+using namespace ascend::sc;
+
+namespace {
+
+/// Long-stream decoded output of a Stanh FSM at bipolar input value x.
+double stanh_response(int n_states, double x, std::size_t bsl = 1 << 15) {
+  LfsrSource src(17, 0x1234);
+  const StochStream s = StochStream::encode(x, bsl, StochFormat::kBipolar, 1.0, src);
+  FsmTanh fsm(n_states);
+  std::size_t ones = 0;
+  for (std::size_t t = 0; t < bsl; ++t) ones += fsm.step(s.bits.get(t)) ? 1 : 0;
+  return 2.0 * static_cast<double>(ones) / static_cast<double>(bsl) - 1.0;
+}
+
+}  // namespace
+
+TEST(FsmTanh, ApproximatesTanh) {
+  // Brown-Card: output ~ tanh(N x / 2) for N-state counters. The finite-BSL
+  // stationary distribution deviates in the knee region, so the tolerance is
+  // generous; shape properties (sign, monotonicity) are asserted tightly.
+  double prev = -2.0;
+  for (double x : {-0.8, -0.4, 0.0, 0.4, 0.8}) {
+    const double r = stanh_response(8, x);
+    EXPECT_NEAR(r, std::tanh(4.0 * x), 0.25) << "x=" << x;
+    EXPECT_GT(r, prev);
+    if (x < -0.05) {
+      EXPECT_LT(r, 0.0);
+    }
+    if (x > 0.05) {
+      EXPECT_GT(r, 0.0);
+    }
+    prev = r;
+  }
+}
+
+TEST(FsmTanh, SaturatesAtRails) {
+  EXPECT_NEAR(stanh_response(8, 1.0), 1.0, 0.02);
+  EXPECT_NEAR(stanh_response(8, -1.0), -1.0, 0.02);
+}
+
+TEST(FsmTanh, RejectsTooFewStates) { EXPECT_THROW(FsmTanh(1), std::invalid_argument); }
+
+TEST(FsmExp, MonotoneDecreasingInInput) {
+  auto response = [](double x) {
+    LfsrSource src(16, 0x777);
+    const std::size_t bsl = 1 << 14;
+    const StochStream s = StochStream::encode(x, bsl, StochFormat::kBipolar, 1.0, src);
+    FsmExp fsm(32, 4);
+    std::size_t ones = 0;
+    for (std::size_t t = 0; t < bsl; ++t) ones += fsm.step(s.bits.get(t)) ? 1 : 0;
+    return static_cast<double>(ones) / static_cast<double>(bsl);
+  };
+  double prev = 2.0;
+  for (double x : {-0.9, -0.5, 0.0, 0.5, 0.9}) {
+    const double r = response(x);
+    EXPECT_LT(r, prev + 0.03) << "x=" << x;
+    prev = r;
+  }
+}
+
+TEST(FsmExp, RejectsBadConfig) {
+  EXPECT_THROW(FsmExp(8, 0), std::invalid_argument);
+  EXPECT_THROW(FsmExp(8, 8), std::invalid_argument);
+}
+
+TEST(FsmGelu, PositiveRangeFollowsGelu) {
+  FsmGelu unit(3.5);
+  LfsrSource a(16, 0x1357), b(17, 0x2468);
+  // Average several evaluations to squeeze the stochastic fluctuation.
+  for (double x : {1.0, 2.0, 3.0}) {
+    double acc = 0.0;
+    const int reps = 16;
+    for (int r = 0; r < reps; ++r) acc += unit.eval(x, 4096, a, b);
+    const double gelu = 0.5 * x * (1.0 + std::erf(x / std::sqrt(2.0)));
+    EXPECT_NEAR(acc / reps, gelu, 0.25) << "x=" << x;
+  }
+}
+
+TEST(FsmGelu, NegativeRangeSaturatesAtZero) {
+  // The systematic failure of Fig. 2(a): for x <= -1.5 the FSM output sits
+  // near 0 instead of following GELU's dip.
+  FsmGelu unit(3.5);
+  LfsrSource a(16, 0x99), b(17, 0xAA);
+  for (double x : {-3.0, -2.0}) {
+    double acc = 0.0;
+    const int reps = 16;
+    for (int r = 0; r < reps; ++r) acc += unit.eval(x, 4096, a, b);
+    EXPECT_NEAR(acc / reps, 0.0, 0.15) << "x=" << x;
+  }
+}
+
+TEST(FsmGelu, ShortStreamsFluctuate) {
+  // Different SNG seeds at BSL 128 must produce visibly different outputs —
+  // the random error the paper's parallel design eliminates.
+  FsmGelu unit(3.5);
+  double lo = 1e9, hi = -1e9;
+  for (int seed = 1; seed <= 12; ++seed) {
+    LfsrSource a(16, static_cast<std::uint32_t>(seed * 1337));
+    LfsrSource b(17, static_cast<std::uint32_t>(seed * 7331));
+    const double y = unit.eval(1.0, 128, a, b);
+    lo = std::min(lo, y);
+    hi = std::max(hi, y);
+  }
+  EXPECT_GT(hi - lo, 0.05);
+}
+
+TEST(FsmRelu, BasicShape) {
+  FsmRelu unit(2.0);
+  LfsrSource a(16, 0x51), b(17, 0x52);
+  double acc_pos = 0.0, acc_neg = 0.0;
+  for (int r = 0; r < 16; ++r) {
+    acc_pos += unit.eval(1.5, 4096, a, b);
+    acc_neg += unit.eval(-1.5, 4096, a, b);
+  }
+  EXPECT_NEAR(acc_pos / 16, 1.5, 0.2);
+  EXPECT_NEAR(acc_neg / 16, 0.0, 0.2);
+}

@@ -1,0 +1,130 @@
+// Unit tests for gate-assisted SI — including a bit-for-bit check of the
+// paper's Fig. 4 ternary GELU truth table.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "sc/gate_si.h"
+
+using namespace ascend::sc;
+
+TEST(GateSi, GeluExactReference) {
+  EXPECT_NEAR(gelu_exact(0.0), 0.0, 1e-12);
+  EXPECT_NEAR(gelu_exact(-0.7518), -0.17, 0.001);  // global minimum
+  EXPECT_NEAR(gelu_exact(3.0), 2.9960, 0.001);
+  EXPECT_NEAR(gelu_exact(-3.0), -0.0040, 0.001);
+}
+
+TEST(GateSi, TernaryGeluTruthTableMatchesPaper) {
+  // Fig. 4: s[2:0] transitions 000 -> 100 -> 110 -> 111 as the input count
+  // grows; output codes are 0, -1, 0, +1 (ones-counts 1, 0, 1, 2).
+  const GateAssistedSI g = GateAssistedSI::ternary_gelu();
+  ASSERT_EQ(g.lin(), 8);
+  ASSERT_EQ(g.lout(), 2);
+  struct Row {
+    int input_count;
+    int expected_out_count;
+    double expected_value;  // with alpha_out = 1
+  };
+  // Representative input counts per selection pattern region.
+  const Row rows[] = {
+      {0, 1, 0.0},   // s = 000 -> "10" -> 0
+      {1, 1, 0.0},
+      {2, 0, -1.0},  // s = 100 -> "00" -> -1
+      {3, 0, -1.0},
+      {4, 1, 0.0},   // s = 110 -> "10" -> 0
+      {6, 1, 0.0},
+      {7, 2, 1.0},   // s = 111 -> "11" -> +1
+      {8, 2, 1.0},
+  };
+  for (const Row& r : rows) {
+    const ThermValue out = g.apply(ThermValue{r.input_count, 8, 1.0});
+    EXPECT_EQ(out.ones, r.expected_out_count) << "input count " << r.input_count;
+    EXPECT_DOUBLE_EQ(out.value(), r.expected_value);
+  }
+}
+
+TEST(GateSi, TernaryGeluBitLevelGateLogic) {
+  // The bit-level path goes through the interval assist gates, not a lookup.
+  const GateAssistedSI g = GateAssistedSI::ternary_gelu();
+  for (int n = 0; n <= 8; ++n) {
+    const ThermStream in = ThermStream::from_value(ThermValue{n, 8, 1.0});
+    const ThermStream out = g.apply(in);
+    EXPECT_EQ(out.ones(), g.apply(in.to_value()).ones) << "n=" << n;
+    EXPECT_EQ(out.length(), 2);
+  }
+}
+
+TEST(GateSi, NonMonotoneSynthesisExhaustive) {
+  // A deliberately wiggly target: count map must be reproduced exactly.
+  auto wiggle = [](double x) { return std::sin(2.5 * x); };
+  const GateAssistedSI g = GateAssistedSI::synthesize(wiggle, 24, 8, 0.25, 0.25);
+  for (int n = 0; n <= 24; ++n) {
+    const double x = 0.25 * (n - 12);
+    const double target = std::clamp(std::round(wiggle(x) / 0.25) * 0.25, -1.0, 1.0);
+    EXPECT_NEAR(g.apply(ThermValue{n, 24, 0.25}).value(), target, 1e-9);
+    // Bit path agrees.
+    const ThermStream out = g.apply(ThermStream::from_value(ThermValue{n, 24, 0.25}));
+    EXPECT_EQ(out.ones(), g.apply(ThermValue{n, 24, 0.25}).ones);
+  }
+}
+
+TEST(GateSi, IntervalCountReflectsNonMonotonicity) {
+  // A monotone table needs exactly one interval per active wire; GELU's dip
+  // adds intervals (the assist-gate cost).
+  const GateAssistedSI mono = GateAssistedSI::synthesize([](double x) { return x; }, 8, 8, 1.0, 1.0);
+  EXPECT_EQ(mono.total_intervals(), 8);
+  const GateAssistedSI gelu = GateAssistedSI::ternary_gelu();
+  EXPECT_GT(gelu.total_intervals(), 2);  // wire for level 0 toggles twice
+}
+
+TEST(GateSi, RejectsBadTables) {
+  EXPECT_THROW(GateAssistedSI(4, 2, 1, 1, {0, 1, 3, 1, 0}), std::invalid_argument);  // entry > Lout
+  EXPECT_THROW(GateAssistedSI(4, 2, 1, 1, {0, 1}), std::invalid_argument);
+}
+
+TEST(GateSi, RequiresCanonicalInputAtBitLevel) {
+  const GateAssistedSI g = GateAssistedSI::ternary_gelu();
+  ThermStream bad;
+  bad.alpha = 1.0;
+  bad.bits = BitVec::from_string("01010101");
+  EXPECT_THROW(g.apply(bad), std::invalid_argument);
+}
+
+class GeluBlockQuality : public ::testing::TestWithParam<int> {};
+
+TEST_P(GeluBlockQuality, TracksGeluWithinOutputStep) {
+  const int b = GetParam();
+  const GateAssistedSI blk = make_gelu_block(b);
+  for (int n = 0; n <= blk.lin(); ++n) {
+    const double x = blk.alpha_in() * (n - blk.lin() / 2.0);
+    if (x < -3.0 || x > 0.5) continue;
+    const double g = gelu_exact(x);
+    // Points beyond the output range saturate; the half-step bound applies
+    // only inside the representable range.
+    if (std::fabs(g) > blk.alpha_out() * b / 2.0 - blk.alpha_out() * 0.5) continue;
+    const double y = blk.apply(ThermValue{n, blk.lin(), blk.alpha_in()}).value();
+    EXPECT_LE(std::fabs(y - g), blk.alpha_out() * 0.51 + 1e-9) << "B=" << b << " x=" << x;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bsls, GeluBlockQuality, ::testing::Values(2, 4, 8, 16));
+
+TEST(GeluBlock, MaeDecreasesWithBsl) {
+  auto mae = [](int b) {
+    const GateAssistedSI blk = make_gelu_block(b);
+    double total = 0.0;
+    int cnt = 0;
+    for (int i = 0; i <= 700; ++i) {
+      const double x = -3.0 + 3.5 * i / 700.0;
+      total += std::fabs(blk.transfer(x) - gelu_exact(x));
+      ++cnt;
+    }
+    return total / cnt;
+  };
+  const double m2 = mae(2), m4 = mae(4), m8 = mae(8);
+  EXPECT_GT(m2, m4);
+  EXPECT_GT(m4, m8);
+}

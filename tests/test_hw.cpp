@@ -1,0 +1,134 @@
+// Unit tests for the hardware cost model.
+
+#include <gtest/gtest.h>
+
+#include "hw/cost_model.h"
+#include "hw/report.h"
+
+using namespace ascend::hw;
+
+TEST(CellLibrary, AllCellsDefined) {
+  for (int i = 0; i < static_cast<int>(Cell::kCount); ++i) {
+    const CellSpec& s = cell_spec(static_cast<Cell>(i));
+    EXPECT_GT(s.area_um2, 0.0);
+    EXPECT_GE(s.delay_ns, 0.0);
+    EXPECT_NE(s.name, nullptr);
+  }
+}
+
+TEST(GateInventoryTest, AreaAccumulates) {
+  GateInventory inv;
+  inv.add(Cell::kNand2, 10);
+  inv.add(Cell::kDff, 2);
+  const double expect = 10 * cell_spec(Cell::kNand2).area_um2 + 2 * cell_spec(Cell::kDff).area_um2;
+  EXPECT_DOUBLE_EQ(inv.area_um2(), expect);
+  EXPECT_EQ(inv.total_cells(), 12u);
+
+  GateInventory other;
+  other.add(Cell::kNand2, 5);
+  inv += other;
+  EXPECT_EQ(inv.count(Cell::kNand2), 15u);
+}
+
+TEST(GateInventoryTest, DelayAndAdp) {
+  GateInventory inv;
+  inv.add(Cell::kInv, 100);
+  inv.set_serial_delay(1024, 0.08);
+  EXPECT_DOUBLE_EQ(inv.delay_ns(), 81.92);
+  EXPECT_DOUBLE_EQ(inv.adp(), inv.area_um2() * 81.92);
+  EXPECT_NE(inv.summary().find("INV:100"), std::string::npos);
+}
+
+TEST(CostBsn, SuperlinearGrowth) {
+  const double a256 = cost_bsn(256).area_um2();
+  const double a512 = cost_bsn(512).area_um2();
+  EXPECT_GT(a512, 2.0 * a256);
+  EXPECT_GT(cost_bsn(1024).delay_ns(), cost_bsn(64).delay_ns());
+}
+
+TEST(CostGateSi, AreaLinearInOutputBsl) {
+  // Table III's pattern: 2b -> 4b -> 8b doubles the area each step (fixed
+  // 16-wire residual input).
+  const double a2 = cost_gate_si(16, 2, 3).area_um2();
+  const double a4 = cost_gate_si(16, 4, 5).area_um2();
+  const double a8 = cost_gate_si(16, 8, 9).area_um2();
+  EXPECT_NEAR(a4 / a2, 2.0, 0.1);
+  EXPECT_NEAR(a8 / a4, 2.0, 0.1);
+  // Delay is flat (fully parallel).
+  EXPECT_NEAR(cost_gate_si(16, 2, 3).delay_ns(), cost_gate_si(16, 8, 9).delay_ns(), 1e-9);
+  EXPECT_LT(cost_gate_si(16, 8, 9).delay_ns(), 1.0);
+}
+
+TEST(CostGateSi, LandsNearPaperAnchors) {
+  // Table III "Ours": 645 / 1291 / 2582 um^2 for 2/4/8-bit data BSL. The
+  // model should land within ~15% (not tuned per-row).
+  EXPECT_NEAR(cost_gate_si(16, 2, 4).area_um2(), 645.1, 645.1 * 0.15);
+  EXPECT_NEAR(cost_gate_si(16, 8, 10).area_um2(), 2581.7, 2581.7 * 0.15);
+}
+
+TEST(CostBernstein, SerialDelayScalesWithBsl) {
+  EXPECT_DOUBLE_EQ(cost_bernstein(4, 1024).delay_ns(), 81.92);
+  EXPECT_DOUBLE_EQ(cost_bernstein(4, 128).delay_ns(), 128 * 0.08);
+  // Area grows with terms but not with BSL.
+  EXPECT_GT(cost_bernstein(6, 128).area_um2(), cost_bernstein(4, 128).area_um2());
+  EXPECT_DOUBLE_EQ(cost_bernstein(4, 128).area_um2(), cost_bernstein(4, 1024).area_um2());
+}
+
+TEST(CostFsmSoftmax, AreaFlatVsBsl) {
+  const double a128 = cost_fsm_softmax(64, 128, 32, 8).area_um2();
+  const double a1024 = cost_fsm_softmax(64, 1024, 32, 8).area_um2();
+  EXPECT_DOUBLE_EQ(a128, a1024);
+  EXPECT_GT(cost_fsm_softmax(64, 1024, 32, 8).delay_ns(),
+            7.9 * cost_fsm_softmax(64, 128, 32, 8).delay_ns());
+  // Order of magnitude of the paper's 1.26e4 um^2.
+  EXPECT_GT(a128, 3e3);
+  EXPECT_LT(a128, 6e4);
+}
+
+TEST(CostSoftmaxIter, GrowsWithBy) {
+  ascend::sc::SoftmaxIterConfig cfg;  // By = 8 default
+  const double a8 = cost_softmax_iter(cfg).area_um2();
+  cfg.by = 16;
+  cfg.alpha_y = 1.0 / 64;
+  const double a16 = cost_softmax_iter(cfg).area_um2();
+  cfg.by = 4;
+  const double a4 = cost_softmax_iter(cfg).area_um2();
+  EXPECT_GT(a16, a8);
+  EXPECT_GT(a8, a4);
+  // The BSN-1 over m*Bx*By/2 wires dominates, so growth is superlinear.
+  EXPECT_GT(a16 / a8, 1.8);
+}
+
+TEST(CostSoftmaxIter, DelayScalesWithK) {
+  ascend::sc::SoftmaxIterConfig cfg;
+  cfg.k = 2;
+  const double d2 = cost_softmax_iter(cfg).delay_ns();
+  cfg.k = 4;
+  const double d4 = cost_softmax_iter(cfg).delay_ns();
+  // Delay is k iterations over the same hardware; the per-iteration path
+  // shrinks slightly with k (z/k operands re-grid onto shorter bundles), so
+  // the ratio is near but not exactly 2.
+  EXPECT_NEAR(d4 / d2, 2.0, 0.3);
+  // Parallel block: tens of ns, not the FSM baseline's hundreds+.
+  EXPECT_LT(d4, 60.0);
+}
+
+TEST(CostRescalerAndMult, Sane) {
+  EXPECT_GT(cost_rescaler(64, 8).area_um2(), 0.0);
+  EXPECT_GT(cost_therm_mult(4, 8).area_um2(), cost_therm_mult(2, 2).area_um2());
+}
+
+TEST(Report, TableFormatting) {
+  std::vector<BlockMetrics> rows;
+  rows.push_back({"Ours", "8b BSL", 2581.7, 0.55, 0.0155});
+  const std::string table = format_metrics_table("GELU blocks", rows);
+  EXPECT_NE(table.find("GELU blocks"), std::string::npos);
+  EXPECT_NE(table.find("Ours"), std::string::npos);
+  EXPECT_NE(table.find("ADP"), std::string::npos);
+}
+
+TEST(Report, SciFormatting) {
+  EXPECT_EQ(sci(0.0), "0");
+  EXPECT_NE(sci(12600.0).find("e"), std::string::npos);
+  EXPECT_EQ(sci(0.55).find("e"), std::string::npos);
+}

@@ -1,0 +1,121 @@
+// Cross-module integration tests: short end-to-end runs of the pipelines the
+// benches execute at full scale.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "core/ascend.h"
+
+using namespace ascend;
+using namespace ascend::vit;
+
+namespace {
+
+VitConfig small_config() {
+  VitConfig cfg;
+  cfg.image_size = 16;
+  cfg.patch_size = 4;  // 16 tokens
+  cfg.dim = 16;
+  cfg.layers = 2;
+  cfg.heads = 2;
+  cfg.classes = 4;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(Integration, TrainingImprovesAccuracy) {
+  const VitConfig cfg = small_config();
+  const Dataset train = make_synthetic_vision(160, cfg.classes, 21, cfg.image_size);
+  const Dataset test = make_synthetic_vision(80, cfg.classes, 22, cfg.image_size);
+  VisionTransformer model(cfg, 23);
+  const double before = evaluate(model, test);
+
+  TrainOptions opt;
+  opt.epochs = 6;
+  opt.batch_size = 32;
+  opt.lr = 2e-3f;
+  train_model(model, nullptr, train, opt);
+  const double after = evaluate(model, test);
+  EXPECT_GT(after, before + 10.0);
+  EXPECT_GT(after, 40.0);  // well above the 25% chance level
+}
+
+TEST(Integration, KdFromTeacherRuns) {
+  const VitConfig cfg = small_config();
+  const Dataset train = make_synthetic_vision(64, cfg.classes, 31, cfg.image_size);
+  VisionTransformer teacher(cfg, 32), student(cfg, 33);
+  student.apply_precision(PrecisionSpec::w2a2r16());
+  TrainOptions opt;
+  opt.epochs = 1;
+  opt.batch_size = 32;
+  const double loss = train_model(student, &teacher, train, opt);
+  EXPECT_TRUE(std::isfinite(loss));
+}
+
+TEST(Integration, QuantizedScViTWithCircuitSoftmax) {
+  // Train briefly in W2-A2-R16, then run inference through the bit-true SC
+  // softmax circuit — the full ASCEND stack in one test.
+  const VitConfig cfg = small_config();
+  const Dataset train = make_synthetic_vision(160, cfg.classes, 41, cfg.image_size);
+  const Dataset test = make_synthetic_vision(80, cfg.classes, 42, cfg.image_size);
+
+  VisionTransformer model(cfg, 43);
+  TrainOptions opt;
+  opt.epochs = 5;
+  opt.batch_size = 32;
+  opt.lr = 2e-3f;
+  train_model(model, nullptr, train, opt);
+  model.apply_precision(PrecisionSpec::w2a2r16());
+  opt.epochs = 3;
+  train_model(model, nullptr, train, opt);
+  const double float_acc = evaluate(model, test);
+
+  ScInferenceConfig sc_cfg;
+  sc_cfg.softmax.m = cfg.tokens();
+  sc_cfg.softmax.k = 3;
+  sc_cfg.softmax.bx = 4;
+  sc_cfg.softmax.by = 16;
+  sc_cfg.softmax.s1 = 8;
+  sc_cfg.softmax.s2 = 4;
+  sc_cfg.softmax.alpha_x = 1.0;
+  sc_cfg.softmax.alpha_y = 1.5 / 16;
+  const double sc_acc = evaluate_sc(model, test, sc_cfg);
+  EXPECT_GT(sc_acc, 25.0);               // still far above chance
+  EXPECT_LT(std::fabs(sc_acc - float_acc), 30.0);
+}
+
+TEST(Integration, CircuitMetricsShapeMatchesPaperClaims) {
+  // Headline claims of the abstract, at the cost-model level:
+  // gate-SI GELU beats the Bernstein baseline on ADP; the iterative softmax
+  // beats the FSM baseline on ADP at By=8.
+  const double gelu_ours = hw::cost_gate_si(16, 8, 10).adp();
+  const double gelu_base = hw::cost_bernstein(4, 1024).adp();
+  EXPECT_GT(gelu_base / gelu_ours, 2.0);
+
+  sc::SoftmaxIterConfig sm;  // By=8 defaults
+  const double sm_ours = hw::cost_softmax_iter(sm).adp();
+  const double sm_base = hw::cost_fsm_softmax(64, 1024, 32, 8).adp();
+  EXPECT_GT(sm_base / sm_ours, 1.5);
+}
+
+TEST(Integration, GateSiGeluBeatsBaselinesOnError) {
+  // MAE over the Fig. 2 input range: gate-assisted SI (8b) must beat the
+  // 4-term Bernstein fit and the naive-SI monotone fit.
+  const sc::GateAssistedSI ours = sc::make_gelu_block(8);
+  const sc::BernsteinGelu bern(4);
+  const auto naive = sc::SelectiveInterconnect::synthesize_best_monotone(
+      sc::gelu_exact, 16, 8, ours.alpha_in(), ours.alpha_out());
+  double e_ours = 0, e_bern = 0, e_naive = 0;
+  int cnt = 0;
+  for (int i = 0; i <= 350; ++i) {
+    const double x = -3.0 + 3.5 * i / 350.0;
+    e_ours += std::fabs(ours.transfer(x) - sc::gelu_exact(x));
+    e_bern += std::fabs(bern.eval_exact(x) - sc::gelu_exact(x));
+    e_naive += std::fabs(naive.transfer(x) - sc::gelu_exact(x));
+    ++cnt;
+  }
+  EXPECT_LT(e_ours / cnt, e_bern / cnt);
+  EXPECT_LT(e_ours / cnt, e_naive / cnt);
+}

@@ -1,0 +1,150 @@
+// Grad-checked unit tests for the layer modules.
+
+#include <gtest/gtest.h>
+
+#include "nn/module.h"
+#include "test_util.h"
+
+using namespace ascend::nn;
+
+namespace {
+
+/// Scalar test loss: weighted sum of the layer output.
+double weighted(const Tensor& y, const Tensor& w) {
+  double l = 0;
+  for (std::size_t i = 0; i < y.size(); ++i) l += y[i] * w[i];
+  return l;
+}
+
+}  // namespace
+
+TEST(LinearLayer, ForwardShapeAndBias) {
+  Rng rng(1);
+  Linear lin(4, 3, rng);
+  lin.bias().value[1] = 7.0f;
+  Tensor x({2, 4}, 0.0f);
+  const Tensor y = lin.forward(x);
+  EXPECT_EQ(y.dim(0), 2);
+  EXPECT_EQ(y.dim(1), 3);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 7.0f);  // zero input -> bias only
+  EXPECT_THROW(lin.forward(Tensor({2, 5})), std::invalid_argument);
+}
+
+TEST(LinearLayer, GradCheckInputAndParams) {
+  Rng rng(2);
+  Linear lin(5, 4, rng);
+  Tensor x({3, 5});
+  rng.fill_normal(x, 0, 1);
+  Tensor gy({3, 4});
+  rng.fill_normal(gy, 0, 1);
+
+  auto loss = [&]() { return weighted(lin.forward(x), gy); };
+
+  lin.weight().zero_grad();
+  lin.bias().zero_grad();
+  (void)lin.forward(x);
+  const Tensor gx = lin.backward(gy);
+
+  EXPECT_LT(ascend::testing::max_grad_error(x, loss, gx), 2e-2);
+  EXPECT_LT(ascend::testing::max_grad_error(lin.weight().value, loss, lin.weight().grad), 2e-2);
+  EXPECT_LT(ascend::testing::max_grad_error(lin.bias().value, loss, lin.bias().grad), 2e-2);
+}
+
+TEST(LinearLayer, CollectParams) {
+  Rng rng(3);
+  Linear lin(2, 2, rng);
+  std::vector<Param*> ps;
+  lin.collect_params(ps);
+  EXPECT_EQ(ps.size(), 2u);  // weight + bias, quantizers off
+}
+
+TEST(LayerNormLayer, NormalizesRows) {
+  Rng rng(4);
+  LayerNorm ln(8);
+  Tensor x({3, 8});
+  rng.fill_normal(x, 5.0, 2.0);
+  const Tensor y = ln.forward(x);
+  for (int r = 0; r < 3; ++r) {
+    float mean = 0, var = 0;
+    for (int c = 0; c < 8; ++c) mean += y.at(r, c);
+    mean /= 8;
+    for (int c = 0; c < 8; ++c) var += (y.at(r, c) - mean) * (y.at(r, c) - mean);
+    var /= 8;
+    EXPECT_NEAR(mean, 0.0f, 1e-4);
+    EXPECT_NEAR(var, 1.0f, 1e-2);
+  }
+}
+
+TEST(LayerNormLayer, GradCheck) {
+  Rng rng(5);
+  LayerNorm ln(6);
+  rng.fill_normal(ln.gamma().value, 1.0, 0.2);
+  rng.fill_normal(ln.beta().value, 0.0, 0.2);
+  Tensor x({4, 6});
+  rng.fill_normal(x, 0, 1);
+  Tensor gy({4, 6});
+  rng.fill_normal(gy, 0, 1);
+
+  auto loss = [&]() { return weighted(ln.forward(x), gy); };
+  ln.gamma().zero_grad();
+  ln.beta().zero_grad();
+  (void)ln.forward(x);
+  const Tensor gx = ln.backward(gy);
+  EXPECT_LT(ascend::testing::max_grad_error(x, loss, gx), 3e-2);
+  EXPECT_LT(ascend::testing::max_grad_error(ln.gamma().value, loss, ln.gamma().grad), 3e-2);
+  EXPECT_LT(ascend::testing::max_grad_error(ln.beta().value, loss, ln.beta().grad), 3e-2);
+}
+
+TEST(BatchNormLayer, TrainNormalizesColumns) {
+  Rng rng(6);
+  BatchNorm bn(5);
+  Tensor x({16, 5});
+  rng.fill_normal(x, -3.0, 4.0);
+  const Tensor y = bn.forward(x, /*training=*/true);
+  for (int c = 0; c < 5; ++c) {
+    float mean = 0;
+    for (int r = 0; r < 16; ++r) mean += y.at(r, c);
+    EXPECT_NEAR(mean / 16, 0.0f, 1e-4);
+  }
+}
+
+TEST(BatchNormLayer, RunningStatsUsedAtEval) {
+  Rng rng(7);
+  BatchNorm bn(3);
+  Tensor x({64, 3});
+  rng.fill_normal(x, 2.0, 1.0);
+  for (int i = 0; i < 50; ++i) (void)bn.forward(x, true);  // converge running stats
+  const Tensor y = bn.forward(x, false);
+  float mean = 0;
+  for (int r = 0; r < 64; ++r) mean += y.at(r, 0);
+  EXPECT_NEAR(mean / 64, 0.0f, 0.05);
+}
+
+TEST(BatchNormLayer, GradCheck) {
+  Rng rng(8);
+  BatchNorm bn(4);
+  Tensor x({6, 4});
+  rng.fill_normal(x, 0, 1);
+  Tensor gy({6, 4});
+  rng.fill_normal(gy, 0, 1);
+
+  auto loss = [&]() { return weighted(bn.forward(x, true), gy); };
+  bn.gamma().zero_grad();
+  bn.beta().zero_grad();
+  (void)bn.forward(x, true);
+  const Tensor gx = bn.backward(gy);
+  EXPECT_LT(ascend::testing::max_grad_error(x, loss, gx), 3e-2);
+  EXPECT_LT(ascend::testing::max_grad_error(bn.gamma().value, loss, bn.gamma().grad), 3e-2);
+}
+
+TEST(GeluLayer, ForwardBackwardConsistent) {
+  Rng rng(9);
+  Gelu gelu;
+  Tensor x({2, 3});
+  rng.fill_normal(x, 0, 1);
+  Tensor gy({2, 3}, 1.0f);
+  (void)gelu.forward(x);
+  const Tensor gx = gelu.backward(gy);
+  auto loss = [&]() { return gelu.forward(x).sum(); };
+  EXPECT_LT(ascend::testing::max_grad_error(x, loss, gx), 2e-2);
+}

@@ -1,0 +1,112 @@
+// Tests for the two-stage training pipeline orchestration (vit/train.h).
+// These run a genuinely tiny configuration — the goal is to exercise every
+// stage transition (init copies, teacher wiring, quantizer re-specs, the
+// approximate-softmax swap), not to reach meaningful accuracy.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "vit/sc_inference.h"
+#include "vit/train.h"
+
+using namespace ascend;
+using namespace ascend::vit;
+
+namespace {
+
+PipelineOptions tiny_pipeline() {
+  PipelineOptions opt;
+  opt.config = VitConfig();
+  opt.config.image_size = 16;
+  opt.config.patch_size = 8;  // 4 tokens
+  opt.config.dim = 8;
+  opt.config.layers = 1;
+  opt.config.heads = 2;
+  opt.config.classes = 2;
+  opt.config.approx_softmax_k = 2;
+  opt.stage_epochs = 1;
+  opt.finetune_epochs = 1;
+  opt.batch_size = 16;
+  opt.seed = 3;
+  opt.verbose = false;
+  return opt;
+}
+
+}  // namespace
+
+TEST(Pipeline, RunsAllStagesAndReturnsEveryRow) {
+  const PipelineOptions opt = tiny_pipeline();
+  const Dataset train = make_synthetic_vision(64, 2, 11, opt.config.image_size);
+  const Dataset test = make_synthetic_vision(32, 2, 12, opt.config.image_size);
+  const PipelineResult res = run_ascend_pipeline(opt, train, test);
+
+  for (double acc : {res.acc_fp_ln, res.acc_fp_bn, res.acc_baseline_direct, res.acc_progressive,
+                     res.acc_approx, res.acc_approx_ft}) {
+    EXPECT_GE(acc, 0.0);
+    EXPECT_LE(acc, 100.0);
+  }
+  ASSERT_NE(res.sc_friendly, nullptr);
+  // The final model is the W2-A2-R16 one with the approximate softmax wired.
+  EXPECT_EQ(res.sc_friendly->precision().name(), "W2-A2-R16");
+  EXPECT_EQ(res.sc_friendly->blocks()[0].msa().softmax_kind(), nn::SoftmaxKind::kApprox);
+}
+
+TEST(Pipeline, FinalModelSupportsScInference) {
+  const PipelineOptions opt = tiny_pipeline();
+  const Dataset train = make_synthetic_vision(48, 2, 21, opt.config.image_size);
+  const Dataset test = make_synthetic_vision(24, 2, 22, opt.config.image_size);
+  PipelineResult res = run_ascend_pipeline(opt, train, test);
+
+  ScInferenceConfig sc_cfg;
+  sc_cfg.softmax.bx = 4;
+  sc_cfg.softmax.by = 16;
+  sc_cfg.softmax.k = 2;
+  sc_cfg.softmax.s1 = 2;
+  sc_cfg.softmax.s2 = 2;
+  sc_cfg.softmax.alpha_x = 1.0;
+  sc_cfg.softmax.alpha_y = 1.5 / 16;
+  const double acc = evaluate_sc(*res.sc_friendly, test, sc_cfg);
+  EXPECT_GE(acc, 0.0);
+  EXPECT_LE(acc, 100.0);
+}
+
+TEST(TrainModel, LossDecreasesWithoutTeacher) {
+  VitConfig cfg = tiny_pipeline().config;
+  VisionTransformer model(cfg, 5);
+  const Dataset train = make_synthetic_vision(64, 2, 31, cfg.image_size);
+  TrainOptions opt;
+  opt.epochs = 1;
+  opt.batch_size = 16;
+  const double l1 = train_model(model, nullptr, train, opt);
+  opt.epochs = 4;
+  const double l2 = train_model(model, nullptr, train, opt);
+  EXPECT_TRUE(std::isfinite(l1));
+  EXPECT_LT(l2, l1);
+}
+
+TEST(TrainModel, KdLossIsFiniteAcrossNormKinds) {
+  // LN teacher distilling into a BN student: the normalised feature-MSE term
+  // must not blow up (the raw-MSE pathology the pipeline fixes).
+  VitConfig cfg = tiny_pipeline().config;
+  cfg.norm = NormKind::kLayerNorm;
+  VisionTransformer teacher(cfg, 6);
+  cfg.norm = NormKind::kBatchNorm;
+  VisionTransformer student(cfg, 7);
+  const Dataset train = make_synthetic_vision(32, 2, 41, cfg.image_size);
+  TrainOptions opt;
+  opt.epochs = 1;
+  opt.batch_size = 16;
+  const double loss = train_model(student, &teacher, train, opt);
+  EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_LT(loss, 50.0);  // raw MSE between LN/BN features would be O(100s)
+}
+
+TEST(Evaluate, DeterministicInEvalMode) {
+  VitConfig cfg = tiny_pipeline().config;
+  VisionTransformer model(cfg, 8);
+  const Dataset test = make_synthetic_vision(40, 2, 51, cfg.image_size);
+  const double a = evaluate(model, test);
+  const double b = evaluate(model, test);
+  EXPECT_DOUBLE_EQ(a, b);
+}

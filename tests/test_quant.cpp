@@ -1,0 +1,144 @@
+// Unit tests for LSQ quantization.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "nn/quant.h"
+#include "nn/rng.h"
+
+using namespace ascend::nn;
+
+TEST(QuantSpecTest, FromBslLevels) {
+  const QuantSpec t = QuantSpec::from_bsl(2);
+  EXPECT_EQ(t.qn, -1);
+  EXPECT_EQ(t.qp, 1);
+  EXPECT_EQ(t.levels(), 3);  // ternary, matching a 2b thermometer BSL
+  const QuantSpec r = QuantSpec::from_bsl(16);
+  EXPECT_EQ(r.levels(), 17);
+  EXPECT_THROW(QuantSpec::from_bsl(3), std::invalid_argument);
+  EXPECT_THROW(QuantSpec::from_bsl(0), std::invalid_argument);
+  EXPECT_FALSE(QuantSpec::off().enabled);
+}
+
+TEST(LsqQuantizerTest, DisabledIsIdentity) {
+  LsqQuantizer q;
+  Rng rng(1);
+  Tensor x({3, 3});
+  rng.fill_normal(x, 0, 1);
+  const Tensor y = q.forward(x);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_FLOAT_EQ(y[i], x[i]);
+  const Tensor g = q.backward(y);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_FLOAT_EQ(g[i], y[i]);
+}
+
+TEST(LsqQuantizerTest, TernaryOutputOnGrid) {
+  LsqQuantizer q(QuantSpec::ternary());
+  Rng rng(2);
+  Tensor x({64, 4});
+  rng.fill_normal(x, 0, 1);
+  const Tensor y = q.forward(x);
+  const float s = q.step();
+  ASSERT_GT(s, 0.0f);
+  std::set<int> levels;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    const float level = y[i] / s;
+    EXPECT_NEAR(level, std::round(level), 1e-4);
+    levels.insert(static_cast<int>(std::lround(level)));
+    EXPECT_GE(level, -1.01f);
+    EXPECT_LE(level, 1.01f);
+  }
+  EXPECT_GE(levels.size(), 2u);  // a Gaussian hits multiple levels
+}
+
+TEST(LsqQuantizerTest, SteMasksClippedElements) {
+  LsqQuantizer q(QuantSpec::ternary());
+  // Initialise the learned step on well-behaved data first (the LSQ init
+  // scales with mean|x|, so the outliers must not be part of it).
+  Tensor warm({1, 4});
+  warm[0] = 0.5f;
+  warm[1] = -0.5f;
+  warm[2] = 0.3f;
+  warm[3] = -0.2f;
+  (void)q.forward(warm);
+  const float s = q.step();
+  ASSERT_GT(s, 0.0f);
+
+  Tensor x({1, 4});
+  x[0] = 0.2f * s;    // inside
+  x[1] = 100.0f * s;  // clipped high
+  x[2] = -100.0f * s; // clipped low
+  x[3] = 0.0f;        // inside
+  (void)q.forward(x);
+  Tensor gy({1, 4}, 1.0f);
+  const Tensor gx = q.backward(gy);
+  EXPECT_FLOAT_EQ(gx[1], 0.0f);
+  EXPECT_FLOAT_EQ(gx[2], 0.0f);
+  EXPECT_FLOAT_EQ(gx[0], 1.0f);
+  EXPECT_FLOAT_EQ(gx[3], 1.0f);
+}
+
+TEST(LsqQuantizerTest, StepGradientMatchesLsqRule) {
+  // The LSQ step gradient is a *surrogate* (the STE flows through round()),
+  // so it intentionally differs from the numerical derivative of the
+  // piecewise-constant forward. Check against an independent implementation
+  // of the published rule: d v/d s = (q - x/s) inside, q when clipped.
+  LsqQuantizer q(QuantSpec::from_bsl(4));
+  Rng rng(3);
+  Tensor x({8, 8});
+  rng.fill_normal(x, 0, 1);
+  Tensor gy({8, 8});
+  rng.fill_normal(gy, 0, 1);
+
+  (void)q.forward(x);  // initialise the step
+  std::vector<Param*> ps;
+  q.collect_params(ps);
+  ASSERT_EQ(ps.size(), 1u);
+  Param* step = ps[0];
+  step->zero_grad();
+  (void)q.forward(x);
+  (void)q.backward(gy);
+  const float analytic = step->grad[0];
+
+  const float s = step->value[0];
+  const float gradscale = 1.0f / std::sqrt(static_cast<float>(x.size()) * 2.0f);
+  double expect = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const float xs = x[i] / s;
+    const float qv = std::clamp(std::round(xs), -2.0f, 2.0f);
+    const bool inside = xs > -2.0f && xs < 2.0f;
+    expect += static_cast<double>(gy[i]) * (inside ? (qv - xs) : qv);
+  }
+  EXPECT_NEAR(analytic, static_cast<float>(expect) * gradscale,
+              1e-4f + 0.01f * std::fabs(analytic));
+}
+
+TEST(LsqQuantizerTest, ResetSpecReinitialises) {
+  LsqQuantizer q(QuantSpec::ternary());
+  Rng rng(4);
+  Tensor x({4, 4});
+  rng.fill_normal(x, 0, 1);
+  (void)q.forward(x);
+  const float s1 = q.step();
+  q.reset_spec(QuantSpec::from_bsl(16));
+  (void)q.forward(x);
+  const float s2 = q.step();
+  EXPECT_NE(s1, s2);  // finer grid -> smaller initial step
+  EXPECT_LT(s2, s1);
+}
+
+TEST(LsqQuantizerTest, QuantizationErrorShrinksWithBsl) {
+  Rng rng(5);
+  Tensor x({128, 4});
+  rng.fill_normal(x, 0, 1);
+  auto mean_err = [&](int bsl) {
+    LsqQuantizer q(QuantSpec::from_bsl(bsl));
+    const Tensor y = q.forward(x);
+    double e = 0;
+    for (std::size_t i = 0; i < x.size(); ++i) e += std::fabs(y[i] - x[i]);
+    return e / static_cast<double>(x.size());
+  };
+  EXPECT_GT(mean_err(2), mean_err(8));
+  EXPECT_GT(mean_err(8), mean_err(32));
+}

@@ -1,0 +1,86 @@
+// Unit tests for naive selective interconnect units.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sc/gate_si.h"  // gelu_exact
+#include "sc/si.h"
+
+using namespace ascend::sc;
+
+namespace {
+double relu(double x) { return x > 0 ? x : 0.0; }
+double sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+}  // namespace
+
+TEST(Si, ReluSynthesisIsExactOnGrid) {
+  const auto si = SelectiveInterconnect::synthesize_monotone(relu, 16, 16, 0.25, 0.25);
+  for (int n = 0; n <= 16; ++n) {
+    const double x = 0.25 * (n - 8);
+    EXPECT_NEAR(si.transfer(x), relu(x), 0.125 + 1e-9);
+  }
+}
+
+TEST(Si, SigmoidSynthesisMonotone) {
+  const auto si = SelectiveInterconnect::synthesize_monotone(sigmoid, 16, 8, 0.5, 0.125);
+  double prev = -1e9;
+  for (int n = 0; n <= 16; ++n) {
+    const ThermValue in{n, 16, 0.5};
+    const double y = si.apply(in).value();
+    EXPECT_GE(y, prev);
+    prev = y;
+  }
+}
+
+TEST(Si, NonMonotoneTargetThrows) {
+  EXPECT_THROW(SelectiveInterconnect::synthesize_monotone(gelu_exact, 16, 8, 0.5, 0.05),
+               std::invalid_argument);
+}
+
+TEST(Si, BitLevelIsPureWiring) {
+  const auto si = SelectiveInterconnect::synthesize_monotone(relu, 8, 8, 0.5, 0.5);
+  for (int n = 0; n <= 8; ++n) {
+    const ThermStream in = ThermStream::from_value(ThermValue{n, 8, 0.5});
+    const ThermStream out = si.apply(in);
+    const ThermValue out_c = si.apply(in.to_value());
+    EXPECT_EQ(out.ones(), out_c.ones);
+    EXPECT_EQ(out.length(), 8);
+  }
+}
+
+TEST(Si, TableValidation) {
+  EXPECT_THROW(SelectiveInterconnect(4, 2, 1, 1, {0, 1, 0, 1, 2}), std::invalid_argument);  // dips
+  EXPECT_THROW(SelectiveInterconnect(4, 2, 1, 1, {0, 1}), std::invalid_argument);  // wrong size
+  EXPECT_THROW(SelectiveInterconnect(4, 2, 1, 1, {0, 1, 2, 3, 3}), std::invalid_argument);  // > Lout
+}
+
+TEST(SiBestMonotone, MatchesExactSynthesisForMonotoneTargets) {
+  const auto a = SelectiveInterconnect::synthesize_monotone(sigmoid, 12, 8, 0.5, 0.125);
+  const auto b = SelectiveInterconnect::synthesize_best_monotone(sigmoid, 12, 8, 0.5, 0.125);
+  EXPECT_EQ(a.table(), b.table());
+}
+
+TEST(SiBestMonotone, GeluNegativeRangeFlattened) {
+  // Naive SI on GELU (Fig. 2(c)): the fit is monotone, so the dip around
+  // x ~ -0.75 cannot be represented and the negative range error is large
+  // compared to gate-assisted SI.
+  const auto si = SelectiveInterconnect::synthesize_best_monotone(gelu_exact, 16, 8, 0.4375, 0.05);
+  double prev = -1e9;
+  for (int n = 0; n <= 16; ++n) {
+    const double y = si.apply(ThermValue{n, 16, 0.4375}).value();
+    EXPECT_GE(y, prev - 1e-12);
+    prev = y;
+  }
+  // The monotone fit must be strictly worse than GELU's dip at the minimum.
+  const double at_min = si.transfer(-0.75);
+  EXPECT_GT(at_min, gelu_exact(-0.75) + 0.05);
+}
+
+TEST(SiBestMonotone, PavReducesToMeanOnViolations) {
+  // A strictly decreasing target collapses to one pooled block = its mean.
+  const auto si =
+      SelectiveInterconnect::synthesize_best_monotone([](double x) { return -x; }, 8, 8, 0.5, 0.5);
+  const int first = si.table().front();
+  for (int v : si.table()) EXPECT_EQ(v, first);
+}

@@ -1,0 +1,95 @@
+// Unit tests for stochastic number generators.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "sc/sng.h"
+
+using namespace ascend::sc;
+
+class LfsrPeriod : public ::testing::TestWithParam<int> {};
+
+TEST_P(LfsrPeriod, IsMaximal) {
+  const int width = GetParam();
+  Lfsr lfsr(width, 1);
+  const std::uint32_t period = (1u << width) - 1;
+  std::set<std::uint32_t> seen;
+  for (std::uint32_t i = 0; i < period; ++i) {
+    const std::uint32_t v = lfsr.next();
+    EXPECT_GE(v, 1u);
+    EXPECT_LT(v, 1u << width);
+    EXPECT_TRUE(seen.insert(v).second) << "state repeated before full period, width=" << width;
+  }
+  EXPECT_EQ(seen.size(), period);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, LfsrPeriod, ::testing::Values(3, 4, 5, 6, 7, 8, 9, 10, 11, 12));
+
+TEST(Lfsr, RejectsBadWidth) {
+  EXPECT_THROW(Lfsr(2), std::invalid_argument);
+  EXPECT_THROW(Lfsr(25), std::invalid_argument);
+}
+
+TEST(Lfsr, ZeroSeedReplaced) {
+  Lfsr lfsr(8, 0);
+  EXPECT_GE(lfsr.next(), 1u);
+}
+
+TEST(VanDerCorput, BitReversalUniformity) {
+  VanDerCorput vdc(4, 0);
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 16; ++i) seen.insert(vdc.next());
+  EXPECT_EQ(seen.size(), 16u);  // a full cycle covers every value once
+}
+
+TEST(VanDerCorput, FirstValuesMatchDefinition) {
+  VanDerCorput vdc(3, 0);
+  // counter 0,1,2,3 -> reversed: 0,4,2,6
+  EXPECT_EQ(vdc.next(), 0u);
+  EXPECT_EQ(vdc.next(), 4u);
+  EXPECT_EQ(vdc.next(), 2u);
+  EXPECT_EQ(vdc.next(), 6u);
+}
+
+class StreamProbability : public ::testing::TestWithParam<double> {};
+
+TEST_P(StreamProbability, LfsrStreamApproximatesP) {
+  const double p = GetParam();
+  LfsrSource src(16, 0xBEEF);
+  const std::size_t len = 1u << 14;
+  BitVec s = generate_stream(p, len, src);
+  const double got = static_cast<double>(s.count()) / static_cast<double>(len);
+  EXPECT_NEAR(got, p, 0.02);
+}
+
+TEST_P(StreamProbability, VdcStreamIsLowDiscrepancy) {
+  const double p = GetParam();
+  VdcSource src(14, 0);
+  const std::size_t len = 1u << 14;  // full VdC cycle -> near-exact count
+  BitVec s = generate_stream(p, len, src);
+  const double got = static_cast<double>(s.count()) / static_cast<double>(len);
+  EXPECT_NEAR(got, p, 2.0 / static_cast<double>(len) + 1e-9);
+}
+
+TEST_P(StreamProbability, EvenStreamHasExactCount) {
+  const double p = GetParam();
+  const std::size_t len = 256;
+  BitVec s = generate_even_stream(p, len);
+  EXPECT_EQ(s.count(), static_cast<std::size_t>(std::lround(p * len)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Probs, StreamProbability,
+                         ::testing::Values(0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0));
+
+TEST(EvenStream, SpacingIsBalanced) {
+  // With p = 0.5 the even stream must alternate regularly: no window of 4
+  // consecutive bits may deviate from 2 ones by more than 1.
+  BitVec s = generate_even_stream(0.5, 64);
+  for (std::size_t i = 0; i + 4 <= s.size(); ++i) {
+    int ones = 0;
+    for (std::size_t j = i; j < i + 4; ++j) ones += s.get(j) ? 1 : 0;
+    EXPECT_NEAR(ones, 2, 1);
+  }
+}

@@ -1,0 +1,98 @@
+// Unit tests for the FSM-based softmax baseline [17].
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "sc/softmax_fsm.h"
+#include "sc/softmax_iter.h"
+
+using namespace ascend::sc;
+
+namespace {
+
+FsmSoftmaxConfig cfg_m8(int bsl = 256) {
+  FsmSoftmaxConfig cfg;
+  cfg.m = 8;
+  cfg.bsl = bsl;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(SoftmaxFsm, OutputsInUnitRangeTopNearOne) {
+  const std::vector<double> x = {0.5, -0.5, 1.5, 0.0, -1.0, 0.3, 0.8, -0.2};
+  const auto y = softmax_fsm(x, cfg_m8());
+  double mx = 0.0;
+  for (double v : y) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+    mx = std::max(mx, v);
+  }
+  // Shift normalization places the largest count in (0.5, 1].
+  EXPECT_GT(mx, 0.4);
+}
+
+TEST(SoftmaxFsm, PreservesTopElement) {
+  // The paper's characterisation: relative order is preserved even though
+  // the values are off. The argmax must survive on clear-winner rows.
+  const auto rows = sample_attention_logits(8, 20, 5150);
+  int hits = 0;
+  FsmSoftmaxConfig cfg = cfg_m8(512);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    cfg.seed = 0xF00D + r;
+    const auto y = softmax_fsm(rows[r], cfg);
+    const auto ref = softmax_exact(rows[r]);
+    const auto am_got = std::max_element(y.begin(), y.end()) - y.begin();
+    const auto am_ref = std::max_element(ref.begin(), ref.end()) - ref.begin();
+    hits += (am_got == am_ref) ? 1 : 0;
+  }
+  EXPECT_GE(hits, 15);  // most rows keep the winner
+}
+
+TEST(SoftmaxFsm, ValuesAreNotNormalised) {
+  // Without a true divider the outputs do not sum to 1 — the systematic
+  // error the iterative approximate softmax eliminates.
+  const auto rows = sample_attention_logits(8, 8, 33);
+  double worst = 0.0;
+  FsmSoftmaxConfig cfg = cfg_m8(512);
+  for (const auto& row : rows) {
+    const auto y = softmax_fsm(row, cfg);
+    double sum = 0.0;
+    for (double v : y) sum += v;
+    worst = std::max(worst, std::fabs(sum - 1.0));
+  }
+  EXPECT_GT(worst, 0.3);
+}
+
+TEST(SoftmaxFsm, LargeAbsoluteError) {
+  FsmSoftmaxConfig cfg;
+  cfg.m = 64;
+  cfg.bsl = 256;
+  const double mae = softmax_fsm_mae(cfg, 10, 808);
+  // Exact softmax values for m=64 rows average ~1/64 = 0.016; the baseline's
+  // per-element error must exceed that signal level.
+  EXPECT_GT(mae, 0.016);
+  EXPECT_LT(mae, 0.5);
+}
+
+TEST(SoftmaxFsm, MaeRoughlyFlatInBsl) {
+  // The error is dominated by the systematic normalization error, so going
+  // from 128b to 1024b barely helps (Table IV's FSM rows: 0.108 -> 0.099).
+  FsmSoftmaxConfig cfg;
+  cfg.m = 32;
+  cfg.bsl = 128;
+  const double mae128 = softmax_fsm_mae(cfg, 12, 4242);
+  cfg.bsl = 1024;
+  const double mae1024 = softmax_fsm_mae(cfg, 12, 4242);
+  EXPECT_LT(mae1024, mae128 * 1.15);          // not worse
+  EXPECT_GT(mae1024, mae128 * 0.5);           // but nowhere near 8x better
+}
+
+TEST(SoftmaxFsm, InputValidation) {
+  EXPECT_THROW(softmax_fsm({1.0}, cfg_m8()), std::invalid_argument);
+  FsmSoftmaxConfig bad = cfg_m8();
+  bad.bsl = 0;
+  EXPECT_THROW(softmax_fsm(std::vector<double>(8, 0.0), bad), std::invalid_argument);
+}

@@ -1,0 +1,195 @@
+// Unit + property tests for the iterative approximate softmax (Algorithm 1
+// and its Fig. 5 SC circuit model).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "sc/softmax_iter.h"
+
+using namespace ascend::sc;
+
+TEST(SoftmaxExact, BasicProperties) {
+  const auto y = softmax_exact({1.0, 2.0, 3.0});
+  EXPECT_NEAR(y[0] + y[1] + y[2], 1.0, 1e-12);
+  EXPECT_LT(y[0], y[1]);
+  EXPECT_LT(y[1], y[2]);
+  EXPECT_NEAR(y[2], std::exp(3.0) / (std::exp(1.0) + std::exp(2.0) + std::exp(3.0)), 1e-12);
+}
+
+TEST(SoftmaxIterRef, UniformInputIsFixedPoint) {
+  // x = c * 1: softmax = 1/m and Algorithm 1 keeps y = 1/m exactly.
+  const auto y = softmax_iterative_ref({2.0, 2.0, 2.0, 2.0}, 5);
+  for (double v : y) EXPECT_NEAR(v, 0.25, 1e-12);
+}
+
+TEST(SoftmaxIterRef, ConvergesWithK) {
+  const std::vector<double> x = {0.3, -1.2, 0.9, 2.0, -0.4, 0.0};
+  const auto exact = softmax_exact(x);
+  auto err = [&](int k) {
+    const auto y = softmax_iterative_ref(x, k);
+    double e = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) e += std::fabs(y[i] - exact[i]);
+    return e / x.size();
+  };
+  EXPECT_GT(err(2), err(8));
+  EXPECT_GT(err(8), err(64));
+  EXPECT_LT(err(64), 5e-3);
+}
+
+TEST(SoftmaxIterRef, PreservesOrdering) {
+  const std::vector<double> x = {0.5, -0.5, 1.5, 0.0};
+  const auto y = softmax_iterative_ref(x, 3);
+  EXPECT_GT(y[2], y[0]);
+  EXPECT_GT(y[0], y[3]);
+  EXPECT_GT(y[3], y[1]);
+}
+
+TEST(SoftmaxIterConfigTest, ValidatesSubsampleRates) {
+  SoftmaxIterConfig cfg;  // defaults: m=64, Bx=4, By=8 -> m*Lz = 1024
+  EXPECT_NO_THROW(cfg.validate());
+  cfg.s1 = 3;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.s1 = 32;
+  cfg.s2 = 7;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.s2 = 8;
+  cfg.bx = 3;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(SoftmaxIterLayoutTest, MatchesHandComputation) {
+  SoftmaxIterConfig cfg;  // m=64, k=3, Bx=4, By=8, s1=32, s2=8
+  const SoftmaxIterLayout lay = softmax_iter_layout(cfg);
+  EXPECT_EQ(lay.lz, 16);         // 4*8/2
+  EXPECT_EQ(lay.lsum, 1024);     // 64*16
+  EXPECT_EQ(lay.lsum_sub, 32);   // 1024/32
+  EXPECT_EQ(lay.lw, 128);        // 8*32/2
+  EXPECT_EQ(lay.lw_sub, 16);     // 128/8
+  EXPECT_EQ(lay.lconcat, lay.la + lay.lb + lay.lc);
+  EXPECT_GT(lay.la, 0);
+}
+
+namespace {
+
+SoftmaxIterConfig small_cfg() {
+  SoftmaxIterConfig cfg;
+  cfg.m = 8;
+  cfg.k = 3;
+  cfg.bx = 4;
+  cfg.by = 8;
+  cfg.s1 = 4;
+  cfg.s2 = 4;
+  cfg.alpha_x = 1.0;
+  cfg.alpha_y = 1.0 / 8;
+  cfg.align_expand = 4;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(SoftmaxIterSc, BitLevelMatchesCountLevel) {
+  // The headline fidelity claim: the fast count-level emulation and the
+  // bit-level ThermStream/BSN emulation are the same circuit.
+  const SoftmaxIterConfig cfg = small_cfg();
+  const auto rows = sample_attention_logits(cfg.m, 12, 321);
+  for (const auto& row : rows) {
+    const auto a = softmax_iterative_sc(row, cfg);
+    const auto b = softmax_iterative_sc_bits(row, cfg);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+  }
+}
+
+TEST(SoftmaxIterSc, OutputsOnTheYGrid) {
+  const SoftmaxIterConfig cfg = small_cfg();
+  const auto rows = sample_attention_logits(cfg.m, 6, 99);
+  for (const auto& row : rows)
+    for (double v : softmax_iterative_sc(row, cfg)) {
+      const double level = v / cfg.alpha_y + cfg.by / 2.0;
+      EXPECT_NEAR(level, std::round(level), 1e-9);
+      EXPECT_GE(level, -1e-9);
+      EXPECT_LE(level, cfg.by + 1e-9);
+    }
+}
+
+TEST(SoftmaxIterSc, TracksExactSoftmaxReasonably) {
+  // Fine grids and mild sub-sampling: the circuit must track the float
+  // Algorithm 1 on the *encoded* inputs (the paper's MAE protocol measures
+  // circuit outputs against references for the SC-encoded test vectors) to
+  // within a few y grid steps.
+  SoftmaxIterConfig cfg = small_cfg();
+  cfg.bx = 8;
+  cfg.alpha_x = 0.4;
+  cfg.by = 32;
+  cfg.alpha_y = 2.2 / 32;  // grid covering [0, 1.1]
+  cfg.s1 = 2;
+  cfg.s2 = 2;
+  cfg.k = 4;
+  const std::vector<double> x = {0.4, -0.6, 1.2, 0.1, -1.0, 0.7, 0.0, -0.3};
+  std::vector<double> xq(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    xq[i] = ThermValue::encode(x[i], cfg.bx, cfg.alpha_x).value();
+  const auto ref = softmax_iterative_ref(xq, cfg.k);
+  const auto got = softmax_iterative_sc(x, cfg);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_NEAR(got[i], ref[i], 3.0 * cfg.alpha_y) << i;
+}
+
+TEST(SoftmaxIterSc, MaeImprovesWithBy) {
+  // The Table IV trend: more y precision -> lower MAE. As in the paper's DSE,
+  // the designer picks the best scaling factor per precision, so each By is
+  // scored with its MAE-optimal alpha_y from a small candidate set.
+  auto run = [](int by) {
+    double best = 1e9;
+    for (double ay : {0.5 / 16, 1.0 / 16, 1.5 / 16, 1.5 / by, 2.2 / by}) {
+      SoftmaxIterConfig cfg;
+      cfg.m = 16;
+      cfg.k = 3;
+      cfg.bx = 8;
+      cfg.by = by;
+      cfg.s1 = 8;
+      cfg.s2 = 4;
+      cfg.alpha_x = 0.75;
+      cfg.alpha_y = ay;
+      best = std::min(best, softmax_sc_mae(cfg, 48, 1234));
+    }
+    return best;
+  };
+  const double m4 = run(4), m8 = run(8), m16 = run(16);
+  EXPECT_GT(m4, m8);
+  EXPECT_GT(m8, m16);
+}
+
+TEST(SoftmaxIterSc, SubsamplingCostsAccuracy) {
+  // Increasing s1 (coarser sum(z)) should not improve MAE.
+  auto run = [](int s1) {
+    SoftmaxIterConfig cfg;
+    cfg.m = 16;
+    cfg.k = 3;
+    cfg.bx = 4;
+    cfg.by = 16;
+    cfg.s1 = s1;
+    cfg.s2 = 2;
+    cfg.alpha_x = 1.0;
+    cfg.alpha_y = 1.5 / 16;
+    return softmax_sc_mae(cfg, 48, 777);
+  };
+  EXPECT_LE(run(2), run(64) + 5e-3);
+}
+
+TEST(SoftmaxIterSc, InputSizeChecked) {
+  const SoftmaxIterConfig cfg = small_cfg();
+  EXPECT_THROW(softmax_iterative_sc({1.0, 2.0}, cfg), std::invalid_argument);
+}
+
+TEST(SampleAttentionLogits, ShapeAndDeterminism) {
+  const auto a = sample_attention_logits(16, 5, 42);
+  const auto b = sample_attention_logits(16, 5, 42);
+  ASSERT_EQ(a.size(), 5u);
+  ASSERT_EQ(a[0].size(), 16u);
+  EXPECT_EQ(a[3], b[3]);
+  const auto c = sample_attention_logits(16, 5, 43);
+  EXPECT_NE(a[0], c[0]);
+}

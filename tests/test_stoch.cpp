@@ -1,0 +1,109 @@
+// Unit tests for classic stochastic streams and their gate-level arithmetic.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sc/stoch_arith.h"
+
+using namespace ascend::sc;
+
+TEST(StochStream, UnipolarEncodeDecode) {
+  VdcSource src(14, 0);
+  const StochStream s = StochStream::encode(0.3, 1 << 14, StochFormat::kUnipolar, 1.0, src);
+  EXPECT_NEAR(s.value(), 0.3, 1e-3);
+  EXPECT_NEAR(s.probability(), 0.3, 1e-3);
+}
+
+TEST(StochStream, BipolarEncodeDecode) {
+  VdcSource src(14, 0);
+  const StochStream s = StochStream::encode(-0.4, 1 << 14, StochFormat::kBipolar, 1.0, src);
+  EXPECT_NEAR(s.value(), -0.4, 2e-3);
+}
+
+TEST(StochStream, ScaleMapsRange) {
+  VdcSource src(14, 0);
+  const StochStream s = StochStream::encode(2.0, 1 << 12, StochFormat::kBipolar, 4.0, src);
+  EXPECT_NEAR(s.value(), 2.0, 0.01);
+  // Out-of-range values clamp to the representable range.
+  VdcSource src2(14, 0);
+  const StochStream t = StochStream::encode(9.0, 1 << 12, StochFormat::kBipolar, 4.0, src2);
+  EXPECT_NEAR(t.value(), 4.0, 0.01);
+}
+
+TEST(StochStream, EvenEncodingExact) {
+  const StochStream s = StochStream::encode_even(0.25, 64, StochFormat::kUnipolar, 1.0);
+  EXPECT_DOUBLE_EQ(s.probability(), 0.25);
+}
+
+class UnipolarMult : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(UnipolarMult, AndGateComputesProduct) {
+  const auto [a, b] = GetParam();
+  // Independent sources: different LFSR seeds/widths.
+  LfsrSource sa(16, 0x1111), sb(15, 0x2222);
+  const std::size_t len = 1 << 15;
+  const StochStream xa = StochStream::encode(a, len, StochFormat::kUnipolar, 1.0, sa);
+  const StochStream xb = StochStream::encode(b, len, StochFormat::kUnipolar, 1.0, sb);
+  const StochStream y = mult_unipolar(xa, xb);
+  EXPECT_NEAR(y.value(), a * b, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Pairs, UnipolarMult,
+                         ::testing::Values(std::pair{0.2, 0.5}, std::pair{0.9, 0.9},
+                                           std::pair{0.0, 0.7}, std::pair{1.0, 0.3},
+                                           std::pair{0.6, 0.6}));
+
+class BipolarMult : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(BipolarMult, XnorGateComputesProduct) {
+  const auto [a, b] = GetParam();
+  LfsrSource sa(16, 0xACE1), sb(17, 0xB0B);
+  const std::size_t len = 1 << 16;
+  const StochStream xa = StochStream::encode(a, len, StochFormat::kBipolar, 1.0, sa);
+  const StochStream xb = StochStream::encode(b, len, StochFormat::kBipolar, 1.0, sb);
+  const StochStream y = mult_bipolar(xa, xb);
+  EXPECT_NEAR(y.value(), a * b, 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(Pairs, BipolarMult,
+                         ::testing::Values(std::pair{0.5, 0.5}, std::pair{-0.5, 0.5},
+                                           std::pair{-0.8, -0.6}, std::pair{0.0, 0.9},
+                                           std::pair{1.0, -1.0}));
+
+TEST(MuxAdd, ScaledAddition) {
+  LfsrSource sa(16, 0x123), sb(17, 0x456), ssel(15, 0x789);
+  const std::size_t len = 1 << 15;
+  const StochStream xa = StochStream::encode(0.6, len, StochFormat::kBipolar, 1.0, sa);
+  const StochStream xb = StochStream::encode(-0.2, len, StochFormat::kBipolar, 1.0, sb);
+  const BitVec sel = generate_stream(0.5, len, ssel);
+  const StochStream y = add_mux(xa, xb, sel);
+  EXPECT_NEAR(y.value(), (0.6 - 0.2) / 2.0, 0.02);
+}
+
+TEST(MuxAdd, MismatchThrows) {
+  LfsrSource s(16, 1);
+  const StochStream a = StochStream::encode(0.5, 64, StochFormat::kUnipolar, 1.0, s);
+  const StochStream b = StochStream::encode(0.5, 32, StochFormat::kUnipolar, 1.0, s);
+  BitVec sel(64);
+  EXPECT_THROW(add_mux(a, b, sel), std::invalid_argument);
+}
+
+TEST(MuxAddN, MeanOfInputs) {
+  LfsrSource sel(16, 0xFEED);
+  std::vector<StochStream> in;
+  const double vals[] = {0.8, 0.4, -0.4, -0.8};
+  for (int i = 0; i < 4; ++i) {
+    LfsrSource s(16, 0x100 + static_cast<std::uint32_t>(i) * 77);
+    in.push_back(StochStream::encode(vals[i], 1 << 15, StochFormat::kBipolar, 1.0, s));
+  }
+  const StochStream y = add_mux_n(in, sel);
+  EXPECT_NEAR(y.value(), 0.0, 0.02);
+}
+
+TEST(Apc, CountsAllOnes) {
+  std::vector<StochStream> in;
+  for (int i = 0; i < 3; ++i)
+    in.push_back(StochStream::encode_even(0.5, 100, StochFormat::kUnipolar, 1.0));
+  EXPECT_EQ(apc_accumulate(in), 150);
+}

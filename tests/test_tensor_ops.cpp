@@ -1,0 +1,144 @@
+// Unit tests for the tensor container and core kernels.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/ops.h"
+#include "nn/rng.h"
+#include "test_util.h"
+
+using namespace ascend::nn;
+
+TEST(TensorTest, ConstructionAndAccess) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.size(), 6u);
+  EXPECT_EQ(t.rank(), 2u);
+  EXPECT_EQ(t.dim(0), 2);
+  t.at(1, 2) = 5.0f;
+  EXPECT_FLOAT_EQ(t[5], 5.0f);
+  EXPECT_THROW(Tensor({2, 0}), std::invalid_argument);
+  EXPECT_THROW(t.dim(2), std::out_of_range);
+}
+
+TEST(TensorTest, FillSumMeanReshape) {
+  Tensor t({4, 2}, 0.5f);
+  EXPECT_DOUBLE_EQ(t.sum(), 4.0);
+  EXPECT_DOUBLE_EQ(t.mean(), 0.5);
+  const Tensor r = t.reshaped({2, 4});
+  EXPECT_EQ(r.dim(0), 2);
+  EXPECT_THROW(t.reshaped({3, 3}), std::invalid_argument);
+  EXPECT_EQ(t.shape_str(), "[4,2]");
+}
+
+TEST(MatmulTest, KnownProduct) {
+  Tensor a({2, 3});
+  Tensor b({3, 2});
+  for (int i = 0; i < 6; ++i) {
+    a[static_cast<std::size_t>(i)] = static_cast<float>(i + 1);        // 1..6
+    b[static_cast<std::size_t>(i)] = static_cast<float>(6 - i);        // 6..1
+  }
+  // a = [[1,2,3],[4,5,6]], b = [[6,5],[4,3],[2,1]]
+  const Tensor c = matmul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 20.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 14.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 56.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 41.0f);
+  EXPECT_THROW(matmul(a, a), std::invalid_argument);
+}
+
+TEST(MatmulTest, TransposedVariantsConsistent) {
+  Rng rng(1);
+  Tensor a({5, 7}), b({7, 4});
+  rng.fill_normal(a, 0, 1);
+  rng.fill_normal(b, 0, 1);
+  const Tensor c = matmul(a, b);
+  // matmul_tn(a^T stored as a_kxm, b) with a_kxm = a means computing a^T b:
+  // check against explicit loop.
+  const Tensor atb = matmul_tn(a, matmul(a, b));  // [7, 4]
+  Tensor expect({7, 4});
+  for (int i = 0; i < 7; ++i)
+    for (int j = 0; j < 4; ++j) {
+      float acc = 0;
+      for (int k = 0; k < 5; ++k) acc += a.at(k, i) * c.at(k, j);
+      expect.at(i, j) = acc;
+    }
+  for (std::size_t i = 0; i < expect.size(); ++i) EXPECT_NEAR(atb[i], expect[i], 1e-4);
+
+  // matmul_nt(c, b): c [5,4] * b^T [4,7] -> [5,7]
+  const Tensor cbt = matmul_nt(c, b);
+  Tensor expect2({5, 7});
+  for (int i = 0; i < 5; ++i)
+    for (int j = 0; j < 7; ++j) {
+      float acc = 0;
+      for (int k = 0; k < 4; ++k) acc += c.at(i, k) * b.at(j, k);
+      expect2.at(i, j) = acc;
+    }
+  for (std::size_t i = 0; i < expect2.size(); ++i) EXPECT_NEAR(cbt[i], expect2[i], 1e-4);
+}
+
+TEST(ElementwiseTest, AddSubMulScale) {
+  Tensor a({2, 2}, 3.0f), b({2, 2}, 2.0f);
+  EXPECT_FLOAT_EQ(add(a, b)[0], 5.0f);
+  EXPECT_FLOAT_EQ(sub(a, b)[0], 1.0f);
+  EXPECT_FLOAT_EQ(mul(a, b)[0], 6.0f);
+  EXPECT_FLOAT_EQ(scale(a, -2.0f)[0], -6.0f);
+  add_inplace(a, b);
+  EXPECT_FLOAT_EQ(a[0], 5.0f);
+}
+
+TEST(GeluOp, ForwardValues) {
+  Tensor x({1, 3});
+  x[0] = 0.0f;
+  x[1] = 2.0f;
+  x[2] = -2.0f;
+  const Tensor y = gelu_forward(x);
+  EXPECT_NEAR(y[0], 0.0f, 1e-6);
+  EXPECT_NEAR(y[1], 1.9545f, 1e-3);
+  EXPECT_NEAR(y[2], -0.0455f, 1e-3);
+}
+
+TEST(GeluOp, GradCheck) {
+  Rng rng(3);
+  Tensor x({2, 5});
+  rng.fill_normal(x, 0, 1.5);
+  Tensor gy({2, 5});
+  rng.fill_normal(gy, 0, 1);
+  const Tensor gx = gelu_backward(x, gy);
+  auto loss = [&]() {
+    const Tensor y = gelu_forward(x);
+    double l = 0;
+    for (std::size_t i = 0; i < y.size(); ++i) l += y[i] * gy[i];
+    return l;
+  };
+  EXPECT_LT(ascend::testing::max_grad_error(x, loss, gx), 2e-2);
+}
+
+TEST(SoftmaxOp, RowsSumToOne) {
+  Rng rng(5);
+  Tensor x({4, 6});
+  rng.fill_normal(x, 0, 2);
+  const Tensor y = softmax_rows(x);
+  for (int r = 0; r < 4; ++r) {
+    float sum = 0;
+    for (int c = 0; c < 6; ++c) sum += y.at(r, c);
+    EXPECT_NEAR(sum, 1.0f, 1e-5);
+  }
+}
+
+TEST(SoftmaxOp, GradCheck) {
+  Rng rng(7);
+  Tensor x({3, 4});
+  rng.fill_normal(x, 0, 1);
+  Tensor gy({3, 4});
+  rng.fill_normal(gy, 0, 1);
+  const Tensor y = softmax_rows(x);
+  const Tensor gx = softmax_rows_backward(y, gy);
+  auto loss = [&]() {
+    const Tensor yy = softmax_rows(x);
+    double l = 0;
+    for (std::size_t i = 0; i < yy.size(); ++i) l += yy[i] * gy[i];
+    return l;
+  };
+  EXPECT_LT(ascend::testing::max_grad_error(x, loss, gx), 2e-2);
+}

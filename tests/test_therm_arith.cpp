@@ -1,0 +1,211 @@
+// Unit + property tests for thermometer arithmetic, including the bit-level
+// vs count-level equivalence guarantees the softmax block relies on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "sc/therm_arith.h"
+
+using namespace ascend::sc;
+
+TEST(ThermMult, ExactProductExhaustive) {
+  // Every (2b x 16b) operand pair: product of levels must be exact.
+  for (int na = 0; na <= 2; ++na)
+    for (int nb = 0; nb <= 16; ++nb) {
+      const ThermValue a{na, 2, 0.5};
+      const ThermValue b{nb, 16, 0.25};
+      const ThermValue p = mult(a, b);
+      EXPECT_EQ(p.length, 16);
+      EXPECT_DOUBLE_EQ(p.alpha, 0.125);
+      EXPECT_DOUBLE_EQ(p.value(), a.value() * b.value());
+    }
+}
+
+TEST(ThermMult, BitPathMatchesCountPath) {
+  for (int na = 0; na <= 4; ++na)
+    for (int nb = 0; nb <= 8; ++nb) {
+      const ThermValue a{na, 4, 1.0};
+      const ThermValue b{nb, 8, 0.5};
+      const ThermStream sp = mult(ThermStream::from_value(a), ThermStream::from_value(b));
+      const ThermValue cp = mult(a, b);
+      EXPECT_EQ(sp.ones(), cp.ones);
+      EXPECT_EQ(sp.length(), cp.length);
+      EXPECT_DOUBLE_EQ(sp.value(), cp.value());
+    }
+}
+
+TEST(ThermMult, RejectsOddBsl) {
+  EXPECT_THROW(mult(ThermValue{1, 3, 1.0}, ThermValue{1, 4, 1.0}), std::invalid_argument);
+}
+
+TEST(ThermAdd, BsnConcatEqualsSum) {
+  std::mt19937 rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int count = 2 + static_cast<int>(rng() % 6);
+    std::vector<ThermValue> vals;
+    std::vector<ThermStream> streams;
+    double expect = 0.0;
+    for (int i = 0; i < count; ++i) {
+      const int l = 2 * (1 + static_cast<int>(rng() % 8));
+      const int n = static_cast<int>(rng() % static_cast<unsigned>(l + 1));
+      vals.push_back(ThermValue{n, l, 0.5});
+      streams.push_back(ThermStream::from_value(vals.back()));
+      expect += vals.back().value();
+    }
+    const ThermValue sum_c = add(vals);
+    const ThermStream sum_b = add(streams);
+    EXPECT_DOUBLE_EQ(sum_c.value(), expect);
+    EXPECT_EQ(sum_b.ones(), sum_c.ones);
+    EXPECT_EQ(sum_b.length(), sum_c.length);
+    EXPECT_TRUE(sum_b.is_canonical());
+  }
+}
+
+TEST(ThermAdd, RejectsScaleMismatch) {
+  EXPECT_THROW(add({ThermValue{1, 2, 1.0}, ThermValue{1, 2, 0.5}}), std::invalid_argument);
+  EXPECT_THROW(add(std::vector<ThermValue>{}), std::invalid_argument);
+}
+
+TEST(ThermNegate, InvertsLevel) {
+  for (int n = 0; n <= 8; ++n) {
+    const ThermValue v{n, 8, 0.5};
+    EXPECT_DOUBLE_EQ(negate(v).value(), -v.value());
+    const ThermStream s = negate(ThermStream::from_value(v));
+    EXPECT_DOUBLE_EQ(s.value(), -v.value());
+    EXPECT_TRUE(s.is_canonical());
+  }
+}
+
+TEST(ThermExpand, ExactValuePreservation) {
+  for (int n = 0; n <= 6; ++n)
+    for (int e = 1; e <= 5; ++e) {
+      const ThermValue v{n, 6, 0.75};
+      const ThermValue x = expand(v, e);
+      EXPECT_DOUBLE_EQ(x.value(), v.value());
+      EXPECT_EQ(x.length, 6 * e);
+      const ThermStream s = expand(ThermStream::from_value(v), e);
+      EXPECT_EQ(s.ones(), x.ones);
+      EXPECT_TRUE(s.is_canonical());
+    }
+}
+
+TEST(ThermSubsample, FloorSemantics) {
+  // n -> floor(n/s): sub-sampling a canonical bundle takes every s-th wire.
+  for (int n = 0; n <= 16; ++n)
+    for (int s : {2, 4, 8}) {
+      const ThermValue v{n, 16, 0.25};
+      const ThermValue r = subsample(v, s);
+      EXPECT_EQ(r.ones, n / s);
+      EXPECT_EQ(r.length, 16 / s);
+      EXPECT_DOUBLE_EQ(r.alpha, 0.25 * s);
+      const ThermStream sb = subsample(ThermStream::from_value(v), s);
+      EXPECT_EQ(sb.ones(), r.ones);
+      EXPECT_DOUBLE_EQ(sb.value(), r.value());
+    }
+}
+
+TEST(ThermSubsample, ErrorBounded) {
+  // |value_after - value_before| < alpha * s (one coarse grid step).
+  for (int n = 0; n <= 32; ++n) {
+    const ThermValue v{n, 32, 0.1};
+    const ThermValue r = subsample(v, 4);
+    EXPECT_LT(std::fabs(r.value() - v.value()), 0.1 * 4 + 1e-12);
+  }
+}
+
+TEST(ThermSubsample, RejectsNonDividingRate) {
+  EXPECT_THROW(subsample(ThermValue{1, 6, 1.0}, 4), std::invalid_argument);
+}
+
+TEST(ThermDivideByConst, OnlyScalesAlpha) {
+  const ThermValue v{5, 8, 1.0};
+  const ThermValue d = divide_by_const(v, 3.0);
+  EXPECT_EQ(d.ones, 5);
+  EXPECT_EQ(d.length, 8);
+  EXPECT_DOUBLE_EQ(d.value(), v.value() / 3.0);
+  EXPECT_THROW(divide_by_const(v, 0.0), std::invalid_argument);
+}
+
+TEST(ApproxRational, ExactRatios) {
+  const Rational r = approx_rational(0.375, 64);  // 3/8
+  EXPECT_EQ(r.num, 3);
+  EXPECT_EQ(r.den, 8);
+  const Rational u = approx_rational(4.0, 64);
+  EXPECT_EQ(u.num, 4);
+  EXPECT_EQ(u.den, 1);
+}
+
+TEST(ApproxRational, BoundedError) {
+  std::mt19937 rng(3);
+  std::uniform_real_distribution<double> dist(0.01, 50.0);
+  for (int i = 0; i < 200; ++i) {
+    const double x = dist(rng);
+    const Rational r = approx_rational(x, 64);
+    EXPECT_LE(r.den, 64);
+    EXPECT_GE(r.num, 1);
+    EXPECT_NEAR(r.as_double(), x, x * 0.05 + 0.02);
+  }
+}
+
+TEST(ApproxRational, RejectsBadInput) {
+  EXPECT_THROW(approx_rational(-1.0, 8), std::invalid_argument);
+  EXPECT_THROW(approx_rational(1.0, 0), std::invalid_argument);
+}
+
+TEST(ThermRescale, IdentityWhenSameGrid) {
+  for (int n = 0; n <= 8; ++n) {
+    const ThermValue v{n, 8, 0.5};
+    const ThermValue r = rescale(v, 8, 0.5);
+    EXPECT_EQ(r.ones, n);
+  }
+}
+
+TEST(ThermRescale, SaturatesOutOfRange) {
+  // Value +4 re-gridded onto range +-1 must clamp to +1.
+  const ThermValue v = ThermValue::encode(4.0, 16, 0.5);
+  const ThermValue r = rescale(v, 4, 0.5);
+  EXPECT_EQ(r.ones, 4);
+  EXPECT_DOUBLE_EQ(r.value(), 1.0);
+  const ThermValue w = ThermValue::encode(-4.0, 16, 0.5);
+  EXPECT_DOUBLE_EQ(rescale(w, 4, 0.5).value(), -1.0);
+}
+
+class RescaleEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(RescaleEquivalence, BitPathMatchesCountPathRandomly) {
+  std::mt19937 rng(GetParam());
+  for (int trial = 0; trial < 60; ++trial) {
+    const int l = 2 * (1 + static_cast<int>(rng() % 24));
+    const int n = static_cast<int>(rng() % static_cast<unsigned>(l + 1));
+    const double alpha = 0.05 * (1 + static_cast<int>(rng() % 40));
+    const int lt = 2 * (1 + static_cast<int>(rng() % 16));
+    const double alpha_t = 0.05 * (1 + static_cast<int>(rng() % 40));
+    const ThermValue v{n, l, alpha};
+    const ThermValue rc = rescale(v, lt, alpha_t);
+    const ThermStream rb = rescale(ThermStream::from_value(v), lt, alpha_t);
+    EXPECT_EQ(rb.ones(), rc.ones) << "L=" << l << " n=" << n << " a=" << alpha << " Lt=" << lt
+                                  << " at=" << alpha_t;
+    EXPECT_EQ(rb.length(), rc.length);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RescaleEquivalence, ::testing::Range(1, 13));
+
+TEST(ThermRescale, QuantizationErrorBounded) {
+  // In-range rescaling error must stay within ~1.5 target grid steps (floor
+  // subsampling + rational scale approximation).
+  std::mt19937 rng(11);
+  for (int trial = 0; trial < 300; ++trial) {
+    const int l = 2 * (4 + static_cast<int>(rng() % 28));
+    const int n = static_cast<int>(rng() % static_cast<unsigned>(l + 1));
+    const ThermValue v{n, l, 0.125};
+    const int lt = 2 * (4 + static_cast<int>(rng() % 12));
+    const double alpha_t = 0.25;
+    if (std::fabs(v.value()) > alpha_t * lt / 2.0 - alpha_t) continue;  // skip saturation zone
+    const ThermValue r = rescale(v, lt, alpha_t);
+    EXPECT_LE(std::fabs(r.value() - v.value()), 1.5 * alpha_t + 1e-9)
+        << "L=" << l << " n=" << n << " Lt=" << lt;
+  }
+}

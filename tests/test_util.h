@@ -1,0 +1,29 @@
+#pragma once
+// test_util.h — shared helpers for the ASCEND test suite.
+
+#include <cmath>
+#include <functional>
+
+#include "nn/tensor.h"
+
+namespace ascend::testing {
+
+/// Central-difference numerical gradient of a scalar function of a tensor,
+/// compared element-by-element against `analytic`. Returns the max abs error.
+inline double max_grad_error(nn::Tensor& x, const std::function<double()>& loss_fn,
+                             const nn::Tensor& analytic, float eps = 1e-3f) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const float orig = x[i];
+    x[i] = orig + eps;
+    const double lp = loss_fn();
+    x[i] = orig - eps;
+    const double lm = loss_fn();
+    x[i] = orig;
+    const double num = (lp - lm) / (2.0 * eps);
+    worst = std::max(worst, std::fabs(num - static_cast<double>(analytic[i])));
+  }
+  return worst;
+}
+
+}  // namespace ascend::testing

@@ -1,0 +1,147 @@
+// Unit tests for the ViT model assembly.
+
+#include <gtest/gtest.h>
+
+#include "nn/loss.h"
+#include "nn/optim.h"
+#include "vit/dataset.h"
+#include "vit/model.h"
+#include "test_util.h"
+
+using namespace ascend;
+using namespace ascend::vit;
+
+namespace {
+
+VitConfig tiny_config() {
+  VitConfig cfg;
+  cfg.image_size = 16;
+  cfg.patch_size = 8;  // 4 tokens
+  cfg.dim = 8;
+  cfg.layers = 2;
+  cfg.heads = 2;
+  cfg.mlp_ratio = 2;
+  cfg.classes = 3;
+  return cfg;
+}
+
+nn::Tensor random_images(int n, const VitConfig& cfg, int seed) {
+  nn::Rng rng(static_cast<std::uint64_t>(seed));
+  nn::Tensor t({n, cfg.channels * cfg.image_size * cfg.image_size});
+  rng.fill_normal(t, 0, 1);
+  return t;
+}
+
+}  // namespace
+
+TEST(VitModel, ForwardShapes) {
+  const VitConfig cfg = tiny_config();
+  VisionTransformer model(cfg, 1);
+  const nn::Tensor logits = model.forward(random_images(5, cfg, 2), false);
+  EXPECT_EQ(logits.dim(0), 5);
+  EXPECT_EQ(logits.dim(1), 3);
+  EXPECT_EQ(model.block_outputs().size(), 2u);
+  EXPECT_EQ(model.block_outputs()[0].dim(0), 5 * cfg.tokens());
+  EXPECT_EQ(model.block_outputs()[0].dim(1), cfg.dim);
+}
+
+TEST(VitModel, ConfigAccessors) {
+  const VitConfig cfg = tiny_config();
+  EXPECT_EQ(cfg.tokens(), 4);
+  EXPECT_EQ(cfg.patch_dim(), 3 * 64);
+  EXPECT_EQ(VitConfig::paper_topology().tokens(), 64);
+  EXPECT_EQ(VitConfig::paper_topology().layers, 7);
+}
+
+TEST(VitModel, BackwardGradCheckOneWeight) {
+  VitConfig cfg = tiny_config();
+  cfg.norm = NormKind::kLayerNorm;  // deterministic wrt batch composition
+  VisionTransformer model(cfg, 3);
+  const nn::Tensor images = random_images(2, cfg, 4);
+  const std::vector<int> labels = {0, 2};
+
+  auto loss = [&]() {
+    return nn::cross_entropy(model.forward(images, true), labels).value;
+  };
+  for (nn::Param* p : model.params()) p->zero_grad();
+  const nn::Tensor logits = model.forward(images, true);
+  const nn::LossResult ce = nn::cross_entropy(logits, labels);
+  model.backward(ce.grad);
+
+  // Check the head weight and one block's qkv weight numerically.
+  nn::Param& head_w = model.blocks()[0].msa().qkv().weight();
+  EXPECT_LT(ascend::testing::max_grad_error(head_w.value, loss, head_w.grad, 2e-3f), 5e-2);
+}
+
+TEST(VitModel, PrecisionSpecWiring) {
+  const VitConfig cfg = tiny_config();
+  VisionTransformer model(cfg, 5);
+  model.apply_precision(PrecisionSpec::w2a2r16());
+  EXPECT_EQ(model.precision().name(), "W2-A2-R16");
+  EXPECT_TRUE(model.blocks()[0].msa().qkv().weight_quant().enabled());
+  EXPECT_TRUE(model.blocks()[0].mlp().fc1().input_quant().enabled());
+  EXPECT_TRUE(model.blocks()[0].residual_quant1().enabled());
+  // Quantized forward still works and produces finite logits.
+  const nn::Tensor logits = model.forward(random_images(3, cfg, 6), true);
+  for (std::size_t i = 0; i < logits.size(); ++i) EXPECT_TRUE(std::isfinite(logits[i]));
+  // LSQ steps appear in the parameter list after the forward.
+  const std::size_t with_quant = model.params().size();
+  VisionTransformer fp(cfg, 5);
+  (void)fp.forward(random_images(3, cfg, 6), true);
+  EXPECT_GT(with_quant, fp.params().size());
+}
+
+TEST(VitModel, CopyWeightsReproducesOutputs) {
+  const VitConfig cfg = tiny_config();
+  VisionTransformer a(cfg, 7), b(cfg, 999);
+  const nn::Tensor images = random_images(2, cfg, 8);
+  b.copy_weights_from(a);
+  const nn::Tensor ya = a.forward(images, false);
+  const nn::Tensor yb = b.forward(images, false);
+  for (std::size_t i = 0; i < ya.size(); ++i) EXPECT_FLOAT_EQ(ya[i], yb[i]);
+}
+
+TEST(VitModel, StructuralParamsExcludeQuantSteps) {
+  const VitConfig cfg = tiny_config();
+  VisionTransformer model(cfg, 9);
+  const std::size_t structural = model.structural_params().size();
+  model.apply_precision(PrecisionSpec::w2a2r16());
+  (void)model.forward(random_images(2, cfg, 10), true);
+  EXPECT_EQ(model.structural_params().size(), structural);
+  EXPECT_GT(model.params().size(), structural);
+}
+
+TEST(VitModel, ApproxSoftmaxSwitch) {
+  const VitConfig cfg = tiny_config();
+  VisionTransformer model(cfg, 11);
+  const nn::Tensor images = random_images(2, cfg, 12);
+  const nn::Tensor exact = model.forward(images, false);
+  model.set_softmax_kind(nn::SoftmaxKind::kApprox);
+  const nn::Tensor approx = model.forward(images, false);
+  double diff = 0;
+  for (std::size_t i = 0; i < exact.size(); ++i) diff += std::fabs(exact[i] - approx[i]);
+  EXPECT_GT(diff, 0.0);
+}
+
+TEST(VitModel, OverfitsTinySubset) {
+  // Sanity: a few steps of AdamW on 8 fixed samples must drive the loss down.
+  VitConfig cfg = tiny_config();
+  cfg.norm = NormKind::kBatchNorm;
+  VisionTransformer model(cfg, 13);
+  const Dataset data = make_synthetic_vision(8, cfg.classes, 14, cfg.image_size);
+  const Batch batch = take_batch(data, {0, 1, 2, 3, 4, 5, 6, 7});
+
+  (void)model.forward(batch.images, true);
+  nn::AdamW opt(model.params(), 3e-3f);
+  double first = 0, last = 0;
+  for (int step = 0; step < 60; ++step) {
+    opt.zero_grad();
+    const nn::Tensor logits = model.forward(batch.images, true);
+    const nn::LossResult ce = nn::cross_entropy(logits, batch.labels);
+    model.backward(ce.grad);
+    opt.step();
+    if (step == 0) first = ce.value;
+    last = ce.value;
+  }
+  EXPECT_LT(last, first * 0.5);
+}
