@@ -1,0 +1,111 @@
+// bench_runtime_throughput — images/sec of the batched SC inference runtime.
+//
+// Two questions: (1) what does the transfer-function LUT cache buy over
+// re-emulating the SC circuits per activation, and (2) how does throughput
+// scale with the engine's worker-pool size. Both run the full ViT forward
+// with the SC softmax + GELU hooks active, i.e. the serving hot path.
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/ascend.h"
+
+using namespace ascend;
+using namespace ascend::vit;
+
+namespace {
+
+ScInferenceConfig serving_sc_config() {
+  ScInferenceConfig cfg;
+  cfg.softmax.bx = 8;
+  cfg.softmax.alpha_x = 1.0;
+  cfg.softmax.by = 32;
+  cfg.softmax.k = 3;
+  cfg.softmax.s1 = 4;
+  cfg.softmax.s2 = 2;
+  cfg.softmax.alpha_y = 3.0 / 32;
+  cfg.use_sc_gelu = true;
+  cfg.gelu_bsl = 16;
+  cfg.gelu_range = 4.0;
+  return cfg;
+}
+
+double images_per_sec(VisionTransformer& model, const Dataset& data,
+                      const ScInferenceConfig& sc_cfg, int threads, bool cached) {
+  runtime::EngineOptions opts;
+  opts.threads = threads;
+  opts.use_tf_cache = cached;
+  runtime::InferenceEngine engine(model, sc_cfg, opts);
+  engine.evaluate(data, 32);  // warm-up: builds LUTs / touches every code path
+  const auto t0 = std::chrono::steady_clock::now();
+  engine.evaluate(data, 32);
+  const double s = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return data.size() / s;
+}
+
+// Single-row kernels for google-benchmark: the softmax nonlinear block served
+// from the LUT cache vs per-call circuit emulation.
+sc::SoftmaxIterConfig row_config() {
+  sc::SoftmaxIterConfig cfg;
+  cfg.m = 16;
+  cfg.bx = 8;
+  cfg.alpha_x = 1.0;
+  cfg.by = 32;
+  cfg.s1 = 4;
+  cfg.s2 = 2;
+  cfg.alpha_y = 3.0 / 32;
+  return cfg;
+}
+
+void bm_softmax_row_emulated(benchmark::State& state) {
+  const auto cfg = row_config();
+  const auto rows = sc::sample_attention_logits(cfg.m, 1, 7);
+  for (auto _ : state) benchmark::DoNotOptimize(sc::softmax_iterative_sc(rows[0], cfg));
+}
+BENCHMARK(bm_softmax_row_emulated);
+
+void bm_softmax_row_cached(benchmark::State& state) {
+  const auto cfg = row_config();
+  const runtime::SoftmaxLut lut(cfg);
+  const auto rows = sc::sample_attention_logits(cfg.m, 1, 7);
+  for (auto _ : state) benchmark::DoNotOptimize(lut(rows[0]));
+}
+BENCHMARK(bm_softmax_row_cached);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::banner("runtime throughput — batched SC inference engine",
+                "serving extension (no table in the paper)");
+
+  VitConfig cfg = VitConfig::bench_topology(10);
+  const int images = bench::fast_mode() ? 32 : 128;
+  VisionTransformer model(cfg, 3);  // throughput does not depend on training
+  model.apply_precision(PrecisionSpec::w2a2r16());
+  const Dataset data = make_synthetic_vision(images, cfg.classes, 12);
+  const ScInferenceConfig sc_cfg = serving_sc_config();
+
+  std::printf("\n%d images, %d tokens, dim %d, %d layers (SC softmax + gate-SI GELU active)\n",
+              images, cfg.tokens(), cfg.dim, cfg.layers);
+
+  const double uncached_1t = images_per_sec(model, data, sc_cfg, 1, /*cached=*/false);
+  const double cached_1t = images_per_sec(model, data, sc_cfg, 1, /*cached=*/true);
+  std::printf("\n-- transfer-function LUT cache (1 thread) --\n");
+  std::printf("  %-28s %10.2f images/s\n", "per-activation emulation", uncached_1t);
+  std::printf("  %-28s %10.2f images/s\n", "tf_cache LUTs", cached_1t);
+  std::printf("  %-28s %10.2fx\n", "speedup", cached_1t / uncached_1t);
+
+  std::printf("\n-- worker-pool scaling (LUT cache on) --\n");
+  std::printf("  %8s %14s %10s\n", "threads", "images/s", "scaling");
+  for (int threads : {1, 2, 4, 8}) {
+    const double ips = threads == 1 ? cached_1t : images_per_sec(model, data, sc_cfg, threads, true);
+    std::printf("  %8d %14.2f %9.2fx\n", threads, ips, ips / cached_1t);
+  }
+  std::printf("  (scaling is bounded by the machine's core count: %u)\n",
+              std::thread::hardware_concurrency());
+
+  bench::run_timing_kernels(argc, argv);
+  return 0;
+}

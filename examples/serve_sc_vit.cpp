@@ -1,0 +1,129 @@
+// serve_sc_vit — concurrent clients against the batched SC inference runtime.
+//
+// Trains a small W2-A2-R16 BN-ViT, stands up a runtime::InferenceEngine
+// (worker pool + dynamic batcher + transfer-function LUT cache), then hammers
+// it from several client threads submitting one image at a time, exactly as a
+// serving frontend would. Prints throughput, client-side latency percentiles
+// and the engine's batching statistics.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "core/ascend.h"
+
+using namespace ascend;
+using namespace ascend::vit;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double percentile(std::vector<double>& xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const std::size_t i =
+      std::min(xs.size() - 1, static_cast<std::size_t>(p * static_cast<double>(xs.size() - 1)));
+  return xs[i];
+}
+
+}  // namespace
+
+int main() {
+  VitConfig cfg = VitConfig::bench_topology(10);
+  cfg.dim = 48;
+  cfg.layers = 2;
+
+  const Dataset train = make_synthetic_vision(512, cfg.classes, 11);
+  const Dataset test = make_synthetic_vision(240, cfg.classes, 12);
+
+  std::printf("training a %d-layer BN-ViT (dim %d, %d tokens) and quantizing to W2-A2-R16...\n",
+              cfg.layers, cfg.dim, cfg.tokens());
+  VisionTransformer model(cfg, 3);
+  TrainOptions opt;
+  opt.epochs = 4;
+  opt.lr = 2e-3f;
+  opt.batch_size = 64;
+  train_model(model, nullptr, train, opt);
+  model.apply_precision(PrecisionSpec::w2a2r16());
+  opt.epochs = 2;
+  opt.lr = 1e-3f;
+  train_model(model, nullptr, train, opt);
+
+  ScInferenceConfig sc_cfg;
+  sc_cfg.softmax.bx = 8;
+  sc_cfg.softmax.alpha_x = 1.0;
+  sc_cfg.softmax.by = 32;
+  sc_cfg.softmax.k = 3;
+  sc_cfg.softmax.s1 = 4;
+  sc_cfg.softmax.s2 = 2;
+  sc_cfg.softmax.alpha_y = 3.0 / 32;
+  sc_cfg.use_sc_gelu = true;
+  sc_cfg.gelu_bsl = 16;
+  sc_cfg.gelu_range = 4.0;
+
+  runtime::EngineOptions eng_opts;
+  eng_opts.threads = 4;
+  eng_opts.max_batch = 16;
+  eng_opts.max_delay = std::chrono::microseconds(2000);
+  runtime::InferenceEngine engine(model, sc_cfg, eng_opts);
+
+  constexpr int kClients = 8;
+  const int per_client = test.size() / kClients;
+  std::printf("serving %d images from %d concurrent clients (pool=%d, max_batch=%d, "
+              "max_delay=%lldus)...\n",
+              per_client * kClients, kClients, engine.threads(), eng_opts.max_batch,
+              static_cast<long long>(eng_opts.max_delay.count()));
+
+  const int pixels = test.images.dim(1);
+  std::vector<std::vector<double>> latencies(kClients);
+  std::vector<int> correct(kClients, 0);
+  std::vector<std::thread> clients;
+  const auto t0 = Clock::now();
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      std::mt19937_64 rng(static_cast<std::uint64_t>(c) + 1);
+      std::uniform_int_distribution<int> jitter_us(0, 500);
+      for (int i = 0; i < per_client; ++i) {
+        const int r = c * per_client + i;
+        std::vector<float> img(static_cast<std::size_t>(pixels));
+        for (int p = 0; p < pixels; ++p)
+          img[static_cast<std::size_t>(p)] = test.images.at(r, p);
+        const auto sent = Clock::now();
+        auto fut = engine.submit(std::move(img));
+        const runtime::Prediction pred = fut.get();
+        latencies[static_cast<std::size_t>(c)].push_back(
+            std::chrono::duration<double, std::milli>(Clock::now() - sent).count());
+        if (pred.label == test.labels[static_cast<std::size_t>(r)])
+          ++correct[static_cast<std::size_t>(c)];
+        std::this_thread::sleep_for(std::chrono::microseconds(jitter_us(rng)));
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  const double wall_s = std::chrono::duration<double>(Clock::now() - t0).count();
+
+  std::vector<double> all_lat;
+  int all_correct = 0;
+  for (int c = 0; c < kClients; ++c) {
+    all_lat.insert(all_lat.end(), latencies[static_cast<std::size_t>(c)].begin(),
+                   latencies[static_cast<std::size_t>(c)].end());
+    all_correct += correct[static_cast<std::size_t>(c)];
+  }
+  const int served = static_cast<int>(all_lat.size());
+  const runtime::EngineStats st = engine.stats();
+
+  std::printf("\nserved %d images in %.2f s  ->  %.1f images/s\n", served, wall_s,
+              served / wall_s);
+  std::printf("client latency: p50 %.2f ms, p95 %.2f ms, max %.2f ms\n",
+              percentile(all_lat, 0.50), percentile(all_lat, 0.95), percentile(all_lat, 1.0));
+  std::printf("batching: %llu batches, avg fill %.1f images, %llu full, avg queue wait %.2f ms\n",
+              static_cast<unsigned long long>(st.batches), st.avg_batch(),
+              static_cast<unsigned long long>(st.full_batches), st.avg_queue_ms());
+  std::printf("served accuracy (SC softmax By=%d k=%d + gate-SI GELU %db): %.2f%%\n",
+              sc_cfg.softmax.by, sc_cfg.softmax.k, sc_cfg.gelu_bsl,
+              100.0 * all_correct / std::max(served, 1));
+  return 0;
+}

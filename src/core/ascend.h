@@ -10,6 +10,8 @@
 //   ascend::nn   — tensor/layer/optimizer substrate with LSQ quantization.
 //   ascend::vit  — compact ViT, synthetic dataset, the two-stage training
 //                  pipeline, and SC-emulated inference.
+//   ascend::runtime — batched inference serving: thread pool, dynamic
+//                  request batcher, transfer-function LUT cache, engine.
 //   ascend::core — accelerator-level composition and design-space
 //                  exploration.
 
@@ -28,6 +30,10 @@
 #include "nn/quant.h"
 #include "nn/rng.h"
 #include "nn/tensor.h"
+#include "runtime/batcher.h"
+#include "runtime/engine.h"
+#include "runtime/tf_cache.h"
+#include "runtime/thread_pool.h"
 #include "sc/bernstein.h"
 #include "sc/bitvec.h"
 #include "sc/bsn.h"

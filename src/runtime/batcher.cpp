@@ -1,0 +1,65 @@
+#include "runtime/batcher.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ascend::runtime {
+
+Batcher::Batcher(int max_batch, std::chrono::microseconds max_delay)
+    : max_batch_(max_batch), max_delay_(max_delay) {
+  if (max_batch_ < 1) throw std::invalid_argument("Batcher: max_batch must be >= 1");
+  if (max_delay_.count() < 0) throw std::invalid_argument("Batcher: max_delay must be >= 0");
+}
+
+std::future<Prediction> Batcher::enqueue(std::vector<float> image) {
+  Request req;
+  req.image = std::move(image);
+  req.enqueued = std::chrono::steady_clock::now();
+  std::future<Prediction> fut = req.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) throw std::runtime_error("Batcher::enqueue after close");
+    queue_.push_back(std::move(req));
+  }
+  cv_.notify_all();
+  return fut;
+}
+
+std::vector<Request> Batcher::next_batch() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+    if (queue_.empty()) return {};  // closed and drained
+
+    if (static_cast<int>(queue_.size()) < max_batch_ && !closed_) {
+      // Wait out the remainder of the oldest request's latency budget; more
+      // arrivals may fill the batch (or trip the size cutoff) meanwhile.
+      const auto deadline = queue_.front().enqueued + max_delay_;
+      const bool full = cv_.wait_until(lock, deadline, [this] {
+        return closed_ || static_cast<int>(queue_.size()) >= max_batch_;
+      });
+      if (!full && queue_.empty()) continue;  // spurious state change; re-arm
+    }
+
+    const std::size_t take = std::min(queue_.size(), static_cast<std::size_t>(max_batch_));
+    std::vector<Request> batch(std::make_move_iterator(queue_.begin()),
+                               std::make_move_iterator(queue_.begin() + static_cast<long>(take)));
+    queue_.erase(queue_.begin(), queue_.begin() + static_cast<long>(take));
+    return batch;
+  }
+}
+
+void Batcher::close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::size_t Batcher::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace ascend::runtime

@@ -1,0 +1,61 @@
+#pragma once
+// batcher.h — dynamic request batching for the SC inference engine.
+//
+// Clients enqueue single images and get a future; a dispatcher thread (owned
+// by the engine) pulls coalesced batches. A batch closes when either
+//   * `max_batch` requests are waiting (size cutoff), or
+//   * the oldest waiting request has aged past `max_delay` (latency cutoff),
+// so a lone request is never parked longer than the configured latency bound
+// while bursts still fill whole batches.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <vector>
+
+namespace ascend::runtime {
+
+/// Result delivered to a client for one image.
+struct Prediction {
+  int label = -1;              ///< argmax class
+  std::vector<float> logits;   ///< raw head outputs
+  double queue_ms = 0.0;       ///< enqueue -> batch-close wait
+};
+
+struct Request {
+  std::vector<float> image;  ///< flattened [channels*H*W] pixels
+  std::promise<Prediction> promise;
+  std::chrono::steady_clock::time_point enqueued;
+};
+
+class Batcher {
+ public:
+  Batcher(int max_batch, std::chrono::microseconds max_delay);
+
+  /// Thread-safe producer side. Throws after close().
+  std::future<Prediction> enqueue(std::vector<float> image);
+
+  /// Consumer side (single dispatcher thread): blocks until a batch is ready
+  /// per the cutoff rules, or the batcher is closed. Returns an empty vector
+  /// only when closed *and* drained.
+  std::vector<Request> next_batch();
+
+  /// Stop accepting work and wake the dispatcher; queued requests still drain.
+  void close();
+
+  int max_batch() const { return max_batch_; }
+  std::chrono::microseconds max_delay() const { return max_delay_; }
+  std::size_t pending() const;
+
+ private:
+  const int max_batch_;
+  const std::chrono::microseconds max_delay_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Request> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace ascend::runtime

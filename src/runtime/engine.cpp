@@ -1,0 +1,202 @@
+#include "runtime/engine.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ascend::runtime {
+
+using nn::Tensor;
+
+namespace {
+
+int resolve_threads(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc > 0 ? static_cast<int>(hc) : 1;
+}
+
+int argmax_row(const Tensor& logits, int r) {
+  int best = 0;
+  for (int c = 1; c < logits.dim(1); ++c)
+    if (logits.at(r, c) > logits.at(r, best)) best = c;
+  return best;
+}
+
+}  // namespace
+
+InferenceEngine::InferenceEngine(vit::VisionTransformer& model, const vit::ScInferenceConfig& cfg,
+                                 EngineOptions opts)
+    : model_(model),
+      cfg_(cfg),
+      opts_(opts),
+      pool_(resolve_threads(opts.threads)),
+      batcher_(opts.max_batch, opts.max_delay) {
+  try {
+    install_hooks();
+  } catch (...) {
+    // A half-installed hook would dangle on the pool once members unwind.
+    model_.clear_hooks();
+    throw;
+  }
+  dispatcher_ = std::thread([this] { dispatch_loop(); });
+}
+
+InferenceEngine::~InferenceEngine() {
+  batcher_.close();
+  dispatcher_.join();
+  model_.clear_hooks();
+}
+
+void InferenceEngine::install_hooks() {
+  if (cfg_.use_sc_softmax) {
+    softmax_cfg_ = cfg_.softmax;
+    softmax_cfg_.m = model_.config().tokens();
+    softmax_cfg_.validate();
+    if (opts_.use_tf_cache) softmax_lut_ = &global_tf_cache().softmax(softmax_cfg_);
+    const sc::SoftmaxIterConfig sm = softmax_cfg_;
+    const SoftmaxLut* lut = softmax_lut_;
+    ThreadPool* pool = &pool_;
+    model_.set_softmax_hook([sm, lut, pool](const Tensor& scores) {
+      const int rows = scores.dim(0), m = scores.dim(1);
+      Tensor out({rows, m});
+      pool->parallel_for(0, rows, [&](int lo, int hi) {
+        std::vector<double> row(static_cast<std::size_t>(m));
+        for (int r = lo; r < hi; ++r) {
+          for (int c = 0; c < m; ++c) row[static_cast<std::size_t>(c)] = scores.at(r, c);
+          const auto y = lut ? (*lut)(row) : sc::softmax_iterative_sc(row, sm);
+          for (int c = 0; c < m; ++c)
+            out.at(r, c) = static_cast<float>(y[static_cast<std::size_t>(c)]);
+        }
+      });
+      return out;
+    });
+  }
+  if (cfg_.use_sc_gelu) {
+    if (opts_.use_tf_cache)
+      gelu_lut_ = &global_tf_cache().gelu(cfg_.gelu_bsl, -cfg_.gelu_range, cfg_.gelu_range, 16);
+    else
+      gelu_block_ = std::make_shared<sc::GateAssistedSI>(
+          sc::make_gelu_block(cfg_.gelu_bsl, -cfg_.gelu_range, cfg_.gelu_range, 16));
+    const GeluLut* lut = gelu_lut_;
+    auto block = gelu_block_;
+    ThreadPool* pool = &pool_;
+    model_.set_gelu_hook([lut, block, pool](const Tensor& x) {
+      Tensor y(x.shape());
+      pool->parallel_for(0, static_cast<int>(x.size()), [&](int lo, int hi) {
+        for (int i = lo; i < hi; ++i) {
+          const std::size_t s = static_cast<std::size_t>(i);
+          y[s] = static_cast<float>(lut ? (*lut)(x[s]) : block->transfer(x[s]));
+        }
+      });
+      return y;
+    });
+  }
+}
+
+Tensor InferenceEngine::forward_locked(const Tensor& images) {
+  std::lock_guard<std::mutex> lock(model_mu_);
+  return model_.forward(images, /*training=*/false);
+}
+
+std::future<Prediction> InferenceEngine::submit(std::vector<float> image) {
+  return batcher_.enqueue(std::move(image));
+}
+
+void InferenceEngine::dispatch_loop() {
+  for (;;) {
+    std::vector<Request> batch = batcher_.next_batch();
+    if (batch.empty()) return;  // closed and drained
+
+    const auto closed_at = std::chrono::steady_clock::now();
+    const int b = static_cast<int>(batch.size());
+    const int pixels = static_cast<int>(batch[0].image.size());
+    Tensor images({b, pixels});
+    std::vector<bool> rejected(static_cast<std::size_t>(b), false);
+    for (int r = 0; r < b; ++r) {
+      if (static_cast<int>(batch[static_cast<std::size_t>(r)].image.size()) != pixels) {
+        // Odd-sized request: fail it alone (its row stays zero) and keep
+        // serving the rest of the batch.
+        rejected[static_cast<std::size_t>(r)] = true;
+        batch[static_cast<std::size_t>(r)].promise.set_exception(std::make_exception_ptr(
+            std::invalid_argument("InferenceEngine: inconsistent image size in batch")));
+        continue;
+      }
+      std::copy(batch[static_cast<std::size_t>(r)].image.begin(),
+                batch[static_cast<std::size_t>(r)].image.end(),
+                images.data() + static_cast<std::size_t>(r) * pixels);
+    }
+
+    Tensor logits;
+    try {
+      logits = forward_locked(images);
+    } catch (...) {
+      const auto err = std::current_exception();
+      for (int r = 0; r < b; ++r)
+        if (!rejected[static_cast<std::size_t>(r)])
+          batch[static_cast<std::size_t>(r)].promise.set_exception(err);
+      continue;
+    }
+
+    double queue_ms_sum = 0.0;
+    int served = 0;
+    std::vector<Prediction> preds(static_cast<std::size_t>(b));
+    for (int r = 0; r < b; ++r) {
+      if (rejected[static_cast<std::size_t>(r)]) continue;
+      ++served;
+      Prediction& pred = preds[static_cast<std::size_t>(r)];
+      pred.label = argmax_row(logits, r);
+      pred.logits.resize(static_cast<std::size_t>(logits.dim(1)));
+      for (int c = 0; c < logits.dim(1); ++c)
+        pred.logits[static_cast<std::size_t>(c)] = logits.at(r, c);
+      pred.queue_ms = std::chrono::duration<double, std::milli>(
+                          closed_at - batch[static_cast<std::size_t>(r)].enqueued)
+                          .count();
+      queue_ms_sum += pred.queue_ms;
+    }
+
+    // Record stats before resolving any future: a client that sees its
+    // result must also see it reflected in stats().
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.images += static_cast<std::uint64_t>(served);
+      stats_.batches += 1;
+      if (b >= batcher_.max_batch()) stats_.full_batches += 1;
+      stats_.total_queue_ms += queue_ms_sum;
+      stats_.max_batch_seen = std::max(stats_.max_batch_seen, b);
+    }
+
+    for (int r = 0; r < b; ++r)
+      if (!rejected[static_cast<std::size_t>(r)])
+        batch[static_cast<std::size_t>(r)].promise.set_value(
+            std::move(preds[static_cast<std::size_t>(r)]));
+  }
+}
+
+std::vector<int> InferenceEngine::predict_batch(const Tensor& images) {
+  const Tensor logits = forward_locked(images);
+  std::vector<int> labels(static_cast<std::size_t>(logits.dim(0)));
+  for (int r = 0; r < logits.dim(0); ++r) labels[static_cast<std::size_t>(r)] = argmax_row(logits, r);
+  return labels;
+}
+
+double InferenceEngine::evaluate(const vit::Dataset& data, int batch_size) {
+  const int n = data.size();
+  int correct = 0;
+  for (int start = 0; start < n; start += batch_size) {
+    const int end = std::min(n, start + batch_size);
+    std::vector<int> idx(static_cast<std::size_t>(end - start));
+    std::iota(idx.begin(), idx.end(), start);
+    const vit::Batch batch = vit::take_batch(data, idx);
+    const std::vector<int> labels = predict_batch(batch.images);
+    for (std::size_t r = 0; r < labels.size(); ++r)
+      if (labels[r] == batch.labels[r]) ++correct;
+  }
+  return 100.0 * correct / std::max(n, 1);
+}
+
+EngineStats InferenceEngine::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+}  // namespace ascend::runtime

@@ -1,0 +1,95 @@
+#pragma once
+// engine.h — batched SC inference engine.
+//
+// InferenceEngine turns a trained VisionTransformer plus an ScInferenceConfig
+// into a serving endpoint: it installs the SC nonlinear-block hooks (served
+// from the transfer-function LUT cache by default, or the bit-true circuit
+// emulators when caching is disabled), owns a fixed-size worker pool that
+// parallelises the per-activation SC emulation inside each forward, and runs
+// a dispatcher thread that drains a dynamic request batcher. The engine has
+// exclusive use of the model while alive — model forwards are serialized
+// internally (the substrate caches activations per forward) — and restores
+// the model's hooks on destruction.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+
+#include "runtime/batcher.h"
+#include "runtime/tf_cache.h"
+#include "runtime/thread_pool.h"
+#include "vit/dataset.h"
+#include "vit/model.h"
+#include "vit/sc_inference.h"
+
+namespace ascend::runtime {
+
+struct EngineOptions {
+  int threads = 0;    ///< worker pool size; 0 -> hardware_concurrency
+  int max_batch = 32; ///< dynamic-batching size cutoff
+  std::chrono::microseconds max_delay{2000};  ///< dynamic-batching latency cutoff
+  bool use_tf_cache = true;  ///< false: per-activation circuit emulation (bench baseline)
+};
+
+struct EngineStats {
+  std::uint64_t images = 0;
+  std::uint64_t batches = 0;        ///< batches dispatched via submit()
+  std::uint64_t full_batches = 0;   ///< batches closed by the size cutoff
+  double total_queue_ms = 0.0;      ///< summed enqueue -> batch-close waits
+  int max_batch_seen = 0;
+
+  double avg_batch() const { return batches ? static_cast<double>(images) / batches : 0.0; }
+  double avg_queue_ms() const { return images ? total_queue_ms / images : 0.0; }
+};
+
+class InferenceEngine {
+ public:
+  InferenceEngine(vit::VisionTransformer& model, const vit::ScInferenceConfig& cfg,
+                  EngineOptions opts = {});
+  ~InferenceEngine();
+
+  InferenceEngine(const InferenceEngine&) = delete;
+  InferenceEngine& operator=(const InferenceEngine&) = delete;
+
+  /// Async single-image path through the dynamic batcher. `image` is the
+  /// flattened [channels*H*W] pixel row the dataset stores.
+  std::future<Prediction> submit(std::vector<float> image);
+
+  /// Synchronous batch path (no batcher): argmax labels for [B, pixels].
+  std::vector<int> predict_batch(const nn::Tensor& images);
+
+  /// Top-1 accuracy with the engine's SC blocks active — the serving twin of
+  /// vit::evaluate(); vit::evaluate_sc delegates here.
+  double evaluate(const vit::Dataset& data, int batch_size = 128);
+
+  EngineStats stats() const;
+  int threads() const { return pool_.size(); }
+  const vit::ScInferenceConfig& sc_config() const { return cfg_; }
+  bool cached() const { return opts_.use_tf_cache; }
+
+ private:
+  void install_hooks();
+  void dispatch_loop();
+  nn::Tensor forward_locked(const nn::Tensor& images);
+
+  vit::VisionTransformer& model_;
+  vit::ScInferenceConfig cfg_;
+  EngineOptions opts_;
+  ThreadPool pool_;
+  Batcher batcher_;
+
+  std::mutex model_mu_;  ///< the substrate caches per-forward state
+  mutable std::mutex stats_mu_;
+  EngineStats stats_;
+
+  // Uncached fallbacks keep the circuit emulators callable from the hooks.
+  std::shared_ptr<sc::GateAssistedSI> gelu_block_;
+  const GeluLut* gelu_lut_ = nullptr;
+  const SoftmaxLut* softmax_lut_ = nullptr;
+  sc::SoftmaxIterConfig softmax_cfg_;  ///< m resolved to the model's tokens
+
+  std::thread dispatcher_;
+};
+
+}  // namespace ascend::runtime

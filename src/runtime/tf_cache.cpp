@@ -1,0 +1,176 @@
+#include "runtime/tf_cache.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "sc/therm_arith.h"
+
+namespace ascend::runtime {
+namespace {
+
+std::string hex_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// GeluLut
+// ---------------------------------------------------------------------------
+
+GeluLut::GeluLut(const sc::GateAssistedSI& block)
+    : lin_(block.lin()), alpha_in_(block.alpha_in()) {
+  out_.reserve(static_cast<std::size_t>(lin_) + 1);
+  for (int n = 0; n <= lin_; ++n)
+    out_.push_back(block.apply(sc::ThermValue{n, lin_, block.alpha_in()}).value());
+}
+
+// ---------------------------------------------------------------------------
+// SoftmaxLut
+// ---------------------------------------------------------------------------
+
+SoftmaxLut::SoftmaxLut(sc::SoftmaxIterConfig cfg) : cfg_(cfg) {
+  cfg_.validate();
+  lay_ = sc::softmax_iter_layout(cfg_);
+  alpha_c_ = cfg_.alpha_y / cfg_.align_expand;
+  const int cap = cfg_.by * cfg_.align_expand;
+  y0_ones_ = sc::ThermValue::encode(1.0 / cfg_.m, cfg_.by, cfg_.alpha_y).ones;
+
+  // Derive each re-scaling site's operand grid by running the same op chain
+  // the emulator runs (counts are irrelevant; lengths/alphas are static).
+  using sc::ThermValue;
+  const ThermValue x0 = ThermValue::encode(0.0, cfg_.bx, cfg_.alpha_x);
+  const ThermValue y0{y0_ones_, cfg_.by, cfg_.alpha_y};
+  const ThermValue z0 = sc::mult(x0, y0);
+  const ThermValue ssum0 = sc::subsample(
+      sc::add(std::vector<ThermValue>(static_cast<std::size_t>(cfg_.m), z0)), cfg_.s1,
+      cfg_.centered_subsample);
+  const ThermValue w0 =
+      sc::negate(sc::subsample(sc::mult(y0, ssum0), cfg_.s2, cfg_.centered_subsample));
+  const ThermValue zk0 = sc::divide_by_const(z0, cfg_.k);
+  const ThermValue wk0 = sc::divide_by_const(w0, cfg_.k);
+
+  la_ = sc::softmax_alignment_length(y0.alpha, y0.length, alpha_c_, cap);
+  lb_ = sc::softmax_alignment_length(zk0.alpha, zk0.length, alpha_c_, cap);
+  lc_ = sc::softmax_alignment_length(wk0.alpha, wk0.length, alpha_c_, cap);
+  lconcat_ = la_ + lb_ + lc_;
+
+  // Tabulate the four re-scaling blocks by evaluating the circuit emulator at
+  // every reachable input count.
+  auto tabulate = [this](int length, double alpha, int target_length, double target_alpha) {
+    std::vector<int> lut(static_cast<std::size_t>(length) + 1);
+    for (int n = 0; n <= length; ++n)
+      lut[static_cast<std::size_t>(n)] =
+          sc::rescale(sc::ThermValue{n, length, alpha}, target_length, target_alpha,
+                      cfg_.rescale_max_den)
+              .ones;
+    return lut;
+  };
+  lut_y_ = tabulate(y0.length, y0.alpha, la_, alpha_c_);
+  lut_zk_ = tabulate(zk0.length, zk0.alpha, lb_, alpha_c_);
+  lut_wk_ = tabulate(wk0.length, wk0.alpha, lc_, alpha_c_);
+  lut_close_ = tabulate(lconcat_, alpha_c_, cfg_.by, cfg_.alpha_y);
+
+  y_value_.reserve(static_cast<std::size_t>(cfg_.by) + 1);
+  for (int n = 0; n <= cfg_.by; ++n)
+    y_value_.push_back(sc::ThermValue{n, cfg_.by, cfg_.alpha_y}.value());
+}
+
+std::vector<double> SoftmaxLut::operator()(const std::vector<double>& x) const {
+  using sc::ThermValue;
+  if (static_cast<int>(x.size()) != cfg_.m)
+    throw std::invalid_argument("SoftmaxLut: input size != m");
+
+  std::vector<ThermValue> xs;
+  xs.reserve(x.size());
+  for (double v : x) xs.push_back(ThermValue::encode(v, cfg_.bx, cfg_.alpha_x));
+  std::vector<int> y(x.size(), y0_ones_);
+  std::vector<ThermValue> zs(x.size());
+
+  for (int j = 0; j < cfg_.k; ++j) {
+    // MUL-1 / BSN-1 / sub-sample: exact O(1) count maps via the emulator ops.
+    for (std::size_t i = 0; i < xs.size(); ++i)
+      zs[i] = sc::mult(xs[i], ThermValue{y[i], cfg_.by, cfg_.alpha_y});
+    const ThermValue ssum = sc::subsample(sc::add(zs), cfg_.s1, cfg_.centered_subsample);
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      const ThermValue yi{y[i], cfg_.by, cfg_.alpha_y};
+      const ThermValue w =
+          sc::negate(sc::subsample(sc::mult(yi, ssum), cfg_.s2, cfg_.centered_subsample));
+      // The four re-scaling blocks collapse to table lookups; BSN-2 is the
+      // count sum of the three aligned operands.
+      const int concat = lut_y_[static_cast<std::size_t>(y[i])] +
+                         lut_zk_[static_cast<std::size_t>(zs[i].ones)] +
+                         lut_wk_[static_cast<std::size_t>(w.ones)];
+      y[i] = lut_close_[static_cast<std::size_t>(concat)];
+    }
+  }
+
+  std::vector<double> out(x.size());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = y_value_[static_cast<std::size_t>(y[i])];
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// TfCache
+// ---------------------------------------------------------------------------
+
+std::string softmax_cache_key(const sc::SoftmaxIterConfig& cfg) {
+  std::string key = "sm:";
+  key += std::to_string(cfg.m) + "," + std::to_string(cfg.k) + "," + std::to_string(cfg.bx) + "," +
+         std::to_string(cfg.by) + "," + std::to_string(cfg.s1) + "," + std::to_string(cfg.s2) +
+         "," + hex_double(cfg.alpha_x) + "," + hex_double(cfg.alpha_y) + "," +
+         std::to_string(cfg.align_expand) + "," + std::to_string(cfg.rescale_max_den) + "," +
+         (cfg.centered_subsample ? "c" : "e");
+  return key;
+}
+
+const GeluLut& TfCache::gelu(int b, double input_lo, double input_hi, int input_bsl) {
+  const std::string key = "gelu:" + std::to_string(b) + "," + hex_double(input_lo) + "," +
+                          hex_double(input_hi) + "," + std::to_string(input_bsl);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = gelu_.find(key);
+    if (it != gelu_.end()) return *it->second;
+  }
+  // Synthesize outside the lock (make_gelu_block scans output scales).
+  auto lut = std::make_unique<GeluLut>(sc::make_gelu_block(b, input_lo, input_hi, input_bsl));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = gelu_.emplace(key, std::move(lut));
+  (void)inserted;  // a racing builder's identical table is simply kept
+  return *it->second;
+}
+
+const GeluLut& TfCache::gelu_block(const sc::GateAssistedSI& block, const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gelu_.find(key);
+  if (it == gelu_.end()) it = gelu_.emplace(key, std::make_unique<GeluLut>(block)).first;
+  return *it->second;
+}
+
+const SoftmaxLut& TfCache::softmax(const sc::SoftmaxIterConfig& cfg) {
+  const std::string key = softmax_cache_key(cfg);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = softmax_.find(key);
+    if (it != softmax_.end()) return *it->second;
+  }
+  auto lut = std::make_unique<SoftmaxLut>(cfg);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = softmax_.emplace(key, std::move(lut));
+  (void)inserted;
+  return *it->second;
+}
+
+std::size_t TfCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return gelu_.size() + softmax_.size();
+}
+
+TfCache& global_tf_cache() {
+  static TfCache cache;
+  return cache;
+}
+
+}  // namespace ascend::runtime

@@ -1,0 +1,105 @@
+#pragma once
+// tf_cache.h — transfer-function LUT cache for the SC nonlinear blocks.
+//
+// The thermometer datapath's nonlinear blocks are pure functions of small
+// integer counts: a gate-assisted SI block maps an input ones-count to an
+// output ones-count, and every re-scaling block inside the iterative softmax
+// circuit maps a count on one static (length, alpha) grid to a count on
+// another. Re-emulating the circuit per activation therefore repeats the
+// same tiny computations millions of times per image. This module tabulates
+// each block's response once per configuration — by *running the circuit
+// emulator* over every reachable input count, so the emulator stays the
+// ground truth — and serves inference from the tables. tests/test_runtime.cpp
+// asserts bit-exact agreement with sc::GateAssistedSI / sc::softmax_iterative_sc.
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sc/gate_si.h"
+#include "sc/softmax_iter.h"
+
+namespace ascend::runtime {
+
+/// Tabulated gate-assisted SI response: out_[n] = decoded output for input
+/// ones-count n. Built by evaluating the block's count-level circuit (itself
+/// test-proven equal to the bit-level interval logic) at every n in [0, Lin].
+class GeluLut {
+ public:
+  explicit GeluLut(const sc::GateAssistedSI& block);
+
+  /// Bit-exact with block.transfer(x): same input quantizer, tabled response.
+  double operator()(double x) const {
+    return out_[static_cast<std::size_t>(sc::ThermValue::encode(x, lin_, alpha_in_).ones)];
+  }
+
+  int lin() const { return lin_; }
+  double alpha_in() const { return alpha_in_; }
+  const std::vector<double>& table() const { return out_; }
+
+ private:
+  int lin_;
+  double alpha_in_;
+  std::vector<double> out_;  // lin_ + 1 entries
+};
+
+/// Tabulated iterative-softmax datapath (Fig. 5). The multiplier / BSN /
+/// sub-sampler counts are exact O(1) integer maps and are evaluated through
+/// the sc:: count-level emulator directly; the four re-scaling blocks — whose
+/// emulation re-derives a rational expand/subsample plan on every call — are
+/// tabulated per call site (their operand grids are static per config).
+class SoftmaxLut {
+ public:
+  explicit SoftmaxLut(sc::SoftmaxIterConfig cfg);
+
+  /// Bit-exact with sc::softmax_iterative_sc(x, config()).
+  std::vector<double> operator()(const std::vector<double>& x) const;
+
+  const sc::SoftmaxIterConfig& config() const { return cfg_; }
+  const sc::SoftmaxIterLayout& layout() const { return lay_; }
+
+ private:
+  sc::SoftmaxIterConfig cfg_;
+  sc::SoftmaxIterLayout lay_;
+  double alpha_c_ = 0.0;  // alignment-grid scale alpha_y / align_expand
+  int y0_ones_ = 0;       // encode(1/m, By, alpha_y)
+  // Alignment lengths derived by running the op chain itself (not the layout
+  // arithmetic) so every double matches the emulator's to the last bit.
+  int la_ = 0, lb_ = 0, lc_ = 0, lconcat_ = 0;
+  // Count -> count tables for the four re-scaling call sites.
+  std::vector<int> lut_y_;      // y operand (By grid)      -> La grid
+  std::vector<int> lut_zk_;     // z/k operand (Lz grid)    -> Lb grid
+  std::vector<int> lut_wk_;     // -y*sum(z)/k (Lw_sub grid)-> Lc grid
+  std::vector<int> lut_close_;  // BSN-2 output (Lconcat)   -> By grid
+  std::vector<double> y_value_; // decode table for the final (By, alpha_y) grid
+};
+
+/// Thread-safe per-configuration cache of the LUTs above. Lookups build the
+/// table on first use and hand out stable references afterwards; the engine
+/// shares one cache across all its worker threads.
+class TfCache {
+ public:
+  /// LUT for make_gelu_block(b, lo, hi, input_bsl).
+  const GeluLut& gelu(int b, double input_lo, double input_hi, int input_bsl);
+  /// LUT for an arbitrary synthesized gate-assisted SI block.
+  const GeluLut& gelu_block(const sc::GateAssistedSI& block, const std::string& key);
+  const SoftmaxLut& softmax(const sc::SoftmaxIterConfig& cfg);
+
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<GeluLut>> gelu_;
+  std::map<std::string, std::unique_ptr<SoftmaxLut>> softmax_;
+};
+
+/// Process-wide cache shared by every engine (configs are tiny; entries are
+/// immutable once built).
+TfCache& global_tf_cache();
+
+/// Stable cache key for a softmax configuration (exposed for tests).
+std::string softmax_cache_key(const sc::SoftmaxIterConfig& cfg);
+
+}  // namespace ascend::runtime

@@ -1,0 +1,72 @@
+#include "runtime/thread_pool.h"
+
+#include <algorithm>
+
+namespace ascend::runtime {
+
+ThreadPool::ThreadPool(int threads) {
+  const int n = std::max(1, threads);
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // closed and drained
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(int begin, int end, const std::function<void(int, int)>& body) {
+  const int n = end - begin;
+  if (n <= 0) return;
+  const int chunks = std::min(n, size());
+  if (chunks <= 1) {
+    body(begin, end);
+    return;
+  }
+  const int step = (n + chunks - 1) / chunks;
+  std::vector<std::future<void>> futs;
+  futs.reserve(static_cast<std::size_t>(chunks - 1));
+  // Hand chunks 1..k-1 to the workers; run chunk 0 on the calling thread.
+  for (int c = 1; c < chunks; ++c) {
+    const int lo = begin + c * step;
+    const int hi = std::min(end, lo + step);
+    if (lo >= hi) break;
+    futs.push_back(submit([&body, lo, hi] { body(lo, hi); }));
+  }
+  // Every chunk must finish before we return (or rethrow): an early unwind
+  // would leave workers running a `body` that points into the caller's frame.
+  std::exception_ptr first_error;
+  try {
+    body(begin, std::min(end, begin + step));
+  } catch (...) {
+    first_error = std::current_exception();
+  }
+  for (auto& f : futs) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace ascend::runtime

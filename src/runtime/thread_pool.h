@@ -1,0 +1,65 @@
+#pragma once
+// thread_pool.h — fixed-size worker pool for the SC inference runtime.
+//
+// The engine's hot path is the per-activation SC nonlinear-block emulation
+// (softmax rows, GELU elements); those units are independent, so the pool's
+// job is plain data parallelism: `submit` for fire-and-forget futures and
+// `parallel_for` for blocking chunked loops. Tasks submitted from one thread
+// run FIFO per worker; the destructor drains the queue before joining so no
+// accepted task is ever dropped.
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace ascend::runtime {
+
+class ThreadPool {
+ public:
+  /// `threads` < 1 is clamped to 1. Workers start immediately.
+  explicit ThreadPool(int threads);
+  /// Drains every queued task, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueue a callable; the future resolves with its result (or exception).
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) throw std::runtime_error("ThreadPool::submit after shutdown");
+      queue_.push([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Run body(begin, end) over [begin, end) split into ~size() chunks and
+  /// block until all complete. The caller executes one chunk itself, so the
+  /// loop makes progress even on a single-core pool. Must not be called from
+  /// inside a pool task (the caller-waits pattern would deadlock).
+  void parallel_for(int begin, int end, const std::function<void(int, int)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool closed_ = false;
+};
+
+}  // namespace ascend::runtime

@@ -22,17 +22,6 @@ ThermStream encode_as(const ThermStream*, double x, int l, double a) {
   return ThermStream::encode(x, l, a);
 }
 
-/// Target length for re-gridding a number onto scale `alpha_c`. `cap` bounds
-/// the bundle at the final y range (the closing re-scale would clip anything
-/// beyond it anyway), which keeps the per-unit BSN-2 small — the designer's
-/// range-vs-hardware trade the re-scaling blocks of [15] exist for.
-int alignment_length(double alpha, int length, double alpha_c, int cap) {
-  const double need = alpha * length / alpha_c;
-  int l = static_cast<int>(std::ceil(need - 1e-9));
-  if (l % 2 != 0) ++l;
-  return std::clamp(l, 2, cap);
-}
-
 /// The Fig. 5 datapath, generic over the count-level / bit-level number type.
 template <typename T>
 std::vector<double> run_softmax(const std::vector<double>& x, const SoftmaxIterConfig& cfg) {
@@ -70,11 +59,11 @@ std::vector<double> run_softmax(const std::vector<double>& x, const SoftmaxIterC
       T zk = divide_by_const(zs[static_cast<std::size_t>(i)], cfg.k);
       T wk = divide_by_const(w, cfg.k);
       // Re-scaling blocks align the three addends on the grid alpha_c.
-      T a = rescale(yi, alignment_length(alpha_of(yi), len_of(yi), alpha_c, cap), alpha_c,
+      T a = rescale(yi, softmax_alignment_length(alpha_of(yi), len_of(yi), alpha_c, cap), alpha_c,
                     cfg.rescale_max_den);
-      T b = rescale(zk, alignment_length(alpha_of(zk), len_of(zk), alpha_c, cap), alpha_c,
+      T b = rescale(zk, softmax_alignment_length(alpha_of(zk), len_of(zk), alpha_c, cap), alpha_c,
                     cfg.rescale_max_den);
-      T c = rescale(wk, alignment_length(alpha_of(wk), len_of(wk), alpha_c, cap), alpha_c,
+      T c = rescale(wk, softmax_alignment_length(alpha_of(wk), len_of(wk), alpha_c, cap), alpha_c,
                     cfg.rescale_max_den);
       // BSN-2 accumulates, and the closing re-scale returns y to (By, alpha_y).
       next.push_back(rescale(add({a, b, c}), cfg.by, cfg.alpha_y, cfg.rescale_max_den));
@@ -89,6 +78,16 @@ std::vector<double> run_softmax(const std::vector<double>& x, const SoftmaxIterC
 
 }  // namespace
 
+// `cap` bounds the bundle at the final y range (the closing re-scale would
+// clip anything beyond it anyway), which keeps the per-unit BSN-2 small — the
+// designer's range-vs-hardware trade the re-scaling blocks of [15] exist for.
+int softmax_alignment_length(double alpha, int length, double alpha_c, int cap) {
+  const double need = alpha * length / alpha_c;
+  int l = static_cast<int>(std::ceil(need - 1e-9));
+  if (l % 2 != 0) ++l;
+  return std::clamp(l, 2, cap);
+}
+
 SoftmaxIterLayout softmax_iter_layout(const SoftmaxIterConfig& cfg) {
   cfg.validate();
   SoftmaxIterLayout lay;
@@ -101,9 +100,9 @@ SoftmaxIterLayout softmax_iter_layout(const SoftmaxIterConfig& cfg) {
   const double alpha_z = cfg.alpha_x * cfg.alpha_y;
   const double alpha_w = alpha_z * cfg.alpha_y * cfg.s1 * cfg.s2;
   const int cap = cfg.by * cfg.align_expand;
-  lay.la = alignment_length(cfg.alpha_y, cfg.by, alpha_c, cap);
-  lay.lb = alignment_length(alpha_z / cfg.k, lay.lz, alpha_c, cap);
-  lay.lc = alignment_length(alpha_w / cfg.k, lay.lw_sub, alpha_c, cap);
+  lay.la = softmax_alignment_length(cfg.alpha_y, cfg.by, alpha_c, cap);
+  lay.lb = softmax_alignment_length(alpha_z / cfg.k, lay.lz, alpha_c, cap);
+  lay.lc = softmax_alignment_length(alpha_w / cfg.k, lay.lw_sub, alpha_c, cap);
   lay.lconcat = lay.la + lay.lb + lay.lc;
   return lay;
 }

@@ -67,6 +67,12 @@ struct SoftmaxIterLayout {
 };
 SoftmaxIterLayout softmax_iter_layout(const SoftmaxIterConfig& cfg);
 
+/// Target length for re-gridding a (length, alpha) bundle onto scale
+/// `alpha_c`, capped at `cap` bits (the designer's range-vs-hardware trade of
+/// the re-scaling blocks). Shared with the runtime's LUT cache so the cached
+/// fast path can never disagree with the circuit emulation about bundle sizes.
+int softmax_alignment_length(double alpha, int length, double alpha_c, int cap);
+
 /// Exact softmax (reference for MAE).
 std::vector<double> softmax_exact(const std::vector<double>& x);
 

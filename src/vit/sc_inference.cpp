@@ -1,48 +1,16 @@
 #include "vit/sc_inference.h"
 
-#include <memory>
-
-#include "vit/train.h"
+#include "runtime/engine.h"
 
 namespace ascend::vit {
 
-using nn::Tensor;
-
 double evaluate_sc(VisionTransformer& model, const Dataset& data, const ScInferenceConfig& cfg,
                    int batch_size) {
-  if (cfg.use_sc_softmax) {
-    sc::SoftmaxIterConfig sm = cfg.softmax;
-    sm.m = model.config().tokens();
-    sm.validate();
-    model.set_softmax_hook([sm](const Tensor& scores) {
-      const int rows = scores.dim(0), m = scores.dim(1);
-      Tensor out({rows, m});
-      std::vector<double> row(static_cast<std::size_t>(m));
-#pragma omp parallel for schedule(static) firstprivate(row)
-      for (int r = 0; r < rows; ++r) {
-        for (int c = 0; c < m; ++c) row[static_cast<std::size_t>(c)] = scores.at(r, c);
-        const auto y = sc::softmax_iterative_sc(row, sm);
-        for (int c = 0; c < m; ++c) out.at(r, c) = static_cast<float>(y[static_cast<std::size_t>(c)]);
-      }
-      return out;
-    });
-  }
-  if (cfg.use_sc_gelu) {
-    // One shared GELU block; transfer() quantizes input and output exactly as
-    // the gate-assisted SI circuit would.
-    auto block = std::make_shared<sc::GateAssistedSI>(
-        sc::make_gelu_block(cfg.gelu_bsl, -cfg.gelu_range, cfg.gelu_range, 16));
-    model.set_gelu_hook([block](const Tensor& x) {
-      Tensor y(x.shape());
-      for (std::size_t i = 0; i < x.size(); ++i)
-        y[i] = static_cast<float>(block->transfer(x[i]));
-      return y;
-    });
-  }
-
-  const double acc = evaluate(model, data, batch_size);
-  model.clear_hooks();
-  return acc;
+  // The engine installs the SC hooks (LUT-cached, validated bit-exact against
+  // the circuit emulators), parallelises the per-activation emulation across
+  // its worker pool, and restores the model's hooks when it goes out of scope.
+  runtime::InferenceEngine engine(model, cfg);
+  return engine.evaluate(data, batch_size);
 }
 
 }  // namespace ascend::vit

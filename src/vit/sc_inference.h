@@ -25,7 +25,9 @@ struct ScInferenceConfig {
 };
 
 /// Top-1 accuracy with the SC nonlinear blocks swapped in. The model's hooks
-/// are restored on exit.
+/// are restored on exit. Thin wrapper over runtime::InferenceEngine (see
+/// runtime/engine.h), which serves the nonlinear blocks from the tf_cache
+/// LUTs and spreads the per-activation SC emulation across a worker pool.
 double evaluate_sc(VisionTransformer& model, const Dataset& data, const ScInferenceConfig& cfg,
                    int batch_size = 128);
 
