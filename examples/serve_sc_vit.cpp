@@ -68,14 +68,16 @@ int main() {
   eng_opts.threads = 4;
   eng_opts.max_batch = 16;
   eng_opts.max_delay = std::chrono::microseconds(2000);
+  eng_opts.concurrent_forwards = 2;  // re-entrant infer path: batch forwards overlap
   runtime::InferenceEngine engine(model, sc_cfg, eng_opts);
 
   constexpr int kClients = 8;
   const int per_client = test.size() / kClients;
   std::printf("serving %d images from %d concurrent clients (pool=%d, max_batch=%d, "
-              "max_delay=%lldus)...\n",
+              "max_delay=%lldus, concurrent_forwards=%d)...\n",
               per_client * kClients, kClients, engine.threads(), eng_opts.max_batch,
-              static_cast<long long>(eng_opts.max_delay.count()));
+              static_cast<long long>(eng_opts.max_delay.count()),
+              engine.concurrent_forwards());
 
   const int pixels = test.images.dim(1);
   std::vector<std::vector<double>> latencies(kClients);
@@ -117,11 +119,19 @@ int main() {
 
   std::printf("\nserved %d images in %.2f s  ->  %.1f images/s\n", served, wall_s,
               served / wall_s);
-  std::printf("client latency: p50 %.2f ms, p95 %.2f ms, max %.2f ms\n",
+  std::printf("client latency (aggregate): p50 %.2f ms, p95 %.2f ms, max %.2f ms\n",
               percentile(all_lat, 0.50), percentile(all_lat, 0.95), percentile(all_lat, 1.0));
-  std::printf("batching: %llu batches, avg fill %.1f images, %llu full, avg queue wait %.2f ms\n",
+  std::printf("per-client latency:\n");
+  for (int c = 0; c < kClients; ++c) {
+    auto& lat = latencies[static_cast<std::size_t>(c)];
+    std::printf("  client %d: p50 %6.2f ms   p95 %6.2f ms   (%zu images)\n", c,
+                percentile(lat, 0.50), percentile(lat, 0.95), lat.size());
+  }
+  std::printf("batching: %llu batches, avg fill %.1f images, %llu full, avg queue wait %.2f ms, "
+              "peak forwards in flight %d\n",
               static_cast<unsigned long long>(st.batches), st.avg_batch(),
-              static_cast<unsigned long long>(st.full_batches), st.avg_queue_ms());
+              static_cast<unsigned long long>(st.full_batches), st.avg_queue_ms(),
+              st.max_in_flight);
   std::printf("served accuracy (SC softmax By=%d k=%d + gate-SI GELU %db): %.2f%%\n",
               sc_cfg.softmax.by, sc_cfg.softmax.k, sc_cfg.gelu_bsl,
               100.0 * all_correct / std::max(served, 1));

@@ -4,6 +4,27 @@
 
 namespace ascend::nn {
 
+namespace {
+
+// One Euler step over every row: y += (x*y - y*(x.y))/k. Shared by the
+// training forward and the const infer path so they cannot diverge.
+void approx_softmax_step(const Tensor& x, Tensor& y, float invk) {
+  const int rows = x.dim(0), m = x.dim(1);
+#pragma omp parallel for schedule(static) if (rows > 16)
+  for (int r = 0; r < rows; ++r) {
+    const float* xr = x.data() + static_cast<std::size_t>(r) * m;
+    float* yr = y.data() + static_cast<std::size_t>(r) * m;
+    float s = 0.0f;
+    for (int i = 0; i < m; ++i) s += xr[i] * yr[i];
+    for (int i = 0; i < m; ++i) {
+      const float z = xr[i] * yr[i];
+      yr[i] += (z - yr[i] * s) * invk;
+    }
+  }
+}
+
+}  // namespace
+
 ApproxSoftmax::ApproxSoftmax(int k) : k_(k) {
   if (k < 1) throw std::invalid_argument("ApproxSoftmax: k >= 1");
 }
@@ -24,18 +45,16 @@ Tensor ApproxSoftmax::forward(const Tensor& x) {
   const float invk = 1.0f / static_cast<float>(k_);
   for (int j = 0; j < k_; ++j) {
     cached_u_.push_back(y);
-#pragma omp parallel for schedule(static) if (rows > 16)
-    for (int r = 0; r < rows; ++r) {
-      const float* xr = x.data() + static_cast<std::size_t>(r) * m;
-      float* yr = y.data() + static_cast<std::size_t>(r) * m;
-      float s = 0.0f;
-      for (int i = 0; i < m; ++i) s += xr[i] * yr[i];
-      for (int i = 0; i < m; ++i) {
-        const float z = xr[i] * yr[i];
-        yr[i] += (z - yr[i] * s) * invk;
-      }
-    }
+    approx_softmax_step(x, y, invk);
   }
+  return y;
+}
+
+Tensor ApproxSoftmax::infer(const Tensor& x) const {
+  if (x.rank() != 2) throw std::invalid_argument("ApproxSoftmax::infer: rank-2 required");
+  Tensor y({x.dim(0), x.dim(1)}, 1.0f / static_cast<float>(x.dim(1)));
+  const float invk = 1.0f / static_cast<float>(k_);
+  for (int j = 0; j < k_; ++j) approx_softmax_step(x, y, invk);
   return y;
 }
 

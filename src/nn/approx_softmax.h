@@ -28,6 +28,8 @@ class ApproxSoftmax {
   /// Row-wise Algorithm 1 over a rank-2 tensor [rows, m].
   Tensor forward(const Tensor& x);
   Tensor backward(const Tensor& grad_out);
+  /// Re-entrant forward: no per-step caches, bit-exact with forward().
+  Tensor infer(const Tensor& x) const;
 
  private:
   int k_;

@@ -5,6 +5,76 @@
 
 namespace ascend::nn {
 
+namespace {
+
+// Shared forward/infer kernels; all state is caller-provided so the infer
+// path can keep its activations on the stack.
+
+/// Head-major gather of a [B*T, 3*dim] qkv projection into Q/K/V [B*H*T, dh].
+void gather_qkv(const Tensor& qkv_out, int batch, int tokens, int heads, int dim, int dh,
+                Tensor& q, Tensor& k, Tensor& v) {
+  const int bh = batch * heads;
+  q = Tensor({bh * tokens, dh});
+  k = Tensor({bh * tokens, dh});
+  v = Tensor({bh * tokens, dh});
+  for (int b = 0; b < batch; ++b)
+    for (int t = 0; t < tokens; ++t) {
+      const float* src = qkv_out.data() + (static_cast<std::size_t>(b) * tokens + t) * 3 * dim;
+      for (int h = 0; h < heads; ++h) {
+        const std::size_t row = (static_cast<std::size_t>(b) * heads + h) * tokens + t;
+        for (int d = 0; d < dh; ++d) {
+          q[row * dh + d] = src[h * dh + d];
+          k[row * dh + d] = src[dim + h * dh + d];
+          v[row * dh + d] = src[2 * dim + h * dh + d];
+        }
+      }
+    }
+}
+
+/// Scores per (batch, head): S = Q K^T / sqrt(dh), flattened to [B*H*T, T].
+Tensor attention_scores(const Tensor& q, const Tensor& k, int bh, int tokens, int dh) {
+  const float inv_sqrt_dh = 1.0f / std::sqrt(static_cast<float>(dh));
+  Tensor scores({bh * tokens, tokens});
+#pragma omp parallel for schedule(static)
+  for (int g = 0; g < bh; ++g) {
+    const float* qg = q.data() + static_cast<std::size_t>(g) * tokens * dh;
+    const float* kg = k.data() + static_cast<std::size_t>(g) * tokens * dh;
+    float* s = scores.data() + static_cast<std::size_t>(g) * tokens * tokens;
+    for (int i = 0; i < tokens; ++i)
+      for (int j = 0; j < tokens; ++j) {
+        float acc = 0.0f;
+        for (int d = 0; d < dh; ++d) acc += qg[i * dh + d] * kg[j * dh + d];
+        s[i * tokens + j] = acc * inv_sqrt_dh;
+      }
+  }
+  return scores;
+}
+
+/// Context: attn * V, merged back to [B*T, dim].
+Tensor attention_context(const Tensor& attn, const Tensor& v, int batch, int heads, int tokens,
+                         int dim, int dh) {
+  const int bh = batch * heads;
+  Tensor ctx({batch * tokens, dim});
+#pragma omp parallel for schedule(static)
+  for (int g = 0; g < bh; ++g) {
+    const int b = g / heads;
+    const int h = g % heads;
+    const float* a = attn.data() + static_cast<std::size_t>(g) * tokens * tokens;
+    const float* vg = v.data() + static_cast<std::size_t>(g) * tokens * dh;
+    for (int i = 0; i < tokens; ++i) {
+      float* out = ctx.data() + (static_cast<std::size_t>(b) * tokens + i) * dim + h * dh;
+      for (int d = 0; d < dh; ++d) {
+        float acc = 0.0f;
+        for (int j = 0; j < tokens; ++j) acc += a[i * tokens + j] * vg[j * dh + d];
+        out[d] = acc;
+      }
+    }
+  }
+  return ctx;
+}
+
+}  // namespace
+
 MultiHeadSelfAttention::MultiHeadSelfAttention(int dim, int heads, Rng& rng, int approx_k)
     : dim_(dim),
       heads_(heads),
@@ -22,41 +92,10 @@ Tensor MultiHeadSelfAttention::forward(const Tensor& x, int batch, int tokens) {
   batch_ = batch;
   tokens_ = tokens;
   const int bh = batch * heads_;
-  const float inv_sqrt_dh = 1.0f / std::sqrt(static_cast<float>(dh_));
 
   const Tensor qkv_out = qkv_.forward(x);  // [B*T, 3*dim]
-
-  // Head-major gather: Q/K/V as [B*H*T, dh].
-  cached_q_ = Tensor({bh * tokens, dh_});
-  cached_k_ = Tensor({bh * tokens, dh_});
-  cached_v_ = Tensor({bh * tokens, dh_});
-  for (int b = 0; b < batch; ++b)
-    for (int t = 0; t < tokens; ++t) {
-      const float* src = qkv_out.data() + (static_cast<std::size_t>(b) * tokens + t) * 3 * dim_;
-      for (int h = 0; h < heads_; ++h) {
-        const std::size_t row = (static_cast<std::size_t>(b) * heads_ + h) * tokens + t;
-        for (int d = 0; d < dh_; ++d) {
-          cached_q_[row * dh_ + d] = src[h * dh_ + d];
-          cached_k_[row * dh_ + d] = src[dim_ + h * dh_ + d];
-          cached_v_[row * dh_ + d] = src[2 * dim_ + h * dh_ + d];
-        }
-      }
-    }
-
-  // Scores per (batch, head): S = Q K^T / sqrt(dh), flattened to [B*H*T, T].
-  Tensor scores({bh * tokens, tokens});
-#pragma omp parallel for schedule(static)
-  for (int g = 0; g < bh; ++g) {
-    const float* q = cached_q_.data() + static_cast<std::size_t>(g) * tokens * dh_;
-    const float* k = cached_k_.data() + static_cast<std::size_t>(g) * tokens * dh_;
-    float* s = scores.data() + static_cast<std::size_t>(g) * tokens * tokens;
-    for (int i = 0; i < tokens; ++i)
-      for (int j = 0; j < tokens; ++j) {
-        float acc = 0.0f;
-        for (int d = 0; d < dh_; ++d) acc += q[i * dh_ + d] * k[j * dh_ + d];
-        s[i * tokens + j] = acc * inv_sqrt_dh;
-      }
-  }
+  gather_qkv(qkv_out, batch, tokens, heads_, dim_, dh_, cached_q_, cached_k_, cached_v_);
+  const Tensor scores = attention_scores(cached_q_, cached_k_, bh, tokens, dh_);
 
   used_hook_ = static_cast<bool>(hook_);
   if (used_hook_)
@@ -66,24 +105,30 @@ Tensor MultiHeadSelfAttention::forward(const Tensor& x, int batch, int tokens) {
   else
     cached_attn_ = softmax_rows(scores);
 
-  // Context: attn * V, merged back to [B*T, dim].
-  Tensor ctx({batch * tokens, dim_});
-#pragma omp parallel for schedule(static)
-  for (int g = 0; g < bh; ++g) {
-    const int b = g / heads_;
-    const int h = g % heads_;
-    const float* a = cached_attn_.data() + static_cast<std::size_t>(g) * tokens * tokens;
-    const float* v = cached_v_.data() + static_cast<std::size_t>(g) * tokens * dh_;
-    for (int i = 0; i < tokens; ++i) {
-      float* out = ctx.data() + (static_cast<std::size_t>(b) * tokens + i) * dim_ + h * dh_;
-      for (int d = 0; d < dh_; ++d) {
-        float acc = 0.0f;
-        for (int j = 0; j < tokens; ++j) acc += a[i * tokens + j] * v[j * dh_ + d];
-        out[d] = acc;
-      }
-    }
-  }
+  const Tensor ctx = attention_context(cached_attn_, cached_v_, batch, heads_, tokens, dim_, dh_);
   return proj_.forward(ctx);
+}
+
+Tensor MultiHeadSelfAttention::infer(const Tensor& x, int batch, int tokens) const {
+  if (x.rank() != 2 || x.dim(1) != dim_ || x.dim(0) != batch * tokens)
+    throw std::invalid_argument("MSA::infer: bad input shape");
+  const int bh = batch * heads_;
+
+  const Tensor qkv_out = qkv_.infer(x);  // [B*T, 3*dim]
+  Tensor q, k, v;
+  gather_qkv(qkv_out, batch, tokens, heads_, dim_, dh_, q, k, v);
+  const Tensor scores = attention_scores(q, k, bh, tokens, dh_);
+
+  Tensor attn;
+  if (hook_)
+    attn = hook_(scores);
+  else if (softmax_kind_ == SoftmaxKind::kApprox)
+    attn = approx_sm_.infer(scores);
+  else
+    attn = softmax_rows(scores);
+
+  const Tensor ctx = attention_context(attn, v, batch, heads_, tokens, dim_, dh_);
+  return proj_.infer(ctx);
 }
 
 Tensor MultiHeadSelfAttention::backward(const Tensor& grad_out) {

@@ -23,6 +23,10 @@ class MultiHeadSelfAttention {
   /// x: [B*T, dim] (token-major). Returns [B*T, dim].
   Tensor forward(const Tensor& x, int batch, int tokens);
   Tensor backward(const Tensor& grad_out);
+  /// Re-entrant inference forward: all activation state lives on the call
+  /// stack, so concurrent calls are safe. The softmax hook (if set) is
+  /// invoked per call and must itself be thread-safe.
+  Tensor infer(const Tensor& x, int batch, int tokens) const;
 
   void set_softmax_kind(SoftmaxKind kind) { softmax_kind_ = kind; }
   SoftmaxKind softmax_kind() const { return softmax_kind_; }

@@ -33,6 +33,19 @@ Tensor Linear::forward(const Tensor& x) {
   return y;
 }
 
+Tensor Linear::infer(const Tensor& x) const {
+  if (x.rank() != 2 || x.dim(1) != in_) throw std::invalid_argument("Linear::infer: bad input");
+  const Tensor xq = input_quant_.infer(x);
+  const Tensor wq = weight_quant_.infer(w_.value);
+  Tensor y = matmul(xq, wq);
+  if (has_bias_) {
+    const int n = y.dim(0);
+    for (int r = 0; r < n; ++r)
+      for (int c = 0; c < out_; ++c) y.at(r, c) += b_.value[static_cast<std::size_t>(c)];
+  }
+  return y;
+}
+
 Tensor Linear::backward(const Tensor& grad_out) {
   if (grad_out.rank() != 2 || grad_out.dim(1) != out_)
     throw std::invalid_argument("Linear::backward: bad grad");
@@ -95,6 +108,28 @@ Tensor LayerNorm::forward(const Tensor& x) {
   return y;
 }
 
+Tensor LayerNorm::infer(const Tensor& x) const {
+  if (x.rank() != 2 || x.dim(1) != features_)
+    throw std::invalid_argument("LayerNorm::infer: bad input");
+  const int rows = x.dim(0);
+  Tensor y(x.shape());
+  for (int r = 0; r < rows; ++r) {
+    const float* xr = x.data() + static_cast<std::size_t>(r) * features_;
+    float mean = 0.0f;
+    for (int c = 0; c < features_; ++c) mean += xr[c];
+    mean /= static_cast<float>(features_);
+    float var = 0.0f;
+    for (int c = 0; c < features_; ++c) var += (xr[c] - mean) * (xr[c] - mean);
+    var /= static_cast<float>(features_);
+    const float inv = 1.0f / std::sqrt(var + eps_);
+    for (int c = 0; c < features_; ++c) {
+      const float xh = (xr[c] - mean) * inv;
+      y.at(r, c) = xh * gamma_.value[static_cast<std::size_t>(c)] + beta_.value[static_cast<std::size_t>(c)];
+    }
+  }
+  return y;
+}
+
 Tensor LayerNorm::backward(const Tensor& grad_out) {
   check_same_shape(grad_out, cached_xhat_, "LayerNorm::backward");
   const int rows = grad_out.dim(0);
@@ -141,18 +176,9 @@ BatchNorm::BatchNorm(int features, float eps, float momentum)
 Tensor BatchNorm::forward(const Tensor& x, bool training) {
   if (x.rank() != 2 || x.dim(1) != features_)
     throw std::invalid_argument("BatchNorm::forward: bad input");
+  if (!training) return infer(x);
   const int rows = x.dim(0);
   Tensor y(x.shape());
-  if (!training) {
-    for (int r = 0; r < rows; ++r)
-      for (int c = 0; c < features_; ++c) {
-        const float inv = 1.0f / std::sqrt(running_var_[static_cast<std::size_t>(c)] + eps_);
-        y.at(r, c) = (x.at(r, c) - running_mean_[static_cast<std::size_t>(c)]) * inv *
-                         gamma_.value[static_cast<std::size_t>(c)] +
-                     beta_.value[static_cast<std::size_t>(c)];
-      }
-    return y;
-  }
   cached_rows_ = rows;
   cached_xhat_ = Tensor(x.shape());
   cached_invstd_.assign(static_cast<std::size_t>(features_), 0.0f);
@@ -175,6 +201,21 @@ Tensor BatchNorm::forward(const Tensor& x, bool training) {
       y.at(r, c) = xh * gamma_.value[static_cast<std::size_t>(c)] + beta_.value[static_cast<std::size_t>(c)];
     }
   }
+  return y;
+}
+
+Tensor BatchNorm::infer(const Tensor& x) const {
+  if (x.rank() != 2 || x.dim(1) != features_)
+    throw std::invalid_argument("BatchNorm::infer: bad input");
+  const int rows = x.dim(0);
+  Tensor y(x.shape());
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < features_; ++c) {
+      const float inv = 1.0f / std::sqrt(running_var_[static_cast<std::size_t>(c)] + eps_);
+      y.at(r, c) = (x.at(r, c) - running_mean_[static_cast<std::size_t>(c)]) * inv *
+                       gamma_.value[static_cast<std::size_t>(c)] +
+                   beta_.value[static_cast<std::size_t>(c)];
+    }
   return y;
 }
 
@@ -214,6 +255,8 @@ Tensor Gelu::forward(const Tensor& x) {
   cached_x_ = x;
   return gelu_forward(x);
 }
+
+Tensor Gelu::infer(const Tensor& x) const { return gelu_forward(x); }
 
 Tensor Gelu::backward(const Tensor& grad_out) { return gelu_backward(cached_x_, grad_out); }
 

@@ -3,6 +3,14 @@
 //
 // Each layer caches what its backward pass needs during forward. Gradients
 // accumulate into Param::grad; the trainer zeroes them between steps.
+//
+// Every layer also exposes a const, re-entrant `infer` path that reads
+// parameters / running statistics but writes no member state, so whole-model
+// forwards can run concurrently (the serving runtime depends on this).
+// `infer` is bit-exact with the corresponding training-path forward in
+// evaluation mode once the model is calibrated (LSQ quantizer steps
+// initialised by a prior forward); see LsqQuantizer::infer for the
+// uncalibrated fallback.
 
 #include <vector>
 
@@ -21,6 +29,7 @@ class Linear {
 
   Tensor forward(const Tensor& x);             // [N, in] -> [N, out]
   Tensor backward(const Tensor& grad_out);     // returns grad wrt x
+  Tensor infer(const Tensor& x) const;         // re-entrant, no caching
 
   void set_weight_quant(QuantSpec spec) { weight_quant_.reset_spec(spec); }
   void set_input_quant(QuantSpec spec) { input_quant_.reset_spec(spec); }
@@ -49,6 +58,7 @@ class LayerNorm {
   explicit LayerNorm(int features, float eps = 1e-5f);
   Tensor forward(const Tensor& x);
   Tensor backward(const Tensor& grad_out);
+  Tensor infer(const Tensor& x) const;
   void collect_params(std::vector<Param*>& out);
   Param& gamma() { return gamma_; }
   Param& beta() { return beta_; }
@@ -68,6 +78,7 @@ class BatchNorm {
   explicit BatchNorm(int features, float eps = 1e-5f, float momentum = 0.1f);
   Tensor forward(const Tensor& x, bool training);
   Tensor backward(const Tensor& grad_out);
+  Tensor infer(const Tensor& x) const;  ///< eval-mode normalisation off running stats
   void collect_params(std::vector<Param*>& out);
   Param& gamma() { return gamma_; }
   Param& beta() { return beta_; }
@@ -89,6 +100,7 @@ class Gelu {
  public:
   Tensor forward(const Tensor& x);
   Tensor backward(const Tensor& grad_out);
+  Tensor infer(const Tensor& x) const;
 
  private:
   Tensor cached_x_;

@@ -30,15 +30,23 @@ void LsqQuantizer::reset_spec(QuantSpec spec) {
   initialized_ = false;
 }
 
+namespace {
+
+// LSQ init: s = 2 * mean|x| / sqrt(Qp).
+float lsq_init_step(const Tensor& x, int qp) {
+  double mean_abs = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) mean_abs += std::fabs(x[i]);
+  mean_abs /= std::max<std::size_t>(x.size(), 1);
+  return std::max(1e-4f, static_cast<float>(2.0 * mean_abs / std::sqrt(qp)));
+}
+
+}  // namespace
+
 Tensor LsqQuantizer::forward(const Tensor& x) {
   if (!spec_.enabled) return x;
   if (!initialized_) {
-    // LSQ init: s = 2 * mean|x| / sqrt(Qp).
-    double mean_abs = 0.0;
-    for (std::size_t i = 0; i < x.size(); ++i) mean_abs += std::fabs(x[i]);
-    mean_abs /= std::max<std::size_t>(x.size(), 1);
     step_.init_shape({1});
-    step_.value[0] = std::max(1e-4f, static_cast<float>(2.0 * mean_abs / std::sqrt(spec_.qp)));
+    step_.value[0] = lsq_init_step(x, spec_.qp);
     step_.no_weight_decay = true;
     initialized_ = true;
   }
@@ -50,6 +58,19 @@ Tensor LsqQuantizer::forward(const Tensor& x) {
     const float q = std::clamp(std::round(x[i] / s), static_cast<float>(spec_.qn),
                                static_cast<float>(spec_.qp));
     cached_q_[i] = q;
+    out[i] = q * s;
+  }
+  return out;
+}
+
+Tensor LsqQuantizer::infer(const Tensor& x) const {
+  if (!spec_.enabled) return x;
+  const float step = initialized_ ? step_.value[0] : lsq_init_step(x, spec_.qp);
+  const float s = std::max(step, 1e-6f);
+  Tensor out(x.shape());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const float q = std::clamp(std::round(x[i] / s), static_cast<float>(spec_.qn),
+                               static_cast<float>(spec_.qp));
     out[i] = q * s;
   }
   return out;

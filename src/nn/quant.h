@@ -57,6 +57,13 @@ class LsqQuantizer {
   /// STE backward; accumulates the step-size gradient.
   Tensor backward(const Tensor& grad_out);
 
+  /// Re-entrant inference forward: reads the trained step but writes no
+  /// member state, so concurrent calls are safe. Bit-exact with forward()
+  /// once the step is initialised. On an uncalibrated quantizer (enabled but
+  /// never trained) the const path cannot latch a step, so the LSQ init step
+  /// is derived from the batch itself on every call.
+  Tensor infer(const Tensor& x) const;
+
   float step() const { return step_.value.empty() ? 0.0f : step_.value[0]; }
   void collect_params(std::vector<Param*>& out);
 

@@ -5,10 +5,12 @@
 
 namespace ascend::runtime {
 
-Batcher::Batcher(int max_batch, std::chrono::microseconds max_delay)
-    : max_batch_(max_batch), max_delay_(max_delay) {
+Batcher::Batcher(int max_batch, std::chrono::microseconds max_delay, int max_pending,
+                 OverflowPolicy overflow)
+    : max_batch_(max_batch), max_delay_(max_delay), max_pending_(max_pending), overflow_(overflow) {
   if (max_batch_ < 1) throw std::invalid_argument("Batcher: max_batch must be >= 1");
   if (max_delay_.count() < 0) throw std::invalid_argument("Batcher: max_delay must be >= 0");
+  if (max_pending_ < 0) throw std::invalid_argument("Batcher: max_pending must be >= 0");
 }
 
 std::future<Prediction> Batcher::enqueue(std::vector<float> image) {
@@ -17,7 +19,13 @@ std::future<Prediction> Batcher::enqueue(std::vector<float> image) {
   req.enqueued = std::chrono::steady_clock::now();
   std::future<Prediction> fut = req.promise.get_future();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock(mu_);
+    if (max_pending_ > 0 && static_cast<int>(queue_.size()) >= max_pending_ && !closed_) {
+      if (overflow_ == OverflowPolicy::kReject) throw QueueFullError{};
+      space_cv_.wait(lock, [this] {
+        return closed_ || static_cast<int>(queue_.size()) < max_pending_;
+      });
+    }
     if (closed_) throw std::runtime_error("Batcher::enqueue after close");
     queue_.push_back(std::move(req));
   }
@@ -45,6 +53,7 @@ std::vector<Request> Batcher::next_batch() {
     std::vector<Request> batch(std::make_move_iterator(queue_.begin()),
                                std::make_move_iterator(queue_.begin() + static_cast<long>(take)));
     queue_.erase(queue_.begin(), queue_.begin() + static_cast<long>(take));
+    if (max_pending_ > 0) space_cv_.notify_all();
     return batch;
   }
 }
@@ -55,6 +64,7 @@ void Batcher::close() {
     closed_ = true;
   }
   cv_.notify_all();
+  space_cv_.notify_all();
 }
 
 std::size_t Batcher::pending() const {

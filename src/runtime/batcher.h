@@ -7,15 +7,31 @@
 //   * the oldest waiting request has aged past `max_delay` (latency cutoff),
 // so a lone request is never parked longer than the configured latency bound
 // while bursts still fill whole batches.
+//
+// Overload: an optional `max_pending` bounds the queue. When it is full,
+// enqueue() either blocks until the dispatcher drains space (kBlock) or
+// fails fast with QueueFullError (kReject), per the configured policy.
 
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <future>
 #include <mutex>
+#include <stdexcept>
 #include <vector>
 
 namespace ascend::runtime {
+
+/// What enqueue() does when the bounded queue is full.
+enum class OverflowPolicy {
+  kBlock,   ///< wait for the dispatcher to drain space (default)
+  kReject,  ///< fail fast with QueueFullError
+};
+
+/// Thrown by enqueue() under OverflowPolicy::kReject on a full queue.
+struct QueueFullError : std::runtime_error {
+  QueueFullError() : std::runtime_error("Batcher: queue full") {}
+};
 
 /// Result delivered to a client for one image.
 struct Prediction {
@@ -32,9 +48,12 @@ struct Request {
 
 class Batcher {
  public:
-  Batcher(int max_batch, std::chrono::microseconds max_delay);
+  /// `max_pending` == 0 leaves the queue unbounded (the policy is inert).
+  Batcher(int max_batch, std::chrono::microseconds max_delay, int max_pending = 0,
+          OverflowPolicy overflow = OverflowPolicy::kBlock);
 
-  /// Thread-safe producer side. Throws after close().
+  /// Thread-safe producer side. Throws after close(); on a full bounded
+  /// queue, blocks or throws QueueFullError per the overflow policy.
   std::future<Prediction> enqueue(std::vector<float> image);
 
   /// Consumer side (single dispatcher thread): blocks until a batch is ready
@@ -47,13 +66,18 @@ class Batcher {
 
   int max_batch() const { return max_batch_; }
   std::chrono::microseconds max_delay() const { return max_delay_; }
+  int max_pending() const { return max_pending_; }
+  OverflowPolicy overflow_policy() const { return overflow_; }
   std::size_t pending() const;
 
  private:
   const int max_batch_;
   const std::chrono::microseconds max_delay_;
+  const int max_pending_;
+  const OverflowPolicy overflow_;
   mutable std::mutex mu_;
-  std::condition_variable cv_;
+  std::condition_variable cv_;        ///< wakes the dispatcher (work / close)
+  std::condition_variable space_cv_;  ///< wakes blocked producers (space / close)
   std::vector<Request> queue_;
   bool closed_ = false;
 };

@@ -30,7 +30,8 @@ InferenceEngine::InferenceEngine(vit::VisionTransformer& model, const vit::ScInf
       cfg_(cfg),
       opts_(opts),
       pool_(resolve_threads(opts.threads)),
-      batcher_(opts.max_batch, opts.max_delay) {
+      batcher_(opts.max_batch, opts.max_delay, opts.max_pending, opts.overflow) {
+  if (opts_.concurrent_forwards < 1) opts_.concurrent_forwards = 1;
   try {
     install_hooks();
   } catch (...) {
@@ -38,12 +39,14 @@ InferenceEngine::InferenceEngine(vit::VisionTransformer& model, const vit::ScInf
     model_.clear_hooks();
     throw;
   }
+  forward_pool_ = std::make_unique<ThreadPool>(opts_.concurrent_forwards);
   dispatcher_ = std::thread([this] { dispatch_loop(); });
 }
 
 InferenceEngine::~InferenceEngine() {
   batcher_.close();
   dispatcher_.join();
+  forward_pool_.reset();  // drains the in-flight batch forwards
   model_.clear_hooks();
 }
 
@@ -75,12 +78,16 @@ void InferenceEngine::install_hooks() {
     if (opts_.use_tf_cache)
       gelu_lut_ = &global_tf_cache().gelu(cfg_.gelu_bsl, -cfg_.gelu_range, cfg_.gelu_range, 16);
     else
-      gelu_block_ = std::make_shared<sc::GateAssistedSI>(
+      gelu_proto_ = std::make_shared<const sc::GateAssistedSI>(
           sc::make_gelu_block(cfg_.gelu_bsl, -cfg_.gelu_range, cfg_.gelu_range, 16));
     const GeluLut* lut = gelu_lut_;
-    auto block = gelu_block_;
+    auto proto = gelu_proto_;
     ThreadPool* pool = &pool_;
-    model_.set_gelu_hook([lut, block, pool](const Tensor& x) {
+    model_.set_gelu_hook([lut, proto, pool](const Tensor& x) {
+      // Per-call emulator instance: concurrent forwards never share one
+      // (reads within the call are const, so the chunks may share it).
+      std::unique_ptr<const sc::GateAssistedSI> block;
+      if (!lut) block = std::make_unique<const sc::GateAssistedSI>(*proto);
       Tensor y(x.shape());
       pool->parallel_for(0, static_cast<int>(x.size()), [&](int lo, int hi) {
         for (int i = lo; i < hi; ++i) {
@@ -93,87 +100,112 @@ void InferenceEngine::install_hooks() {
   }
 }
 
-Tensor InferenceEngine::forward_locked(const Tensor& images) {
-  std::lock_guard<std::mutex> lock(model_mu_);
-  return model_.forward(images, /*training=*/false);
-}
-
 std::future<Prediction> InferenceEngine::submit(std::vector<float> image) {
   return batcher_.enqueue(std::move(image));
 }
 
 void InferenceEngine::dispatch_loop() {
   for (;;) {
+    // Throttle before pulling: while `concurrent_forwards` batches are in
+    // flight, requests keep coalescing in the batcher.
+    {
+      std::unique_lock<std::mutex> lock(flight_mu_);
+      flight_cv_.wait(lock, [this] { return in_flight_ < opts_.concurrent_forwards; });
+    }
     std::vector<Request> batch = batcher_.next_batch();
     if (batch.empty()) return;  // closed and drained
 
-    const auto closed_at = std::chrono::steady_clock::now();
-    const int b = static_cast<int>(batch.size());
-    const int pixels = static_cast<int>(batch[0].image.size());
-    Tensor images({b, pixels});
-    std::vector<bool> rejected(static_cast<std::size_t>(b), false);
-    for (int r = 0; r < b; ++r) {
-      if (static_cast<int>(batch[static_cast<std::size_t>(r)].image.size()) != pixels) {
-        // Odd-sized request: fail it alone (its row stays zero) and keep
-        // serving the rest of the batch.
-        rejected[static_cast<std::size_t>(r)] = true;
-        batch[static_cast<std::size_t>(r)].promise.set_exception(std::make_exception_ptr(
-            std::invalid_argument("InferenceEngine: inconsistent image size in batch")));
-        continue;
-      }
-      std::copy(batch[static_cast<std::size_t>(r)].image.begin(),
-                batch[static_cast<std::size_t>(r)].image.end(),
-                images.data() + static_cast<std::size_t>(r) * pixels);
+    int cur;
+    {
+      std::lock_guard<std::mutex> lock(flight_mu_);
+      cur = ++in_flight_;
     }
-
-    Tensor logits;
-    try {
-      logits = forward_locked(images);
-    } catch (...) {
-      const auto err = std::current_exception();
-      for (int r = 0; r < b; ++r)
-        if (!rejected[static_cast<std::size_t>(r)])
-          batch[static_cast<std::size_t>(r)].promise.set_exception(err);
-      continue;
-    }
-
-    double queue_ms_sum = 0.0;
-    int served = 0;
-    std::vector<Prediction> preds(static_cast<std::size_t>(b));
-    for (int r = 0; r < b; ++r) {
-      if (rejected[static_cast<std::size_t>(r)]) continue;
-      ++served;
-      Prediction& pred = preds[static_cast<std::size_t>(r)];
-      pred.label = argmax_row(logits, r);
-      pred.logits.resize(static_cast<std::size_t>(logits.dim(1)));
-      for (int c = 0; c < logits.dim(1); ++c)
-        pred.logits[static_cast<std::size_t>(c)] = logits.at(r, c);
-      pred.queue_ms = std::chrono::duration<double, std::milli>(
-                          closed_at - batch[static_cast<std::size_t>(r)].enqueued)
-                          .count();
-      queue_ms_sum += pred.queue_ms;
-    }
-
-    // Record stats before resolving any future: a client that sees its
-    // result must also see it reflected in stats().
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
-      stats_.images += static_cast<std::uint64_t>(served);
-      stats_.batches += 1;
-      if (b >= batcher_.max_batch()) stats_.full_batches += 1;
-      stats_.total_queue_ms += queue_ms_sum;
-      stats_.max_batch_seen = std::max(stats_.max_batch_seen, b);
+      stats_.max_in_flight = std::max(stats_.max_in_flight, cur);
     }
-
-    for (int r = 0; r < b; ++r)
-      if (!rejected[static_cast<std::size_t>(r)])
-        batch[static_cast<std::size_t>(r)].promise.set_value(
-            std::move(preds[static_cast<std::size_t>(r)]));
+    forward_pool_->submit([this, b = std::move(batch)]() mutable {
+      try {
+        process_batch(b);
+      } catch (...) {
+        // process_batch resolves every promise itself; never lose the slot.
+      }
+      {
+        std::lock_guard<std::mutex> lock(flight_mu_);
+        --in_flight_;
+      }
+      flight_cv_.notify_all();
+    });
   }
 }
 
+void InferenceEngine::process_batch(std::vector<Request>& batch) {
+  const auto closed_at = std::chrono::steady_clock::now();
+  const int b = static_cast<int>(batch.size());
+  const int pixels = static_cast<int>(batch[0].image.size());
+  Tensor images({b, pixels});
+  std::vector<bool> rejected(static_cast<std::size_t>(b), false);
+  for (int r = 0; r < b; ++r) {
+    if (static_cast<int>(batch[static_cast<std::size_t>(r)].image.size()) != pixels) {
+      // Odd-sized request: fail it alone (its row stays zero) and keep
+      // serving the rest of the batch.
+      rejected[static_cast<std::size_t>(r)] = true;
+      batch[static_cast<std::size_t>(r)].promise.set_exception(std::make_exception_ptr(
+          std::invalid_argument("InferenceEngine: inconsistent image size in batch")));
+      continue;
+    }
+    std::copy(batch[static_cast<std::size_t>(r)].image.begin(),
+              batch[static_cast<std::size_t>(r)].image.end(),
+              images.data() + static_cast<std::size_t>(r) * pixels);
+  }
+
+  Tensor logits;
+  try {
+    logits = model_.infer(images);
+  } catch (...) {
+    const auto err = std::current_exception();
+    for (int r = 0; r < b; ++r)
+      if (!rejected[static_cast<std::size_t>(r)])
+        batch[static_cast<std::size_t>(r)].promise.set_exception(err);
+    return;
+  }
+
+  double queue_ms_sum = 0.0;
+  int served = 0;
+  std::vector<Prediction> preds(static_cast<std::size_t>(b));
+  for (int r = 0; r < b; ++r) {
+    if (rejected[static_cast<std::size_t>(r)]) continue;
+    ++served;
+    Prediction& pred = preds[static_cast<std::size_t>(r)];
+    pred.label = argmax_row(logits, r);
+    pred.logits.resize(static_cast<std::size_t>(logits.dim(1)));
+    for (int c = 0; c < logits.dim(1); ++c)
+      pred.logits[static_cast<std::size_t>(c)] = logits.at(r, c);
+    pred.queue_ms = std::chrono::duration<double, std::milli>(
+                        closed_at - batch[static_cast<std::size_t>(r)].enqueued)
+                        .count();
+    queue_ms_sum += pred.queue_ms;
+  }
+
+  // Record stats before resolving any future: a client that sees its
+  // result must also see it reflected in stats().
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.images += static_cast<std::uint64_t>(served);
+    stats_.batches += 1;
+    if (b >= batcher_.max_batch()) stats_.full_batches += 1;
+    stats_.total_queue_ms += queue_ms_sum;
+    stats_.max_batch_seen = std::max(stats_.max_batch_seen, b);
+  }
+
+  for (int r = 0; r < b; ++r)
+    if (!rejected[static_cast<std::size_t>(r)])
+      batch[static_cast<std::size_t>(r)].promise.set_value(
+          std::move(preds[static_cast<std::size_t>(r)]));
+}
+
 std::vector<int> InferenceEngine::predict_batch(const Tensor& images) {
-  const Tensor logits = forward_locked(images);
+  const Tensor logits = model_.infer(images);
   std::vector<int> labels(static_cast<std::size_t>(logits.dim(0)));
   for (int r = 0; r < logits.dim(0); ++r) labels[static_cast<std::size_t>(r)] = argmax_row(logits, r);
   return labels;

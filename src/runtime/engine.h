@@ -6,12 +6,17 @@
 // from the transfer-function LUT cache by default, or the bit-true circuit
 // emulators when caching is disabled), owns a fixed-size worker pool that
 // parallelises the per-activation SC emulation inside each forward, and runs
-// a dispatcher thread that drains a dynamic request batcher. The engine has
-// exclusive use of the model while alive — model forwards are serialized
-// internally (the substrate caches activations per forward) — and restores
-// the model's hooks on destruction.
+// a dispatcher thread that drains a dynamic request batcher.
+//
+// Model forwards go through the const, re-entrant VisionTransformer::infer
+// path, so the engine runs up to EngineOptions::concurrent_forwards batch
+// forwards in flight at once: the dispatcher hands each closed batch to a
+// dedicated forward pool instead of forwarding inline, and predict_batch()
+// callers from different threads overlap freely as well. The engine still has
+// exclusive use of the model's *hooks* while alive (they are installed at
+// construction and restored on destruction), but no longer serializes the
+// forwards themselves.
 
-#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <thread>
@@ -30,6 +35,9 @@ struct EngineOptions {
   int max_batch = 32; ///< dynamic-batching size cutoff
   std::chrono::microseconds max_delay{2000};  ///< dynamic-batching latency cutoff
   bool use_tf_cache = true;  ///< false: per-activation circuit emulation (bench baseline)
+  int concurrent_forwards = 2;  ///< batch forwards in flight (>= 1); see engine doc
+  int max_pending = 0;          ///< bounded batcher queue; 0 = unbounded
+  OverflowPolicy overflow = OverflowPolicy::kBlock;  ///< full-queue behaviour
 };
 
 struct EngineStats {
@@ -38,6 +46,7 @@ struct EngineStats {
   std::uint64_t full_batches = 0;   ///< batches closed by the size cutoff
   double total_queue_ms = 0.0;      ///< summed enqueue -> batch-close waits
   int max_batch_seen = 0;
+  int max_in_flight = 0;            ///< peak concurrent batch forwards observed
 
   double avg_batch() const { return batches ? static_cast<double>(images) / batches : 0.0; }
   double avg_queue_ms() const { return images ? total_queue_ms / images : 0.0; }
@@ -53,10 +62,12 @@ class InferenceEngine {
   InferenceEngine& operator=(const InferenceEngine&) = delete;
 
   /// Async single-image path through the dynamic batcher. `image` is the
-  /// flattened [channels*H*W] pixel row the dataset stores.
+  /// flattened [channels*H*W] pixel row the dataset stores. On a full bounded
+  /// queue this blocks or throws QueueFullError per EngineOptions::overflow.
   std::future<Prediction> submit(std::vector<float> image);
 
   /// Synchronous batch path (no batcher): argmax labels for [B, pixels].
+  /// Re-entrant — callers from different threads run concurrently.
   std::vector<int> predict_batch(const nn::Tensor& images);
 
   /// Top-1 accuracy with the engine's SC blocks active — the serving twin of
@@ -65,13 +76,14 @@ class InferenceEngine {
 
   EngineStats stats() const;
   int threads() const { return pool_.size(); }
+  int concurrent_forwards() const { return opts_.concurrent_forwards; }
   const vit::ScInferenceConfig& sc_config() const { return cfg_; }
   bool cached() const { return opts_.use_tf_cache; }
 
  private:
   void install_hooks();
   void dispatch_loop();
-  nn::Tensor forward_locked(const nn::Tensor& images);
+  void process_batch(std::vector<Request>& batch);
 
   vit::VisionTransformer& model_;
   vit::ScInferenceConfig cfg_;
@@ -79,16 +91,24 @@ class InferenceEngine {
   ThreadPool pool_;
   Batcher batcher_;
 
-  std::mutex model_mu_;  ///< the substrate caches per-forward state
   mutable std::mutex stats_mu_;
   EngineStats stats_;
 
-  // Uncached fallbacks keep the circuit emulators callable from the hooks.
-  std::shared_ptr<sc::GateAssistedSI> gelu_block_;
+  // In-flight forward accounting: the dispatcher stops pulling batches while
+  // `concurrent_forwards` are already running, so overload queues up in the
+  // batcher (where max_pending applies) instead of in the forward pool.
+  std::mutex flight_mu_;
+  std::condition_variable flight_cv_;
+  int in_flight_ = 0;
+
+  // Uncached fallback: an immutable prototype block the GELU hook copies into
+  // per-call emulator instances (the shared prototype is never invoked).
+  std::shared_ptr<const sc::GateAssistedSI> gelu_proto_;
   const GeluLut* gelu_lut_ = nullptr;
   const SoftmaxLut* softmax_lut_ = nullptr;
   sc::SoftmaxIterConfig softmax_cfg_;  ///< m resolved to the model's tokens
 
+  std::unique_ptr<ThreadPool> forward_pool_;  ///< runs the in-flight batch forwards
   std::thread dispatcher_;
 };
 

@@ -1,8 +1,12 @@
 #include "runtime/tf_cache.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <numeric>
 #include <stdexcept>
 
+#include "sc/fsm_units.h"
+#include "sc/sng.h"
 #include "sc/therm_arith.h"
 
 namespace ascend::runtime {
@@ -113,6 +117,82 @@ std::vector<double> SoftmaxLut::operator()(const std::vector<double>& x) const {
 }
 
 // ---------------------------------------------------------------------------
+// SoftmaxFsmLut
+// ---------------------------------------------------------------------------
+
+SoftmaxFsmLut::SoftmaxFsmLut(const sc::FsmSoftmaxConfig& cfg) : cfg_(cfg) {
+  if (cfg_.m < 1) throw std::invalid_argument("SoftmaxFsmLut: m must be >= 1");
+  if (cfg_.bsl < 1 || cfg_.quotient_bits < 1 || cfg_.scale <= 0)
+    throw std::invalid_argument("SoftmaxFsmLut: bad configuration");
+  const std::size_t bsl = static_cast<std::size_t>(cfg_.bsl);
+  thresholds_.resize(static_cast<std::size_t>(cfg_.m));
+  counts_.resize(static_cast<std::size_t>(cfg_.m));
+  for (std::size_t i = 0; i < static_cast<std::size_t>(cfg_.m); ++i) {
+    // The same per-element LFSR the emulator's SNG draws from.
+    sc::LfsrSource src(16, static_cast<std::uint32_t>(cfg_.seed + 0x9E37 * (i + 1)));
+    range_ = static_cast<double>(src.range());
+    std::vector<double> samples(bsl);
+    for (std::size_t t = 0; t < bsl; ++t) samples[t] = static_cast<double>(src.next());
+
+    // Rank each cycle's sample: the SNG emits bit_t = [sample_t < p * range],
+    // so exactly the `n` lowest-ranked cycles are 1 when n samples clear the
+    // threshold (ties are all-or-nothing, matching the strict comparison).
+    std::vector<std::size_t> order(bsl);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::stable_sort(order.begin(), order.end(),
+                     [&samples](std::size_t a, std::size_t b) { return samples[a] < samples[b]; });
+    std::vector<std::size_t> rank(bsl);
+    for (std::size_t r = 0; r < bsl; ++r) rank[order[r]] = r;
+
+    // Walk the exponential FSM once per reachable bit pattern.
+    counts_[i].resize(bsl + 1);
+    for (std::size_t n = 0; n <= bsl; ++n) {
+      sc::FsmExp fsm(cfg_.n_states, cfg_.g);
+      long long ones = 0;
+      for (std::size_t t = 0; t < bsl; ++t) ones += fsm.step(rank[t] < n) ? 1 : 0;
+      counts_[i][n] = ones;
+    }
+
+    std::sort(samples.begin(), samples.end());
+    thresholds_[i] = std::move(samples);
+  }
+}
+
+std::vector<double> SoftmaxFsmLut::operator()(const std::vector<double>& x) const {
+  if (static_cast<int>(x.size()) != cfg_.m)
+    throw std::invalid_argument("SoftmaxFsmLut: input size != m");
+
+  const double mx = *std::max_element(x.begin(), x.end());
+  std::vector<long long> counts(x.size(), 0);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double shifted = std::max(x[i] - mx, -cfg_.scale);
+    // Same encoding arithmetic as StochStream::encode(-shifted, bipolar, scale).
+    const double u = -shifted / cfg_.scale;
+    const double p = std::clamp((u + 1.0) / 2.0, 0.0, 1.0);
+    const double threshold = p * range_;
+    const auto& th = thresholds_[i];
+    const std::size_t n =
+        static_cast<std::size_t>(std::lower_bound(th.begin(), th.end(), threshold) - th.begin());
+    counts[i] = counts_[i][n];
+  }
+
+  // Shift normalization, identical integer arithmetic to sc::softmax_fsm.
+  long long cmax = 0;
+  for (long long c : counts) cmax = std::max(cmax, c);
+  long long denom = 1;
+  while (denom < cmax) denom <<= 1;
+  const long long qmax = (1LL << cfg_.quotient_bits);
+  std::vector<double> y(x.size(), 0.0);
+  if (cmax > 0) {
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const long long q = counts[i] * qmax / denom;
+      y[i] = static_cast<double>(q) / static_cast<double>(qmax);
+    }
+  }
+  return y;
+}
+
+// ---------------------------------------------------------------------------
 // TfCache
 // ---------------------------------------------------------------------------
 
@@ -123,6 +203,15 @@ std::string softmax_cache_key(const sc::SoftmaxIterConfig& cfg) {
          "," + hex_double(cfg.alpha_x) + "," + hex_double(cfg.alpha_y) + "," +
          std::to_string(cfg.align_expand) + "," + std::to_string(cfg.rescale_max_den) + "," +
          (cfg.centered_subsample ? "c" : "e");
+  return key;
+}
+
+std::string softmax_fsm_cache_key(const sc::FsmSoftmaxConfig& cfg) {
+  std::string key = "smfsm:";
+  key += std::to_string(cfg.m) + "," + std::to_string(cfg.bsl) + "," +
+         std::to_string(cfg.n_states) + "," + std::to_string(cfg.g) + "," +
+         hex_double(cfg.scale) + "," + std::to_string(cfg.quotient_bits) + "," +
+         std::to_string(cfg.seed);
   return key;
 }
 
@@ -163,9 +252,23 @@ const SoftmaxLut& TfCache::softmax(const sc::SoftmaxIterConfig& cfg) {
   return *it->second;
 }
 
+const SoftmaxFsmLut& TfCache::softmax_fsm(const sc::FsmSoftmaxConfig& cfg) {
+  const std::string key = softmax_fsm_cache_key(cfg);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = softmax_fsm_.find(key);
+    if (it != softmax_fsm_.end()) return *it->second;
+  }
+  auto lut = std::make_unique<SoftmaxFsmLut>(cfg);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = softmax_fsm_.emplace(key, std::move(lut));
+  (void)inserted;
+  return *it->second;
+}
+
 std::size_t TfCache::size() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return gelu_.size() + softmax_.size();
+  return gelu_.size() + softmax_.size() + softmax_fsm_.size();
 }
 
 TfCache& global_tf_cache() {

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "sc/gate_si.h"
+#include "sc/softmax_fsm.h"
 #include "sc/softmax_iter.h"
 
 namespace ascend::runtime {
@@ -76,6 +77,31 @@ class SoftmaxLut {
   std::vector<double> y_value_; // decode table for the final (By, alpha_y) grid
 };
 
+/// Tabulated FSM-softmax baseline (sc/softmax_fsm.h). Per element index the
+/// LFSR sample sequence is fixed by the configured seed, so the SNG bit
+/// pattern — and therefore the exponential FSM's output count — is a step
+/// function of the encoded probability whose breakpoints are exactly the
+/// LFSR samples. The LUT stores, per element, the sorted sample thresholds
+/// and the FSM ones-count for every reachable bit pattern; a lookup is a
+/// binary search instead of a `bsl`-cycle FSM walk. The shift normalization
+/// stays in exact integer arithmetic, so results are bit-exact with
+/// sc::softmax_fsm.
+class SoftmaxFsmLut {
+ public:
+  explicit SoftmaxFsmLut(const sc::FsmSoftmaxConfig& cfg);
+
+  /// Bit-exact with sc::softmax_fsm(x, config()).
+  std::vector<double> operator()(const std::vector<double>& x) const;
+
+  const sc::FsmSoftmaxConfig& config() const { return cfg_; }
+
+ private:
+  sc::FsmSoftmaxConfig cfg_;
+  double range_ = 0.0;  // SNG comparison range (2^width)
+  std::vector<std::vector<double>> thresholds_;  // [m][bsl], sorted LFSR samples
+  std::vector<std::vector<long long>> counts_;   // [m][bsl+1] FSM ones-counts
+};
+
 /// Thread-safe per-configuration cache of the LUTs above. Lookups build the
 /// table on first use and hand out stable references afterwards; the engine
 /// shares one cache across all its worker threads.
@@ -86,6 +112,7 @@ class TfCache {
   /// LUT for an arbitrary synthesized gate-assisted SI block.
   const GeluLut& gelu_block(const sc::GateAssistedSI& block, const std::string& key);
   const SoftmaxLut& softmax(const sc::SoftmaxIterConfig& cfg);
+  const SoftmaxFsmLut& softmax_fsm(const sc::FsmSoftmaxConfig& cfg);
 
   std::size_t size() const;
 
@@ -93,13 +120,15 @@ class TfCache {
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<GeluLut>> gelu_;
   std::map<std::string, std::unique_ptr<SoftmaxLut>> softmax_;
+  std::map<std::string, std::unique_ptr<SoftmaxFsmLut>> softmax_fsm_;
 };
 
 /// Process-wide cache shared by every engine (configs are tiny; entries are
 /// immutable once built).
 TfCache& global_tf_cache();
 
-/// Stable cache key for a softmax configuration (exposed for tests).
+/// Stable cache keys (exposed for tests).
 std::string softmax_cache_key(const sc::SoftmaxIterConfig& cfg);
+std::string softmax_fsm_cache_key(const sc::FsmSoftmaxConfig& cfg);
 
 }  // namespace ascend::runtime

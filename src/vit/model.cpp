@@ -21,6 +21,10 @@ Tensor NormLayer::forward(const Tensor& x, bool training) {
   return kind_ == NormKind::kLayerNorm ? ln_->forward(x) : bn_->forward(x, training);
 }
 
+Tensor NormLayer::infer(const Tensor& x) const {
+  return kind_ == NormKind::kLayerNorm ? ln_->infer(x) : bn_->infer(x);
+}
+
 Tensor NormLayer::backward(const Tensor& grad) {
   return kind_ == NormKind::kLayerNorm ? ln_->backward(grad) : bn_->backward(grad);
 }
@@ -43,6 +47,12 @@ Tensor Mlp::forward(const Tensor& x) {
   used_hook_ = static_cast<bool>(hook_);
   h = used_hook_ ? hook_(h) : gelu_.forward(h);
   return fc2_.forward(h);
+}
+
+Tensor Mlp::infer(const Tensor& x) const {
+  Tensor h = fc1_.infer(x);
+  h = hook_ ? hook_(h) : gelu_.infer(h);
+  return fc2_.infer(h);
 }
 
 Tensor Mlp::backward(const Tensor& grad) {
@@ -74,6 +84,15 @@ Tensor EncoderBlock::forward(const Tensor& x, int batch, int tokens, bool traini
   Tensor b = norm2_.forward(x1, training);
   b = mlp_.forward(b);
   return rq2_.forward(nn::add(x1, b));
+}
+
+Tensor EncoderBlock::infer(const Tensor& x, int batch, int tokens) const {
+  Tensor a = norm1_.infer(x);
+  a = msa_.infer(a, batch, tokens);
+  Tensor x1 = rq1_.infer(nn::add(x, a));
+  Tensor b = norm2_.infer(x1);
+  b = mlp_.infer(b);
+  return rq2_.infer(nn::add(x1, b));
 }
 
 Tensor EncoderBlock::backward(const Tensor& grad) {
@@ -165,6 +184,30 @@ Tensor VisionTransformer::forward(const Tensor& images, bool training) {
         cached_pooled_.at(b, d) += x[(static_cast<std::size_t>(b) * tokens + t) * cfg_.dim + d] /
                                    static_cast<float>(tokens);
   return head_.forward(cached_pooled_);
+}
+
+Tensor VisionTransformer::infer(const Tensor& images) const {
+  const int batch = images.dim(0);
+  const int tokens = cfg_.tokens();
+
+  Tensor x = patch_embed_.infer(patchify(images));  // [B*T, dim]
+  for (int b = 0; b < batch; ++b)
+    for (int t = 0; t < tokens; ++t)
+      for (int d = 0; d < cfg_.dim; ++d)
+        x[(static_cast<std::size_t>(b) * tokens + t) * cfg_.dim + d] +=
+            pos_embed_.value[static_cast<std::size_t>(t) * cfg_.dim + d];
+
+  for (const auto& blk : blocks_) x = blk.infer(x, batch, tokens);
+  x = final_norm_.infer(x);
+
+  // Mean pool over tokens.
+  Tensor pooled({batch, cfg_.dim});
+  for (int b = 0; b < batch; ++b)
+    for (int t = 0; t < tokens; ++t)
+      for (int d = 0; d < cfg_.dim; ++d)
+        pooled.at(b, d) += x[(static_cast<std::size_t>(b) * tokens + t) * cfg_.dim + d] /
+                           static_cast<float>(tokens);
+  return head_.infer(pooled);
 }
 
 void VisionTransformer::backward(const Tensor& grad_logits,

@@ -27,6 +27,7 @@ class NormLayer {
   NormLayer(NormKind kind, int features);
   nn::Tensor forward(const nn::Tensor& x, bool training);
   nn::Tensor backward(const nn::Tensor& grad);
+  nn::Tensor infer(const nn::Tensor& x) const;  ///< re-entrant eval-mode path
   void collect_params(std::vector<nn::Param*>& out);
   NormKind kind() const { return kind_; }
 
@@ -43,6 +44,7 @@ class Mlp {
   Mlp(int dim, int hidden, nn::Rng& rng);
   nn::Tensor forward(const nn::Tensor& x);
   nn::Tensor backward(const nn::Tensor& grad);
+  nn::Tensor infer(const nn::Tensor& x) const;  ///< re-entrant; hook invoked per call
   void collect_params(std::vector<nn::Param*>& out);
   nn::Linear& fc1() { return fc1_; }
   nn::Linear& fc2() { return fc2_; }
@@ -62,6 +64,7 @@ class EncoderBlock {
   EncoderBlock(const VitConfig& cfg, nn::Rng& rng);
   nn::Tensor forward(const nn::Tensor& x, int batch, int tokens, bool training);
   nn::Tensor backward(const nn::Tensor& grad);
+  nn::Tensor infer(const nn::Tensor& x, int batch, int tokens) const;
   void collect_params(std::vector<nn::Param*>& out);
 
   nn::MultiHeadSelfAttention& msa() { return msa_; }
@@ -86,6 +89,12 @@ class VisionTransformer {
 
   /// images: [B, channels*H*W] raw pixels in [0,1]-ish. Returns logits [B, classes].
   nn::Tensor forward(const nn::Tensor& images, bool training);
+  /// Const, re-entrant inference forward: bit-exact with
+  /// forward(images, /*training=*/false) but writes no member state (no
+  /// block_outputs_ feature taps, no backward caches), so any number of
+  /// threads may run it concurrently. Installed hooks are invoked per call
+  /// and must be thread-safe themselves.
+  nn::Tensor infer(const nn::Tensor& images) const;
   /// Backward from the logits gradient; optional per-block feature gradients
   /// (KD MSE taps) are added at the corresponding block boundary.
   void backward(const nn::Tensor& grad_logits,

@@ -1,0 +1,300 @@
+// Concurrency tests for the re-entrant const inference path: N-thread
+// VisionTransformer::infer must be bit-exact with the serial eval-mode
+// forward, and concurrent engine submit() streams must agree with the
+// synchronous predict_batch path. Also covers batcher backpressure.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "runtime/batcher.h"
+#include "runtime/engine.h"
+#include "vit/dataset.h"
+#include "vit/model.h"
+
+using namespace ascend;
+using namespace ascend::runtime;
+
+namespace {
+
+vit::VitConfig tiny_topology() {
+  vit::VitConfig cfg;
+  cfg.image_size = 16;
+  cfg.patch_size = 8;  // 4 tokens
+  cfg.dim = 16;
+  cfg.layers = 2;
+  cfg.heads = 2;
+  cfg.mlp_ratio = 2;
+  cfg.classes = 4;
+  return cfg;
+}
+
+vit::ScInferenceConfig tiny_sc_config() {
+  vit::ScInferenceConfig cfg;
+  cfg.use_sc_softmax = true;
+  cfg.use_sc_gelu = true;
+  cfg.gelu_bsl = 8;
+  cfg.gelu_range = 6.0;
+  return cfg;
+}
+
+void expect_logits_equal(const nn::Tensor& got, const nn::Tensor& want) {
+  ASSERT_EQ(got.shape(), want.shape());
+  for (std::size_t i = 0; i < want.size(); ++i) ASSERT_EQ(got[i], want[i]) << "logit " << i;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// VisionTransformer::infer
+// ---------------------------------------------------------------------------
+
+TEST(VitInfer, BitExactWithSerialEvalForward) {
+  const vit::VitConfig top = tiny_topology();
+  vit::VisionTransformer model(top, /*seed=*/41);
+  model.apply_precision(vit::PrecisionSpec::w2a2r16());
+  const vit::Dataset data = vit::make_synthetic_vision(12, top.classes, 51, top.image_size);
+
+  std::vector<int> idx(static_cast<std::size_t>(data.size()));
+  std::iota(idx.begin(), idx.end(), 0);
+  const vit::Batch batch = vit::take_batch(data, idx);
+
+  // The eval-mode training forward initialises the LSQ steps and is the
+  // bit-exactness reference.
+  const nn::Tensor ref = model.forward(batch.images, /*training=*/false);
+  const vit::VisionTransformer& cmodel = model;
+  expect_logits_equal(cmodel.infer(batch.images), ref);
+}
+
+TEST(VitInfer, ConcurrentCallsBitExactWithSerialForward) {
+  const vit::VitConfig top = tiny_topology();
+  vit::VisionTransformer model(top, /*seed=*/42);
+  model.apply_precision(vit::PrecisionSpec::w2a2r16());
+  model.set_softmax_kind(nn::SoftmaxKind::kApprox);  // exercise ApproxSoftmax::infer too
+  const vit::Dataset data = vit::make_synthetic_vision(24, top.classes, 52, top.image_size);
+
+  // Per-thread disjoint inputs plus one shared input that every thread runs.
+  constexpr int kThreads = 8;
+  const int per_thread = data.size() / kThreads;
+  std::vector<nn::Tensor> inputs(kThreads);
+  std::vector<nn::Tensor> refs(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    std::vector<int> idx(static_cast<std::size_t>(per_thread));
+    std::iota(idx.begin(), idx.end(), t * per_thread);
+    inputs[static_cast<std::size_t>(t)] = vit::take_batch(data, idx).images;
+    refs[static_cast<std::size_t>(t)] =
+        model.forward(inputs[static_cast<std::size_t>(t)], /*training=*/false);
+  }
+
+  const vit::VisionTransformer& cmodel = model;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int rep = 0; rep < 3; ++rep) {
+        const nn::Tensor got = cmodel.infer(inputs[static_cast<std::size_t>(t)]);
+        const nn::Tensor& want = refs[static_cast<std::size_t>(t)];
+        if (got.shape() != want.shape()) {
+          mismatches.fetch_add(1);
+          continue;
+        }
+        for (std::size_t i = 0; i < want.size(); ++i)
+          if (got[i] != want[i]) {
+            mismatches.fetch_add(1);
+            break;
+          }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  // Member state was untouched: the training forward still reproduces refs.
+  expect_logits_equal(model.forward(inputs[0], /*training=*/false), refs[0]);
+}
+
+TEST(VitInfer, LeavesNoFeatureTaps) {
+  const vit::VitConfig top = tiny_topology();
+  vit::VisionTransformer model(top, /*seed=*/43);
+  const vit::Dataset data = vit::make_synthetic_vision(4, top.classes, 53, top.image_size);
+  std::vector<int> idx(static_cast<std::size_t>(data.size()));
+  std::iota(idx.begin(), idx.end(), 0);
+  const vit::Batch batch = vit::take_batch(data, idx);
+
+  (void)model.forward(batch.images, /*training=*/false);
+  const std::size_t taps = model.block_outputs().size();
+  (void)static_cast<const vit::VisionTransformer&>(model).infer(batch.images);
+  EXPECT_EQ(model.block_outputs().size(), taps);  // infer never rewrites the KD taps
+}
+
+// ---------------------------------------------------------------------------
+// InferenceEngine concurrency
+// ---------------------------------------------------------------------------
+
+TEST(EngineConcurrency, ConcurrentSubmitStreamsMatchPredictBatch) {
+  const vit::VitConfig top = tiny_topology();
+  vit::VisionTransformer model(top, /*seed=*/44);
+  const vit::Dataset data = vit::make_synthetic_vision(32, top.classes, 54, top.image_size);
+  const vit::ScInferenceConfig cfg = tiny_sc_config();
+
+  EngineOptions opts;
+  opts.threads = 2;
+  opts.max_batch = 4;
+  opts.max_delay = std::chrono::microseconds(2000);
+  opts.concurrent_forwards = 3;
+  InferenceEngine engine(model, cfg, opts);
+
+  std::vector<int> idx(static_cast<std::size_t>(data.size()));
+  std::iota(idx.begin(), idx.end(), 0);
+  const vit::Batch all = vit::take_batch(data, idx);
+  const std::vector<int> sync_labels = engine.predict_batch(all.images);
+  const int pixels = all.images.dim(1);
+
+  // Several client threads each stream a disjoint slice of the dataset.
+  constexpr int kClients = 4;
+  const int per_client = data.size() / kClients;
+  std::vector<std::vector<int>> got(kClients);
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < per_client; ++i) {
+        const int r = c * per_client + i;
+        std::vector<float> img(static_cast<std::size_t>(pixels));
+        for (int p = 0; p < pixels; ++p) img[static_cast<std::size_t>(p)] = all.images.at(r, p);
+        got[static_cast<std::size_t>(c)].push_back(engine.submit(std::move(img)).get().label);
+      }
+    });
+  }
+  for (auto& th : clients) th.join();
+
+  for (int c = 0; c < kClients; ++c)
+    for (int i = 0; i < per_client; ++i)
+      EXPECT_EQ(got[static_cast<std::size_t>(c)][static_cast<std::size_t>(i)],
+                sync_labels[static_cast<std::size_t>(c * per_client + i)])
+          << "client " << c << " image " << i;
+
+  const EngineStats st = engine.stats();
+  EXPECT_EQ(st.images, static_cast<std::uint64_t>(kClients * per_client));
+  EXPECT_GE(st.max_in_flight, 1);
+  EXPECT_LE(st.max_in_flight, opts.concurrent_forwards);
+}
+
+TEST(EngineConcurrency, ConcurrentPredictBatchCallersAgree) {
+  const vit::VitConfig top = tiny_topology();
+  vit::VisionTransformer model(top, /*seed=*/45);
+  const vit::Dataset data = vit::make_synthetic_vision(16, top.classes, 55, top.image_size);
+  const vit::ScInferenceConfig cfg = tiny_sc_config();
+
+  EngineOptions opts;
+  opts.threads = 2;
+  InferenceEngine engine(model, cfg, opts);
+
+  std::vector<int> idx(static_cast<std::size_t>(data.size()));
+  std::iota(idx.begin(), idx.end(), 0);
+  const vit::Batch all = vit::take_batch(data, idx);
+  const std::vector<int> ref = engine.predict_batch(all.images);
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> callers;
+  for (int t = 0; t < 4; ++t) {
+    callers.emplace_back([&] {
+      for (int rep = 0; rep < 2; ++rep)
+        if (engine.predict_batch(all.images) != ref) mismatches.fetch_add(1);
+    });
+  }
+  for (auto& th : callers) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Batcher backpressure
+// ---------------------------------------------------------------------------
+
+TEST(BatcherBackpressure, RejectPolicyFailsFastOnFullQueue) {
+  Batcher b(8, std::chrono::microseconds(1'000'000), /*max_pending=*/2, OverflowPolicy::kReject);
+  auto f1 = b.enqueue({1.0f});
+  auto f2 = b.enqueue({2.0f});
+  EXPECT_THROW(b.enqueue({3.0f}), QueueFullError);
+  EXPECT_EQ(b.pending(), 2u);
+  // Draining makes room again.
+  b.close();
+  EXPECT_EQ(b.next_batch().size(), 2u);
+}
+
+TEST(BatcherBackpressure, BlockPolicyWaitsForSpace) {
+  Batcher b(1, std::chrono::microseconds(0), /*max_pending=*/1, OverflowPolicy::kBlock);
+  auto f1 = b.enqueue({1.0f});
+  std::atomic<bool> second_enqueued{false};
+  std::thread producer([&] {
+    auto f2 = b.enqueue({2.0f});  // blocks until the dispatcher drains a batch
+    second_enqueued.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(second_enqueued.load());  // still parked on the full queue
+  EXPECT_EQ(b.next_batch().size(), 1u);  // make room
+  producer.join();
+  EXPECT_TRUE(second_enqueued.load());
+  EXPECT_EQ(b.pending(), 1u);
+  b.close();
+  EXPECT_EQ(b.next_batch().size(), 1u);
+}
+
+TEST(BatcherBackpressure, CloseWakesBlockedProducers) {
+  Batcher b(4, std::chrono::microseconds(1'000'000), /*max_pending=*/1, OverflowPolicy::kBlock);
+  auto f1 = b.enqueue({1.0f});
+  std::atomic<bool> threw{false};
+  std::thread producer([&] {
+    try {
+      (void)b.enqueue({2.0f});
+    } catch (const std::runtime_error&) {
+      threw.store(true);
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  b.close();
+  producer.join();
+  EXPECT_TRUE(threw.load());
+}
+
+TEST(BatcherBackpressure, UnboundedQueueIgnoresPolicy) {
+  Batcher b(2, std::chrono::microseconds(1000));  // max_pending = 0
+  std::vector<std::future<Prediction>> futs;
+  for (int i = 0; i < 64; ++i) futs.push_back(b.enqueue({1.0f}));
+  EXPECT_EQ(b.pending(), 64u);
+  b.close();
+}
+
+TEST(EngineBackpressure, RejectPolicySurfacesThroughSubmit) {
+  const vit::VitConfig top = tiny_topology();
+  vit::VisionTransformer model(top, /*seed=*/46);
+  const vit::ScInferenceConfig cfg = tiny_sc_config();
+
+  EngineOptions opts;
+  opts.threads = 1;
+  opts.max_batch = 2;
+  opts.max_delay = std::chrono::microseconds(50'000);
+  opts.concurrent_forwards = 1;
+  opts.max_pending = 1;
+  opts.overflow = OverflowPolicy::kReject;
+  InferenceEngine engine(model, cfg, opts);
+
+  const int pixels = top.channels * top.image_size * top.image_size;
+  // Flood faster than one forward can drain; at least one submit must be
+  // rejected, and every accepted request must still resolve.
+  std::vector<std::future<Prediction>> accepted;
+  int rejected = 0;
+  for (int i = 0; i < 64; ++i) {
+    try {
+      accepted.push_back(engine.submit(std::vector<float>(static_cast<std::size_t>(pixels), 0.1f)));
+    } catch (const QueueFullError&) {
+      ++rejected;
+    }
+  }
+  EXPECT_GT(rejected, 0);
+  ASSERT_FALSE(accepted.empty());
+  for (auto& f : accepted) EXPECT_GE(f.get().label, 0);
+}

@@ -148,3 +148,81 @@ TEST(GeluLayer, ForwardBackwardConsistent) {
   auto loss = [&]() { return gelu.forward(x).sum(); };
   EXPECT_LT(ascend::testing::max_grad_error(x, loss, gx), 2e-2);
 }
+
+// ---------------------------------------------------------------------------
+// Const infer path — must be bit-exact with the eval-mode training forward
+// and must not touch member state.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void expect_bitwise_equal(const Tensor& a, const Tensor& b, const char* what) {
+  ASSERT_EQ(a.shape(), b.shape()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]) << what << " element " << i;
+}
+
+}  // namespace
+
+TEST(InferPath, LsqQuantizerBitExactOnceInitialised) {
+  LsqQuantizer q(QuantSpec::from_bsl(2));
+  Rng rng(11);
+  Tensor x({4, 6});
+  rng.fill_normal(x, 0, 1);
+  const Tensor ref = q.forward(x);  // initialises the step
+  expect_bitwise_equal(q.infer(x), ref, "quantizer");
+  // infer on other data agrees with the (state-mutating) training forward.
+  Tensor x2({4, 6});
+  rng.fill_normal(x2, 0, 0.5f);
+  expect_bitwise_equal(q.infer(x2), q.forward(x2), "quantizer x2");
+}
+
+TEST(InferPath, LsqQuantizerDisabledIsIdentity) {
+  LsqQuantizer q;
+  Tensor x({2, 3});
+  Rng rng(12);
+  rng.fill_normal(x, 0, 1);
+  expect_bitwise_equal(q.infer(x), x, "disabled quantizer");
+}
+
+TEST(InferPath, LinearBitExactWithForward) {
+  Rng rng(13);
+  Linear lin(5, 4, rng);
+  lin.set_weight_quant(QuantSpec::from_bsl(2));
+  lin.set_input_quant(QuantSpec::from_bsl(2));
+  Tensor x({3, 5});
+  rng.fill_normal(x, 0, 1);
+  const Tensor ref = lin.forward(x);  // initialises both quantizer steps
+  expect_bitwise_equal(lin.infer(x), ref, "linear");
+  EXPECT_THROW(lin.infer(Tensor({3, 6})), std::invalid_argument);
+}
+
+TEST(InferPath, LayerNormBitExactWithForward) {
+  LayerNorm ln(6);
+  Rng rng(14);
+  ln.gamma().value[2] = 1.7f;
+  ln.beta().value[4] = -0.3f;
+  Tensor x({5, 6});
+  rng.fill_normal(x, 0, 2);
+  expect_bitwise_equal(ln.infer(x), ln.forward(x), "layernorm");
+}
+
+TEST(InferPath, BatchNormBitExactWithEvalForward) {
+  BatchNorm bn(4);
+  Rng rng(15);
+  for (int step = 0; step < 3; ++step) {  // accumulate running stats
+    Tensor x({8, 4});
+    rng.fill_normal(x, 0.5f, 1.5f);
+    (void)bn.forward(x, /*training=*/true);
+  }
+  Tensor x({6, 4});
+  rng.fill_normal(x, 0, 1);
+  expect_bitwise_equal(bn.infer(x), bn.forward(x, /*training=*/false), "batchnorm");
+}
+
+TEST(InferPath, GeluBitExactWithForward) {
+  Gelu gelu;
+  Rng rng(16);
+  Tensor x({3, 7});
+  rng.fill_normal(x, 0, 2);
+  expect_bitwise_equal(gelu.infer(x), gelu.forward(x), "gelu");
+}

@@ -209,6 +209,66 @@ TEST(SoftmaxLut, RejectsWrongInputSize) {
   EXPECT_THROW(lut(std::vector<double>(7, 0.0)), std::invalid_argument);
 }
 
+TEST(SoftmaxFsmLut, BitExactWithEmulatorAcrossConfigs) {
+  std::vector<sc::FsmSoftmaxConfig> configs;
+  {
+    sc::FsmSoftmaxConfig cfg;  // Table IV-style defaults at m = 8
+    cfg.m = 8;
+    cfg.bsl = 128;
+    configs.push_back(cfg);
+    cfg.bsl = 512;
+    cfg.n_states = 32;
+    cfg.g = 4;
+    configs.push_back(cfg);
+    cfg = sc::FsmSoftmaxConfig{};
+    cfg.m = 16;
+    cfg.bsl = 256;
+    cfg.scale = 6.0;
+    cfg.quotient_bits = 8;
+    cfg.seed = 0xBEEF;
+    configs.push_back(cfg);
+  }
+  for (const auto& cfg : configs) {
+    const SoftmaxFsmLut lut(cfg);
+    const auto rows = sc::sample_attention_logits(cfg.m, 25, /*seed=*/77);
+    for (const auto& row : rows) {
+      const auto fast = lut(row);
+      const auto ref = sc::softmax_fsm(row, cfg);
+      ASSERT_EQ(fast.size(), ref.size());
+      for (std::size_t i = 0; i < ref.size(); ++i)
+        ASSERT_EQ(fast[i], ref[i]) << "bsl=" << cfg.bsl << " seed=" << cfg.seed << " i=" << i;
+    }
+  }
+}
+
+TEST(SoftmaxFsmLut, RejectsBadInput) {
+  sc::FsmSoftmaxConfig cfg;
+  cfg.m = 8;
+  const SoftmaxFsmLut lut(cfg);
+  EXPECT_THROW(lut(std::vector<double>(3, 0.0)), std::invalid_argument);
+  sc::FsmSoftmaxConfig bad = cfg;
+  bad.bsl = 0;
+  EXPECT_THROW(SoftmaxFsmLut{bad}, std::invalid_argument);
+  bad = cfg;
+  bad.scale = 0.0;  // the emulator's SNG rejects this too
+  EXPECT_THROW(SoftmaxFsmLut{bad}, std::invalid_argument);
+}
+
+TEST(TfCache, CachesFsmSoftmaxPerConfig) {
+  TfCache cache;
+  sc::FsmSoftmaxConfig cfg;
+  cfg.m = 8;
+  cfg.bsl = 128;
+  const SoftmaxFsmLut* a = &cache.softmax_fsm(cfg);
+  const SoftmaxFsmLut* b = &cache.softmax_fsm(cfg);
+  EXPECT_EQ(a, b);
+  cfg.seed += 1;  // the seed changes the LFSR streams, so it must key the cache
+  const SoftmaxFsmLut* c = &cache.softmax_fsm(cfg);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_NE(softmax_fsm_cache_key(cfg), softmax_fsm_cache_key(sc::FsmSoftmaxConfig{}));
+}
+
 TEST(TfCache, ReturnsStableReferencesPerConfig) {
   TfCache cache;
   sc::SoftmaxIterConfig cfg;
