@@ -2,12 +2,21 @@
 // iterative approximate softmax block for Bx = 2 and Bx = 4 (m = 64).
 // Sweeps the Table II parameters (2916 nominal candidates per Bx), costs
 // every feasible design, and prints the ADP/MAE Pareto front.
+//
+// The sweep runs on a runtime::ThreadPool with each design's MAE rows served
+// from the transfer-function LUT cache (core::DseOptions defaults). Caching
+// is bit-exact with the circuit emulator, so the numbers below are identical
+// to an uncached sweep at the same seed; the Bx = 2 sweep is re-run with the
+// cache off to report the wall-clock speedup and verify the identity.
 
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 
 #include "bench_util.h"
 #include "core/dse.h"
 #include "hw/report.h"
+#include "runtime/tf_cache.h"
 
 using namespace ascend;
 
@@ -19,9 +28,20 @@ void bm_dse_point(benchmark::State& state) {
 }
 BENCHMARK(bm_dse_point);
 
-void report(int bx, const core::DseResult& res) {
-  std::printf("\nBx = %d: %d nominal candidates, %d infeasible, %zu evaluated, %zu Pareto optima\n",
-              bx, res.nominal_candidates, res.infeasible, res.points.size(), res.pareto.size());
+void bm_dse_point_cached(benchmark::State& state) {
+  sc::SoftmaxIterConfig cfg;  // defaults
+  runtime::TfCache cache;
+  (void)cache.softmax(cfg);  // table built once, as in a warm sweep
+  for (auto _ : state)
+    benchmark::DoNotOptimize(runtime::softmax_sc_mae_cached(cfg, 1, 3, cache));
+}
+BENCHMARK(bm_dse_point_cached);
+
+void report(int bx, const core::DseResult& res, double seconds) {
+  std::printf("\nBx = %d: %d nominal candidates, %d infeasible, %zu evaluated, %zu Pareto optima "
+              "(%.2f s)\n",
+              bx, res.nominal_candidates, res.infeasible, res.points.size(), res.pareto.size(),
+              seconds);
   double adp_lo = 1e300, adp_hi = 0, mae_lo = 1e300, mae_hi = 0;
   for (std::size_t idx : res.pareto) {
     const core::DsePoint& p = res.points[idx];
@@ -41,6 +61,15 @@ void report(int bx, const core::DseResult& res) {
   }
 }
 
+double timed_sweep(int bx, int m, int mae_rows, const core::DseOptions& opts,
+                   core::DseResult* out) {
+  const auto t0 = std::chrono::steady_clock::now();
+  core::DseResult res = core::sweep_softmax_design_space(bx, m, mae_rows, 99, opts);
+  const double s = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  if (out) *out = std::move(res);
+  return s;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -52,8 +81,26 @@ int main(int argc, char** argv) {
   const int mae_rows = fast ? 3 : 16;
   const int m = fast ? 16 : 64;
 
-  report(2, core::sweep_softmax_design_space(2, m, mae_rows, 99));
-  report(4, core::sweep_softmax_design_space(4, m, mae_rows, 99));
+  core::DseOptions cached;  // LUT cache on, pool-parallel across sweep points
+  core::DseResult res2, res4;
+  const double s2 = timed_sweep(2, m, mae_rows, cached, &res2);
+  const double s4 = timed_sweep(4, m, mae_rows, cached, &res4);
+  report(2, res2, s2);
+  report(4, res4, s4);
+
+  // Cached-vs-emulated control: same seed, cache off. MAE must be identical;
+  // wall-clock should not be.
+  core::DseOptions uncached = cached;
+  uncached.use_tf_cache = false;
+  core::DseResult res2_u;
+  const double s2_u = timed_sweep(2, m, mae_rows, uncached, &res2_u);
+  bool identical = res2.points.size() == res2_u.points.size();
+  if (identical)
+    for (std::size_t i = 0; i < res2.points.size(); ++i)
+      identical = identical && res2.points[i].mae == res2_u.points[i].mae;
+  std::printf("\n-- LUT-cached sweep vs per-row circuit emulation (Bx = 2) --\n");
+  std::printf("  cached %.2f s, emulated %.2f s: %.2fx speedup; MAE identical: %s\n", s2, s2_u,
+              s2_u / std::max(s2, 1e-9), identical ? "yes" : "NO — BUG");
 
   bench::run_timing_kernels(argc, argv);
   return 0;

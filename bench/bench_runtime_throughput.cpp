@@ -129,6 +129,40 @@ void bm_softmax_fsm_row_cached(benchmark::State& state) {
 }
 BENCHMARK(bm_softmax_fsm_row_cached);
 
+// Frozen quantized-weight snapshot on the Linear serving path: the serving
+// engine quantizes an immutable weight matrix once per freeze instead of per
+// call. `_requant` thaws before every call to measure the old behaviour.
+nn::Linear quantized_linear(nn::Rng& rng) {
+  nn::Linear lin(128, 128, rng);
+  lin.set_weight_quant(nn::QuantSpec::ternary());
+  lin.set_input_quant(nn::QuantSpec::ternary());
+  return lin;
+}
+
+void bm_linear_infer_frozen(benchmark::State& state) {
+  nn::Rng rng(5);
+  nn::Linear lin = quantized_linear(rng);
+  nn::Tensor x({static_cast<int>(state.range(0)), 128});
+  rng.fill_normal(x, 0.0f, 1.0f);
+  (void)lin.forward(x);  // latch the LSQ steps
+  (void)lin.infer(x);    // freeze the weight snapshot
+  for (auto _ : state) benchmark::DoNotOptimize(lin.infer(x).size());
+}
+BENCHMARK(bm_linear_infer_frozen)->Arg(1)->Arg(16);
+
+void bm_linear_infer_requant(benchmark::State& state) {
+  nn::Rng rng(5);
+  nn::Linear lin = quantized_linear(rng);
+  nn::Tensor x({static_cast<int>(state.range(0)), 128});
+  rng.fill_normal(x, 0.0f, 1.0f);
+  (void)lin.forward(x);
+  for (auto _ : state) {
+    lin.thaw();  // forces per-call weight re-quantization (pre-snapshot behaviour)
+    benchmark::DoNotOptimize(lin.infer(x).size());
+  }
+}
+BENCHMARK(bm_linear_infer_requant)->Arg(1)->Arg(16);
+
 }  // namespace
 
 int main(int argc, char** argv) {

@@ -4,13 +4,22 @@
 // By in {4, 8, 16}, using the Table VI [By, s1, s2, k] configurations; the
 // scaling factors are picked per row by a small designer sweep (the same
 // parameters Fig. 8 explores).
+//
+// The iterative-softmax MAE columns (designer sweep + table rows) are served
+// from the transfer-function LUT cache — bit-identical to direct circuit
+// emulation at the same seeds, so the table is unchanged; the designer sweep
+// is re-run uncached once to report the measured speedup. The FSM baseline
+// MAE keeps the paper's per-row re-seeding protocol (emulated); the cached
+// shared-seed protocol variant is printed separately and clearly flagged.
 
+#include <chrono>
 #include <cstdio>
 #include <vector>
 
 #include "bench_util.h"
 #include "hw/cost_model.h"
 #include "hw/report.h"
+#include "runtime/tf_cache.h"
 #include "sc/softmax_fsm.h"
 #include "sc/softmax_iter.h"
 
@@ -22,7 +31,8 @@ struct OursRow {
   int by, s1, s2, k;
 };
 
-sc::SoftmaxIterConfig tune_alphas(sc::SoftmaxIterConfig cfg, int rows, std::uint64_t seed) {
+sc::SoftmaxIterConfig tune_alphas(sc::SoftmaxIterConfig cfg, int rows, std::uint64_t seed,
+                                  runtime::TfCache* cache) {
   double best = 1e300;
   sc::SoftmaxIterConfig best_cfg = cfg;
   for (double ax_range : {4.0, 6.0, 8.0})
@@ -30,7 +40,8 @@ sc::SoftmaxIterConfig tune_alphas(sc::SoftmaxIterConfig cfg, int rows, std::uint
       cfg.alpha_x = ax_range / (cfg.bx / 2.0);
       cfg.alpha_y = ay;
       try {
-        const double mae = sc::softmax_sc_mae(cfg, rows, seed);
+        const double mae = cache ? runtime::softmax_sc_mae_cached(cfg, rows, seed, *cache)
+                                 : sc::softmax_sc_mae(cfg, rows, seed);
         if (mae < best) {
           best = mae;
           best_cfg = cfg;
@@ -65,20 +76,29 @@ int main(int argc, char** argv) {
 
   const bool fast = bench::fast_mode();
   const int mae_rows = fast ? 6 : 40;
+  const int tune_rows = fast ? 4 : 16;
 
   std::vector<hw::BlockMetrics> rows;
+  runtime::TfCache cache;
 
-  // Baseline FSM softmax.
+  // Baseline FSM softmax (per-row re-seeding protocol, emulated: building a
+  // threshold table per row seed costs more than one emulated row).
+  std::vector<sc::FsmSoftmaxConfig> fsm_cfgs;
   for (int bsl : {128, 256, 1024}) {
     sc::FsmSoftmaxConfig cfg;
     cfg.bsl = bsl;
+    fsm_cfgs.push_back(cfg);
     const hw::GateInventory inv = hw::cost_fsm_softmax(cfg.m, bsl, cfg.n_states, cfg.quotient_bits);
     rows.push_back({"FSM [17]", std::to_string(bsl) + "b BSL", inv.area_um2(), inv.delay_ns(),
                     sc::softmax_fsm_mae(cfg, mae_rows, 808)});
   }
 
-  // Ours, along the Table VI configurations.
+  // Ours, along the Table VI configurations. The designer sweep and the MAE
+  // column share the LUT cache, so the winning configuration's table is
+  // reused instead of rebuilt.
   const OursRow ours[] = {{4, 128, 2, 2}, {8, 32, 8, 3}, {16, 128, 16, 4}};
+  const auto t_cached0 = std::chrono::steady_clock::now();
+  std::vector<sc::SoftmaxIterConfig> tuned;
   for (const OursRow& r : ours) {
     sc::SoftmaxIterConfig cfg;
     cfg.m = 64;
@@ -87,11 +107,14 @@ int main(int argc, char** argv) {
     cfg.s1 = r.s1;
     cfg.s2 = r.s2;
     cfg.k = r.k;
-    cfg = tune_alphas(cfg, fast ? 4 : 16, 909);
+    cfg = tune_alphas(cfg, tune_rows, 909, &cache);
+    tuned.push_back(cfg);
     const hw::GateInventory inv = hw::cost_softmax_iter(cfg);
     rows.push_back({"Ours (iter approx)", "By=" + std::to_string(r.by), inv.area_um2(),
-                    inv.delay_ns(), sc::softmax_sc_mae(cfg, mae_rows, 808)});
+                    inv.delay_ns(), runtime::softmax_sc_mae_cached(cfg, mae_rows, 808, cache)});
   }
+  const double cached_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t_cached0).count();
   std::printf("%s\n",
               hw::format_metrics_table("Table IV — softmax block comparison", rows).c_str());
 
@@ -103,6 +126,37 @@ int main(int argc, char** argv) {
               100.0 * (1.0 - rows[4].mae / rows[2].mae));
   std::printf("Ours By=4 vs By=8 ADP: %.2fx lower (paper: 3.85x)\n",
               rows[4].adp() / rows[3].adp());
+
+  // Control: the same designer sweep + MAE columns with per-row circuit
+  // emulation. Must reproduce the table's numbers exactly; reports what the
+  // LUT cache bought.
+  const auto t_emul0 = std::chrono::steady_clock::now();
+  bool identical = true;
+  for (std::size_t i = 0; i < tuned.size(); ++i) {
+    // tune_alphas overwrites both alphas on every candidate, so re-tuning the
+    // already-tuned config replays the designer sweep from scratch.
+    const sc::SoftmaxIterConfig cfg = tune_alphas(tuned[i], tune_rows, 909, nullptr);
+    identical = identical && sc::softmax_sc_mae(cfg, mae_rows, 808) == rows[3 + i].mae;
+  }
+  const double emul_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t_emul0).count();
+  std::printf("\n-- iterative-softmax columns: LUT cache vs circuit emulation --\n");
+  std::printf("  cached %.2f s, emulated %.2f s: %.2fx speedup; MAE identical: %s\n", cached_s,
+              emul_s, emul_s / std::max(cached_s, 1e-9), identical ? "yes" : "NO — BUG");
+
+  // FSM baseline under the cached *shared-seed* protocol: one threshold
+  // table serves every test row. NOT the per-row protocol of the table above
+  // — the numbers are not comparable to the paper's, hence the flag.
+  std::printf("\n-- FSM baseline, shared-seed protocol variant (LUT-cached; NOT the per-row\n"
+              "   re-seeding protocol of Table IV — do not compare across tables) --\n");
+  for (const auto& cfg : fsm_cfgs) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const double mae = runtime::softmax_fsm_mae_cached(cfg, mae_rows, 808, cache,
+                                                       runtime::FsmSeedMode::kSharedSeed);
+    const double s = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    std::printf("  %4db BSL: MAE %.4f [shared-seed] (%.3f s incl. one-time table build)\n",
+                cfg.bsl, mae, s);
+  }
 
   bench::run_timing_kernels(argc, argv);
   return 0;

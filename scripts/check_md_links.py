@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Check that intra-repo markdown links resolve.
+
+Scans every tracked *.md file (or every *.md outside build dirs when not in
+a git checkout) for inline links/images `[text](target)` and fails when a
+relative target does not exist on disk. External schemes (http, https,
+mailto) and pure in-page anchors are skipped; `target#anchor` is checked as
+`target`. Exit status: 0 = all links resolve, 1 = dangling links listed on
+stdout.
+"""
+
+import os
+import re
+import subprocess
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SKIP_DIRS = {"build", "build-tsan", ".git"}
+# Inline markdown link/image. Deliberately simple: no nested parens in URLs.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def markdown_files():
+    try:
+        out = subprocess.run(
+            ["git", "ls-files", "--cached", "--others", "--exclude-standard",
+             "*.md", "**/*.md"],
+            cwd=REPO, capture_output=True, text=True, check=True,
+        ).stdout
+        files = [f for f in out.splitlines() if f.strip()]
+        if files:
+            return sorted(set(files))
+    except (subprocess.CalledProcessError, FileNotFoundError):
+        pass
+    files = []
+    for root, dirs, names in os.walk(REPO):
+        dirs[:] = [d for d in dirs if d not in SKIP_DIRS]
+        for name in names:
+            if name.endswith(".md"):
+                files.append(os.path.relpath(os.path.join(root, name), REPO))
+    return sorted(files)
+
+
+def main():
+    dangling = []
+    files = markdown_files()
+    checked = 0
+    for rel in files:
+        path = os.path.join(REPO, rel)
+        try:
+            text = open(path, encoding="utf-8").read()
+        except OSError as err:
+            dangling.append((rel, "<unreadable>", str(err)))
+            continue
+        # Strip fenced code blocks: sample snippets aren't navigation.
+        text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+        for match in LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(EXTERNAL) or target.startswith("#"):
+                continue
+            checked += 1
+            target_path = target.split("#", 1)[0]
+            if not target_path:
+                continue
+            resolved = os.path.normpath(os.path.join(os.path.dirname(path), target_path))
+            if not os.path.exists(resolved):
+                dangling.append((rel, target, os.path.relpath(resolved, REPO)))
+    if dangling:
+        print(f"{len(dangling)} dangling markdown link(s):")
+        for rel, target, resolved in dangling:
+            print(f"  {rel}: ({target}) -> missing {resolved}")
+        return 1
+    print(f"OK: {checked} intra-repo links across {len(files)} markdown files resolve.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,13 +2,15 @@
 
 #include <algorithm>
 #include <limits>
+#include <memory>
 #include <stdexcept>
 
 #include "hw/cost_model.h"
 
 namespace ascend::core {
 
-DseResult sweep_softmax_design_space(int bx, int m, int mae_rows, std::uint64_t seed) {
+DseResult sweep_softmax_design_space(int bx, int m, int mae_rows, std::uint64_t seed,
+                                     const DseOptions& options) {
   if (bx < 2 || bx % 2 != 0) throw std::invalid_argument("sweep: Bx must be even >= 2");
   const int bys[] = {4, 8, 16, 32};
   const int ks[] = {2, 3, 4};
@@ -47,23 +49,50 @@ DseResult sweep_softmax_design_space(int bx, int m, int mae_rows, std::uint64_t 
                 feasible.push_back(cfg);
               }
 
+  // Per-point evaluation: cost + MAE, served from the LUT cache by default.
+  // A sweep-local cache dies with the sweep unless the caller passed one in.
+  std::unique_ptr<runtime::TfCache> local_cache;
+  runtime::TfCache* cache = options.cache;
+  if (options.use_tf_cache && !cache) {
+    local_cache = std::make_unique<runtime::TfCache>();
+    cache = local_cache.get();
+  }
   std::vector<DsePoint> evaluated(feasible.size());
   std::vector<char> ok(feasible.size(), 0);
-#pragma omp parallel for schedule(dynamic)
-  for (long long i = 0; i < static_cast<long long>(feasible.size()); ++i) {
-    DsePoint p;
-    p.cfg = feasible[static_cast<std::size_t>(i)];
-    try {
-      const hw::GateInventory inv = hw::cost_softmax_iter(p.cfg);
-      p.area_um2 = inv.area_um2();
-      p.delay_ns = inv.delay_ns();
-      p.mae = sc::softmax_sc_mae(p.cfg, mae_rows, seed);
-      evaluated[static_cast<std::size_t>(i)] = p;
-      ok[static_cast<std::size_t>(i)] = 1;
-    } catch (const std::exception&) {
-      // Configuration turned out infeasible deeper in the datapath
-      // (e.g. no feasible re-scaling plan); skip it.
+  auto eval_range = [&](int lo, int hi) {
+    for (int i = lo; i < hi; ++i) {
+      DsePoint p;
+      p.cfg = feasible[static_cast<std::size_t>(i)];
+      try {
+        const hw::GateInventory inv = hw::cost_softmax_iter(p.cfg);
+        p.area_um2 = inv.area_um2();
+        p.delay_ns = inv.delay_ns();
+        p.mae = options.use_tf_cache
+                    ? runtime::softmax_sc_mae_cached(p.cfg, mae_rows, seed, *cache)
+                    : sc::softmax_sc_mae(p.cfg, mae_rows, seed);
+        evaluated[static_cast<std::size_t>(i)] = p;
+        ok[static_cast<std::size_t>(i)] = 1;
+      } catch (const std::exception&) {
+        // Configuration turned out infeasible deeper in the datapath
+        // (e.g. no feasible re-scaling plan); skip it.
+      }
     }
+  };
+  // Small chunks: per-point cost clusters along the nested parameter loops
+  // (large-By/k designs are orders of magnitude slower), so static
+  // one-chunk-per-worker splitting would leave workers idle behind the
+  // expensive stretch.
+  constexpr int kSweepChunk = 8;
+  const int n_points = static_cast<int>(feasible.size());
+  if (options.pool) {
+    options.pool->parallel_for(0, n_points, eval_range, kSweepChunk);
+  } else if (options.threads == 1) {
+    eval_range(0, n_points);
+  } else {
+    runtime::ThreadPool pool(options.threads > 0
+                                 ? options.threads
+                                 : static_cast<int>(std::thread::hardware_concurrency()));
+    pool.parallel_for(0, n_points, eval_range, kSweepChunk);
   }
   for (std::size_t i = 0; i < evaluated.size(); ++i) {
     if (ok[i])

@@ -8,10 +8,20 @@
 // infeasible and skipped (counts are reported). Each feasible design is
 // costed (hw/cost_model.h) and measured (MAE over sampled attention rows),
 // then the ADP/MAE Pareto front is extracted.
+//
+// Evaluation runs on a runtime::ThreadPool (parallel_for across sweep
+// points) and, by default, serves each design's MAE rows from the
+// transfer-function LUT cache: the SoftmaxLut tabulates the design's four
+// re-scaling blocks once and replays them over every test row, bit-exact
+// with the circuit emulator — so cached and uncached sweeps produce
+// *identical* MAE numbers at the same seed (asserted in
+// tests/test_accelerator_dse.cpp).
 
 #include <cstdint>
 #include <vector>
 
+#include "runtime/tf_cache.h"
+#include "runtime/thread_pool.h"
 #include "sc/softmax_iter.h"
 
 namespace ascend::core {
@@ -25,16 +35,32 @@ struct DsePoint {
 };
 
 struct DseResult {
-  std::vector<DsePoint> points;      ///< all feasible designs
+  std::vector<DsePoint> points;      ///< all feasible designs (stable order)
   std::vector<std::size_t> pareto;   ///< indices of the ADP/MAE Pareto front
   int nominal_candidates = 0;
   int infeasible = 0;
 };
 
+/// Knobs for how the sweep is *executed* (never what it computes: results are
+/// deterministic and independent of caching / thread count).
+struct DseOptions {
+  /// Serve per-design MAE rows from a SoftmaxLut instead of re-running the
+  /// circuit emulator per row. Bit-identical numbers, large wall-clock win.
+  bool use_tf_cache = true;
+  /// Worker threads for the sweep (0 = hardware_concurrency, 1 = serial).
+  /// Ignored when `pool` is set.
+  int threads = 0;
+  /// Run on an existing pool instead of spawning one per sweep.
+  runtime::ThreadPool* pool = nullptr;
+  /// LUT cache to use / fill; nullptr = a sweep-local cache (freed with the
+  /// sweep — per-design tables are one-shot, no reason to pin them globally).
+  runtime::TfCache* cache = nullptr;
+};
+
 /// Run the sweep for a given Bx (paper: 2 and 4). `mae_rows` test vectors
 /// per design (reduce for smoke runs).
 DseResult sweep_softmax_design_space(int bx, int m = 64, int mae_rows = 16,
-                                     std::uint64_t seed = 99);
+                                     std::uint64_t seed = 99, const DseOptions& options = {});
 
 /// Indices of the Pareto-optimal points (minimising both ADP and MAE).
 std::vector<std::size_t> pareto_front(const std::vector<DsePoint>& points);

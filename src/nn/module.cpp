@@ -36,7 +36,8 @@ Tensor Linear::forward(const Tensor& x) {
 Tensor Linear::infer(const Tensor& x) const {
   if (x.rank() != 2 || x.dim(1) != in_) throw std::invalid_argument("Linear::infer: bad input");
   const Tensor xq = input_quant_.infer(x);
-  const Tensor wq = weight_quant_.infer(w_.value);
+  // Weights are immutable while serving: quantize once, serve the snapshot.
+  const Tensor& wq = weight_quant_.frozen_infer(w_.value);
   Tensor y = matmul(xq, wq);
   if (has_bias_) {
     const int n = y.dim(0);

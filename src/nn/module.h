@@ -23,16 +23,31 @@ namespace ascend::nn {
 
 /// Fully connected layer, optionally with LSQ weight/input quantizers
 /// (ASCEND's W / A precision knobs).
+///
+/// Serving-path weight snapshot: the weight matrix is immutable while
+/// serving, so infer() quantizes it through the weight quantizer's frozen
+/// snapshot (LsqQuantizer::frozen_infer) — built lazily on the first infer()
+/// and bit-exact with per-call re-quantization. The snapshot is invalidated
+/// ("thawed") by any training-path forward()/backward(), by
+/// set_weight_quant()/set_input_quant() (the apply_precision path), and by
+/// thaw(). Mutating weight() directly outside the training loop requires a
+/// manual thaw() before the next infer().
 class Linear {
  public:
   Linear(int in_features, int out_features, Rng& rng, bool bias = true);
 
   Tensor forward(const Tensor& x);             // [N, in] -> [N, out]
   Tensor backward(const Tensor& grad_out);     // returns grad wrt x
-  Tensor infer(const Tensor& x) const;         // re-entrant, no caching
+  /// Re-entrant serving forward; quantized weights come from the frozen
+  /// snapshot (see class comment), activations are quantized per call.
+  Tensor infer(const Tensor& x) const;
 
+  /// Replace the weight-quantizer spec; thaws the frozen weight snapshot.
   void set_weight_quant(QuantSpec spec) { weight_quant_.reset_spec(spec); }
   void set_input_quant(QuantSpec spec) { input_quant_.reset_spec(spec); }
+  /// Drop the frozen quantized-weight snapshot; the next infer() rebuilds it
+  /// from the current weights. Call after mutating weight() directly.
+  void thaw() { weight_quant_.thaw(); }
   void collect_params(std::vector<Param*>& out);
 
   Param& weight() { return w_; }

@@ -25,9 +25,63 @@ QuantSpec QuantSpec::from_bsl(int bsl) {
   return s;
 }
 
+LsqQuantizer::LsqQuantizer(const LsqQuantizer& other)
+    : spec_(other.spec_),
+      step_(other.step_),
+      initialized_(other.initialized_),
+      cached_x_(other.cached_x_),
+      cached_q_(other.cached_q_) {}
+
+LsqQuantizer& LsqQuantizer::operator=(const LsqQuantizer& other) {
+  if (this == &other) return *this;
+  spec_ = other.spec_;
+  step_ = other.step_;
+  initialized_ = other.initialized_;
+  cached_x_ = other.cached_x_;
+  cached_q_ = other.cached_q_;
+  thaw();
+  return *this;
+}
+
+LsqQuantizer::LsqQuantizer(LsqQuantizer&& other) noexcept
+    : spec_(other.spec_),
+      step_(std::move(other.step_)),
+      initialized_(other.initialized_),
+      cached_x_(std::move(other.cached_x_)),
+      cached_q_(std::move(other.cached_q_)) {}
+
+LsqQuantizer& LsqQuantizer::operator=(LsqQuantizer&& other) noexcept {
+  if (this == &other) return *this;
+  spec_ = other.spec_;
+  step_ = std::move(other.step_);
+  initialized_ = other.initialized_;
+  cached_x_ = std::move(other.cached_x_);
+  cached_q_ = std::move(other.cached_q_);
+  thaw();
+  return *this;
+}
+
 void LsqQuantizer::reset_spec(QuantSpec spec) {
   spec_ = spec;
   initialized_ = false;
+  thaw();
+}
+
+void LsqQuantizer::thaw() {
+  std::lock_guard<std::mutex> lock(snap_mu_);
+  snap_valid_.store(false, std::memory_order_release);
+  snapshot_ = Tensor();
+}
+
+const Tensor& LsqQuantizer::frozen_infer(const Tensor& x) const {
+  if (!spec_.enabled) return x;
+  if (snap_valid_.load(std::memory_order_acquire)) return snapshot_;
+  std::lock_guard<std::mutex> lock(snap_mu_);
+  if (!snap_valid_.load(std::memory_order_relaxed)) {
+    snapshot_ = infer(x);
+    snap_valid_.store(true, std::memory_order_release);
+  }
+  return snapshot_;
 }
 
 namespace {
@@ -44,6 +98,9 @@ float lsq_init_step(const Tensor& x, int qp) {
 
 Tensor LsqQuantizer::forward(const Tensor& x) {
   if (!spec_.enabled) return x;
+  // Training is about to move the step / the quantized tensor: any frozen
+  // serving snapshot is stale from here on.
+  if (snap_valid_.load(std::memory_order_relaxed)) thaw();
   if (!initialized_) {
     step_.init_shape({1});
     step_.value[0] = lsq_init_step(x, spec_.qp);

@@ -12,6 +12,8 @@
 //           dL/ds = sum g * (q - x/s * inside) * gradscale,
 //           gradscale = 1/sqrt(numel * Qp).
 
+#include <atomic>
+#include <mutex>
 #include <vector>
 
 #include "nn/tensor.h"
@@ -46,13 +48,24 @@ class LsqQuantizer {
  public:
   explicit LsqQuantizer(QuantSpec spec = QuantSpec::off()) : spec_(spec) {}
 
+  /// Copies and moves carry the spec / learned step but deliberately drop the
+  /// frozen snapshot (it is rebuilt lazily on the copy's first frozen_infer;
+  /// sharing mutable snapshot state between copies would be a data race).
+  LsqQuantizer(const LsqQuantizer& other);
+  LsqQuantizer& operator=(const LsqQuantizer& other);
+  LsqQuantizer(LsqQuantizer&& other) noexcept;
+  LsqQuantizer& operator=(LsqQuantizer&& other) noexcept;
+
   const QuantSpec& spec() const { return spec_; }
   bool enabled() const { return spec_.enabled; }
   /// Replace the spec (used when progressively tightening precision); the
-  /// learned step is re-initialised on the next forward.
+  /// learned step is re-initialised on the next forward. Thaws any frozen
+  /// snapshot, so a later frozen_infer re-quantizes under the new spec.
   void reset_spec(QuantSpec spec);
 
-  /// Fake-quantized output; identity when disabled.
+  /// Fake-quantized output; identity when disabled. Training path: caches
+  /// activations for backward() and thaws any frozen snapshot (training is
+  /// about to change the step / the tensor being quantized).
   Tensor forward(const Tensor& x);
   /// STE backward; accumulates the step-size gradient.
   Tensor backward(const Tensor& grad_out);
@@ -64,6 +77,27 @@ class LsqQuantizer {
   /// is derived from the batch itself on every call.
   Tensor infer(const Tensor& x) const;
 
+  /// Serving fast path for an *immutable-while-serving* input (a weight
+  /// matrix): quantizes `x` once, memoizes the result ("freeze"), and serves
+  /// the memoized tensor on every later call — bit-exact with infer(x), since
+  /// it IS infer(x) computed once. Thread-safe against concurrent
+  /// frozen_infer calls (double-checked build under an internal mutex).
+  ///
+  /// Invalidation ("thaw") contract: the snapshot is dropped by thaw(),
+  /// reset_spec() and the training-path forward(). Mutating the underlying
+  /// tensor by other means (an optimizer stepping the weights directly)
+  /// requires a manual thaw() before the next frozen_infer — in the training
+  /// loop this holds automatically because every optimizer step is preceded
+  /// by a training forward. thaw() and training must not run concurrently
+  /// with frozen_infer (same single-writer contract as the whole const infer
+  /// path). When the spec is disabled, returns `x` unchanged.
+  const Tensor& frozen_infer(const Tensor& x) const;
+
+  /// Drop the frozen snapshot; the next frozen_infer re-quantizes.
+  void thaw();
+  /// True while a frozen snapshot is live (exposed for tests/benches).
+  bool frozen() const { return snap_valid_.load(std::memory_order_acquire); }
+
   float step() const { return step_.value.empty() ? 0.0f : step_.value[0]; }
   void collect_params(std::vector<Param*>& out);
 
@@ -74,6 +108,11 @@ class LsqQuantizer {
   // Caches from the last forward.
   Tensor cached_x_;
   Tensor cached_q_;  // integer levels as floats
+  // Frozen quantized snapshot (see frozen_infer): guarded by snap_mu_ for
+  // building, published through the acquire/release flag for lock-free reads.
+  mutable std::mutex snap_mu_;
+  mutable std::atomic<bool> snap_valid_{false};
+  mutable Tensor snapshot_;
 };
 
 }  // namespace ascend::nn

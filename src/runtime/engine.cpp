@@ -80,7 +80,7 @@ void InferenceEngine::install_hooks() {
     else
       gelu_proto_ = std::make_shared<const sc::GateAssistedSI>(
           sc::make_gelu_block(cfg_.gelu_bsl, -cfg_.gelu_range, cfg_.gelu_range, 16));
-    const GeluLut* lut = gelu_lut_;
+    const GateSiLut* lut = gelu_lut_;
     auto proto = gelu_proto_;
     ThreadPool* pool = &pool_;
     model_.set_gelu_hook([lut, proto, pool](const Tensor& x) {

@@ -104,7 +104,7 @@ class InferenceEngine {
   // Uncached fallback: an immutable prototype block the GELU hook copies into
   // per-call emulator instances (the shared prototype is never invoked).
   std::shared_ptr<const sc::GateAssistedSI> gelu_proto_;
-  const GeluLut* gelu_lut_ = nullptr;
+  const GateSiLut* gelu_lut_ = nullptr;
   const SoftmaxLut* softmax_lut_ = nullptr;
   sc::SoftmaxIterConfig softmax_cfg_;  ///< m resolved to the model's tokens
 

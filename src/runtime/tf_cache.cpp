@@ -1,6 +1,7 @@
 #include "runtime/tf_cache.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <numeric>
 #include <stdexcept>
@@ -21,10 +22,10 @@ std::string hex_double(double v) {
 }  // namespace
 
 // ---------------------------------------------------------------------------
-// GeluLut
+// GateSiLut
 // ---------------------------------------------------------------------------
 
-GeluLut::GeluLut(const sc::GateAssistedSI& block)
+GateSiLut::GateSiLut(const sc::GateAssistedSI& block)
     : lin_(block.lin()), alpha_in_(block.alpha_in()) {
   out_.reserve(static_cast<std::size_t>(lin_) + 1);
   for (int n = 0; n <= lin_; ++n)
@@ -193,6 +194,89 @@ std::vector<double> SoftmaxFsmLut::operator()(const std::vector<double>& x) cons
 }
 
 // ---------------------------------------------------------------------------
+// BernsteinLut
+// ---------------------------------------------------------------------------
+
+BernsteinLut::BernsteinLut(const sc::BernsteinUnit& unit, std::size_t bsl, std::uint64_t seed)
+    : bsl_(bsl), seed_(seed) {
+  if (bsl_ < 1) throw std::invalid_argument("BernsteinLut: bsl must be >= 1");
+  const int n = unit.degree();
+  const auto& coeffs = unit.coefficients();
+
+  // The exact SNG bank eval_stochastic draws from (shared construction, so
+  // the table cannot drift from the emulator's randomness).
+  sc::BernsteinUnit::SngBank bank = unit.make_sng_bank(seed);
+  std::vector<sc::Lfsr>& inputs = bank.inputs;
+  sc::Lfsr& coef = bank.coef;
+
+  // Record every input-SNG sample as the exact u-threshold at which its
+  // comparator flips. Ranges are powers of two, so sample / range is exact
+  // and `sample < u * range` (the emulator's comparison, a pure exponent
+  // shift on u) is equivalent to `threshold < u` without any rounding.
+  struct Event {
+    double threshold;
+    std::uint32_t cycle;
+  };
+  std::vector<Event> events;
+  events.reserve(static_cast<std::size_t>(n) * bsl_);
+  std::vector<double> coef_sample(bsl_);
+  const double coef_range = static_cast<double>(coef.range());
+  for (std::size_t t = 0; t < bsl_; ++t) {
+    for (int i = 0; i < n; ++i) {
+      sc::Lfsr& g = inputs[static_cast<std::size_t>(i)];
+      events.push_back({static_cast<double>(g.next()) / static_cast<double>(g.range()),
+                        static_cast<std::uint32_t>(t)});
+    }
+    coef_sample[t] = static_cast<double>(coef.next());
+  }
+  std::sort(events.begin(), events.end(),
+            [](const Event& a, const Event& b) { return a.threshold < b.threshold; });
+
+  // Plateau 0: u below every threshold, so every adder index is 0. Each event
+  // bumps exactly one cycle's index, which re-selects that cycle's
+  // coefficient stream; the output ones-count updates in O(1).
+  std::vector<int> idx(bsl_, 0);
+  std::vector<char> bit(bsl_, 0);
+  auto mux_bit = [&](std::size_t t, int index) {
+    return coef_sample[t] < coeffs[static_cast<std::size_t>(index)] * coef_range;
+  };
+  long long ones = 0;
+  for (std::size_t t = 0; t < bsl_; ++t) {
+    bit[t] = mux_bit(t, 0) ? 1 : 0;
+    ones += bit[t];
+  }
+  breaks_.reserve(events.size());
+  value_.reserve(events.size() + 1);
+  value_.push_back(static_cast<double>(ones) / static_cast<double>(bsl_));
+  for (const Event& e : events) {
+    const auto t = static_cast<std::size_t>(e.cycle);
+    ++idx[t];
+    const char nb = mux_bit(t, idx[t]) ? 1 : 0;
+    ones += nb - bit[t];
+    bit[t] = nb;
+    breaks_.push_back(e.threshold);
+    value_.push_back(static_cast<double>(ones) / static_cast<double>(bsl_));
+  }
+}
+
+double BernsteinLut::operator()(double u) const {
+  u = std::clamp(u, 0.0, 1.0);
+  // Plateau index = number of thresholds strictly below u (ties don't fire:
+  // the emulator's comparison is strict).
+  const auto fired = static_cast<std::size_t>(
+      std::lower_bound(breaks_.begin(), breaks_.end(), u) - breaks_.begin());
+  return value_[fired];
+}
+
+BernsteinGeluLut::BernsteinGeluLut(const sc::BernsteinGelu& block, std::size_t bsl,
+                                   std::uint64_t seed)
+    : in_lo_(block.in_lo()),
+      in_hi_(block.in_hi()),
+      out_lo_(block.out_lo()),
+      out_hi_(block.out_hi()),
+      lut_(block.unit(), bsl, seed) {}
+
+// ---------------------------------------------------------------------------
 // TfCache
 // ---------------------------------------------------------------------------
 
@@ -206,6 +290,33 @@ std::string softmax_cache_key(const sc::SoftmaxIterConfig& cfg) {
   return key;
 }
 
+std::string gate_si_cache_key(const sc::GateAssistedSI& block) {
+  // FNV-1a over the count table; collisions across distinct tables with the
+  // same (Lin, Lout, alphas) would need a 64-bit hash collision.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (int v : block.table()) {
+    auto u = static_cast<std::uint64_t>(static_cast<std::uint32_t>(v));
+    for (int b = 0; b < 4; ++b) {
+      h ^= (u >> (8 * b)) & 0xFFu;
+      h *= 0x100000001b3ull;
+    }
+  }
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(h));
+  return "gsi:" + std::to_string(block.lin()) + "," + std::to_string(block.lout()) + "," +
+         hex_double(block.alpha_in()) + "," + hex_double(block.alpha_out()) + "," + buf;
+}
+
+std::string bernstein_cache_key(const sc::BernsteinGelu& block, std::size_t bsl,
+                                std::uint64_t seed) {
+  std::string key = "bern:";
+  for (double c : block.unit().coefficients()) key += hex_double(c) + ",";
+  key += hex_double(block.in_lo()) + "," + hex_double(block.in_hi()) + "," +
+         hex_double(block.out_lo()) + "," + hex_double(block.out_hi()) + "," +
+         std::to_string(bsl) + "," + std::to_string(seed);
+  return key;
+}
+
 std::string softmax_fsm_cache_key(const sc::FsmSoftmaxConfig& cfg) {
   std::string key = "smfsm:";
   key += std::to_string(cfg.m) + "," + std::to_string(cfg.bsl) + "," +
@@ -215,65 +326,97 @@ std::string softmax_fsm_cache_key(const sc::FsmSoftmaxConfig& cfg) {
   return key;
 }
 
-const GeluLut& TfCache::gelu(int b, double input_lo, double input_hi, int input_bsl) {
-  const std::string key = "gelu:" + std::to_string(b) + "," + hex_double(input_lo) + "," +
-                          hex_double(input_hi) + "," + std::to_string(input_bsl);
+template <typename T, typename Build>
+const T& TfCache::get_or_build(std::map<std::string, std::unique_ptr<T>>& map,
+                               const std::string& key, Build&& build) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    auto it = gelu_.find(key);
-    if (it != gelu_.end()) return *it->second;
+    auto it = map.find(key);
+    if (it != map.end()) return *it->second;
   }
-  // Synthesize outside the lock (make_gelu_block scans output scales).
-  auto lut = std::make_unique<GeluLut>(sc::make_gelu_block(b, input_lo, input_hi, input_bsl));
+  // Build outside the lock (synthesis / tabulation can be expensive).
+  auto lut = build();
   std::lock_guard<std::mutex> lock(mu_);
-  auto [it, inserted] = gelu_.emplace(key, std::move(lut));
+  auto [it, inserted] = map.emplace(key, std::move(lut));
   (void)inserted;  // a racing builder's identical table is simply kept
   return *it->second;
 }
 
-const GeluLut& TfCache::gelu_block(const sc::GateAssistedSI& block, const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = gelu_.find(key);
-  if (it == gelu_.end()) it = gelu_.emplace(key, std::make_unique<GeluLut>(block)).first;
-  return *it->second;
+const GateSiLut& TfCache::gelu(int b, double input_lo, double input_hi, int input_bsl) {
+  const std::string key = "gelu:" + std::to_string(b) + "," + hex_double(input_lo) + "," +
+                          hex_double(input_hi) + "," + std::to_string(input_bsl);
+  return get_or_build(gelu_, key, [&] {
+    return std::make_unique<GateSiLut>(sc::make_gelu_block(b, input_lo, input_hi, input_bsl));
+  });
+}
+
+const GateSiLut& TfCache::gelu_block(const sc::GateAssistedSI& block, const std::string& key) {
+  return get_or_build(gelu_, key, [&] { return std::make_unique<GateSiLut>(block); });
+}
+
+const GateSiLut& TfCache::gate_si(const sc::GateAssistedSI& block) {
+  return gelu_block(block, gate_si_cache_key(block));
+}
+
+const BernsteinGeluLut& TfCache::bernstein(const sc::BernsteinGelu& block, std::size_t bsl,
+                                           std::uint64_t seed) {
+  return get_or_build(bernstein_, bernstein_cache_key(block, bsl, seed),
+                      [&] { return std::make_unique<BernsteinGeluLut>(block, bsl, seed); });
 }
 
 const SoftmaxLut& TfCache::softmax(const sc::SoftmaxIterConfig& cfg) {
-  const std::string key = softmax_cache_key(cfg);
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = softmax_.find(key);
-    if (it != softmax_.end()) return *it->second;
-  }
-  auto lut = std::make_unique<SoftmaxLut>(cfg);
-  std::lock_guard<std::mutex> lock(mu_);
-  auto [it, inserted] = softmax_.emplace(key, std::move(lut));
-  (void)inserted;
-  return *it->second;
+  return get_or_build(softmax_, softmax_cache_key(cfg),
+                      [&] { return std::make_unique<SoftmaxLut>(cfg); });
 }
 
 const SoftmaxFsmLut& TfCache::softmax_fsm(const sc::FsmSoftmaxConfig& cfg) {
-  const std::string key = softmax_fsm_cache_key(cfg);
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = softmax_fsm_.find(key);
-    if (it != softmax_fsm_.end()) return *it->second;
-  }
-  auto lut = std::make_unique<SoftmaxFsmLut>(cfg);
-  std::lock_guard<std::mutex> lock(mu_);
-  auto [it, inserted] = softmax_fsm_.emplace(key, std::move(lut));
-  (void)inserted;
-  return *it->second;
+  return get_or_build(softmax_fsm_, softmax_fsm_cache_key(cfg),
+                      [&] { return std::make_unique<SoftmaxFsmLut>(cfg); });
 }
 
 std::size_t TfCache::size() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return gelu_.size() + softmax_.size() + softmax_fsm_.size();
+  return gelu_.size() + softmax_.size() + softmax_fsm_.size() + bernstein_.size();
 }
 
 TfCache& global_tf_cache() {
   static TfCache cache;
   return cache;
+}
+
+// ---------------------------------------------------------------------------
+// Cached MAE protocols
+// ---------------------------------------------------------------------------
+
+double softmax_sc_mae_cached(const sc::SoftmaxIterConfig& cfg, int rows, std::uint64_t seed,
+                             TfCache& cache) {
+  // Same sampling and accumulation order as sc::softmax_sc_mae; the LUT is
+  // bit-exact with softmax_iterative_sc, so the result is bit-identical.
+  const auto logits = sc::sample_attention_logits(cfg.m, rows, seed);
+  const SoftmaxLut& lut = cache.softmax(cfg);
+  double total = 0.0;
+  for (const auto& row : logits) {
+    const auto ref = sc::softmax_exact(row);
+    const auto got = lut(row);
+    for (std::size_t i = 0; i < row.size(); ++i) total += std::fabs(got[i] - ref[i]);
+  }
+  return total / (static_cast<double>(rows) * cfg.m);
+}
+
+double softmax_fsm_mae_cached(const sc::FsmSoftmaxConfig& cfg, int rows, std::uint64_t seed,
+                              TfCache& cache, FsmSeedMode mode) {
+  const auto logits = sc::sample_attention_logits(cfg.m, rows, seed);
+  double total = 0.0;
+  sc::FsmSoftmaxConfig per_row = cfg;
+  for (std::size_t r = 0; r < logits.size(); ++r) {
+    // kPerRowSeeds mirrors sc::softmax_fsm_mae's re-seeding exactly;
+    // kSharedSeed leaves cfg.seed in place so one table serves every row.
+    if (mode == FsmSeedMode::kPerRowSeeds) per_row.seed = cfg.seed + 0x1234567ULL * r;
+    const auto ref = sc::softmax_exact(logits[r]);
+    const auto got = cache.softmax_fsm(per_row)(logits[r]);
+    for (std::size_t i = 0; i < ref.size(); ++i) total += std::fabs(got[i] - ref[i]);
+  }
+  return total / (static_cast<double>(rows) * cfg.m);
 }
 
 }  // namespace ascend::runtime

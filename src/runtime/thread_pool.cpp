@@ -33,15 +33,17 @@ void ThreadPool::worker_loop() {
   }
 }
 
-void ThreadPool::parallel_for(int begin, int end, const std::function<void(int, int)>& body) {
+void ThreadPool::parallel_for(int begin, int end, const std::function<void(int, int)>& body,
+                              int max_chunk) {
   const int n = end - begin;
   if (n <= 0) return;
-  const int chunks = std::min(n, size());
+  int step = (n + std::min(n, size()) - 1) / std::min(n, size());
+  if (max_chunk > 0) step = std::min(step, max_chunk);
+  const int chunks = (n + step - 1) / step;
   if (chunks <= 1) {
     body(begin, end);
     return;
   }
-  const int step = (n + chunks - 1) / chunks;
   std::vector<std::future<void>> futs;
   futs.reserve(static_cast<std::size_t>(chunks - 1));
   // Hand chunks 1..k-1 to the workers; run chunk 0 on the calling thread.

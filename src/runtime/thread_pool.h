@@ -46,11 +46,15 @@ class ThreadPool {
     return fut;
   }
 
-  /// Run body(begin, end) over [begin, end) split into ~size() chunks and
-  /// block until all complete. The caller executes one chunk itself, so the
+  /// Run body(begin, end) over [begin, end) split into chunks and block
+  /// until all complete. By default the range splits into ~size() chunks;
+  /// `max_chunk > 0` caps the chunk size instead — submit many small chunks
+  /// when per-index cost varies wildly (the DSE sweep), so the FIFO queue
+  /// load-balances dynamically. The caller executes one chunk itself, so the
   /// loop makes progress even on a single-core pool. Must not be called from
   /// inside a pool task (the caller-waits pattern would deadlock).
-  void parallel_for(int begin, int end, const std::function<void(int, int)>& body);
+  void parallel_for(int begin, int end, const std::function<void(int, int)>& body,
+                    int max_chunk = 0);
 
  private:
   void worker_loop();

@@ -61,13 +61,10 @@ double BernsteinUnit::eval_exact(double u) const {
   return sum;
 }
 
-double BernsteinUnit::eval_stochastic(double u, std::size_t bsl, std::uint64_t seed) const {
-  u = std::clamp(u, 0.0, 1.0);
-  const int n = degree();
+BernsteinUnit::SngBank BernsteinUnit::make_sng_bank(std::uint64_t seed) const {
   // Independent SNGs: one per input-stream copy plus one for the coefficient
   // streams, with distinct widths and decorrelated seeds.
-  std::vector<Lfsr> inputs;
-  inputs.reserve(static_cast<std::size_t>(n));
+  const int n = degree();
   auto mix = [&seed]() {  // splitmix64-style seed derivation
     seed += 0x9E3779B97F4A7C15ull;
     std::uint64_t z = seed;
@@ -75,8 +72,19 @@ double BernsteinUnit::eval_stochastic(double u, std::size_t bsl, std::uint64_t s
     z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
     return static_cast<std::uint32_t>(z ^ (z >> 31));
   };
-  for (int i = 0; i < n; ++i) inputs.emplace_back(13 + (i % 8), mix());
-  Lfsr coef(16, mix());
+  SngBank bank;
+  bank.inputs.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) bank.inputs.emplace_back(13 + (i % 8), mix());
+  bank.coef = Lfsr(16, mix());
+  return bank;
+}
+
+double BernsteinUnit::eval_stochastic(double u, std::size_t bsl, std::uint64_t seed) const {
+  u = std::clamp(u, 0.0, 1.0);
+  const int n = degree();
+  SngBank bank = make_sng_bank(seed);
+  std::vector<Lfsr>& inputs = bank.inputs;
+  Lfsr& coef = bank.coef;
 
   std::size_t ones = 0;
   for (std::size_t t = 0; t < bsl; ++t) {

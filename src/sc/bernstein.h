@@ -41,6 +41,16 @@ class BernsteinUnit {
   /// across copies correlates the adder inputs and biases the result.
   double eval_stochastic(double u, std::size_t bsl, std::uint64_t seed) const;
 
+  /// The unit's SNG bank at a given seed: degree() input-stream LFSRs plus
+  /// the coefficient-stream LFSR, in the exact widths/seeding order
+  /// eval_stochastic draws from. Shared with the runtime's BernsteinLut so
+  /// the tabulated fast path can never drift from the emulator's randomness.
+  struct SngBank {
+    std::vector<Lfsr> inputs;
+    Lfsr coef;
+  };
+  SngBank make_sng_bank(std::uint64_t seed) const;
+
   /// Least-squares fit of `f` on [0,1] with coefficients projected into
   /// [0,1] (projected-gradient refinement after the unconstrained solve).
   static BernsteinUnit fit(const std::function<double(double)>& f, int terms,
@@ -65,6 +75,15 @@ class BernsteinGelu {
   double eval_exact(double x) const;
   /// Full stochastic evaluation at bitstream length `bsl`.
   double eval_stochastic(double x, std::size_t bsl, std::uint64_t seed) const;
+
+  /// The wrapped unit-interval Bernstein unit and the affine maps around it
+  /// (exposed so the runtime's transfer-function LUT cache can tabulate this
+  /// block with exactly the arithmetic eval_stochastic uses).
+  const BernsteinUnit& unit() const { return unit_; }
+  double in_lo() const { return in_lo_; }
+  double in_hi() const { return in_hi_; }
+  double out_lo() const { return out_lo_; }
+  double out_hi() const { return out_hi_; }
 
  private:
   double in_lo_, in_hi_;

@@ -87,6 +87,47 @@ TEST(Dse, RejectsBadBx) {
   EXPECT_THROW(sweep_softmax_design_space(3), std::invalid_argument);
 }
 
+TEST(Dse, CachedSweepIdenticalToEmulatedSweep) {
+  // Acceptance gate of the cached DSE path: LUT-served MAE must reproduce
+  // the circuit-emulated sweep bit for bit at the same seed.
+  DseOptions cached;  // defaults: use_tf_cache = true
+  DseOptions emulated;
+  emulated.use_tf_cache = false;
+  const DseResult a = sweep_softmax_design_space(2, 16, 3, 42, cached);
+  const DseResult b = sweep_softmax_design_space(2, 16, 3, 42, emulated);
+  ASSERT_EQ(a.points.size(), b.points.size());
+  EXPECT_EQ(a.infeasible, b.infeasible);
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_EQ(a.points[i].mae, b.points[i].mae) << "point " << i;
+    EXPECT_EQ(a.points[i].adp(), b.points[i].adp()) << "point " << i;
+  }
+  EXPECT_EQ(a.pareto, b.pareto);
+}
+
+TEST(Dse, ResultIndependentOfExecutionPlan) {
+  // Serial, multi-thread, and external-pool execution must agree exactly,
+  // and a caller-provided cache must be filled.
+  DseOptions serial;
+  serial.threads = 1;
+  DseOptions threaded;
+  threaded.threads = 4;
+  runtime::ThreadPool pool(3);
+  runtime::TfCache cache;
+  DseOptions pooled;
+  pooled.pool = &pool;
+  pooled.cache = &cache;
+  const DseResult a = sweep_softmax_design_space(2, 16, 2, 7, serial);
+  const DseResult b = sweep_softmax_design_space(2, 16, 2, 7, threaded);
+  const DseResult c = sweep_softmax_design_space(2, 16, 2, 7, pooled);
+  ASSERT_EQ(a.points.size(), b.points.size());
+  ASSERT_EQ(a.points.size(), c.points.size());
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_EQ(a.points[i].mae, b.points[i].mae);
+    EXPECT_EQ(a.points[i].mae, c.points[i].mae);
+  }
+  EXPECT_EQ(cache.size(), a.points.size()) << "one SoftmaxLut per feasible design";
+}
+
 TEST(ParetoFront, HandlesEdgeCases) {
   std::vector<DsePoint> pts;
   EXPECT_TRUE(pareto_front(pts).empty());

@@ -196,6 +196,62 @@ TEST(InferPath, LinearBitExactWithForward) {
   EXPECT_THROW(lin.infer(Tensor({3, 6})), std::invalid_argument);
 }
 
+TEST(InferPath, LinearFrozenSnapshotInvalidatedByApplyPrecision) {
+  // The satellite acceptance case: re-quantizing after a served infer (the
+  // apply_precision path calls set_weight_quant/set_input_quant) must change
+  // results identically on the snapshot path and the non-snapshot path.
+  Rng rng(21);
+  Linear lin(6, 5, rng);
+  lin.set_weight_quant(QuantSpec::from_bsl(16));
+  lin.set_input_quant(QuantSpec::from_bsl(16));
+  Tensor x({4, 6});
+  rng.fill_normal(x, 0, 1);
+  (void)lin.forward(x);  // calibrate the quantizer steps
+  const Tensor served = lin.infer(x);  // freezes the W16 weight snapshot
+  EXPECT_TRUE(lin.weight_quant().frozen());
+
+  // Tighten precision, as VisionTransformer::apply_precision does.
+  lin.set_weight_quant(QuantSpec::ternary());
+  lin.set_input_quant(QuantSpec::ternary());
+  EXPECT_FALSE(lin.weight_quant().frozen()) << "apply_precision must thaw the snapshot";
+  const Tensor snapshot_path = lin.infer(x);
+
+  // Non-snapshot control: quantize weights per call through the quantizer's
+  // plain infer (the pre-snapshot serving behaviour).
+  const Tensor manual = [&] {
+    const Tensor xq = lin.input_quant().infer(x);
+    const Tensor wq = lin.weight_quant().infer(lin.weight().value);
+    Tensor y = matmul(xq, wq);
+    for (int r = 0; r < y.dim(0); ++r)
+      for (int c = 0; c < y.dim(1); ++c) y.at(r, c) += lin.bias().value[static_cast<std::size_t>(c)];
+    return y;
+  }();
+  expect_bitwise_equal(snapshot_path, manual, "snapshot vs per-call requantization");
+
+  // And the precision change must actually change the output vs the old spec.
+  bool any_diff = false;
+  for (std::size_t i = 0; i < served.size(); ++i) any_diff = any_diff || served[i] != manual[i];
+  EXPECT_TRUE(any_diff) << "W2 must differ from the previously served W16 output";
+}
+
+TEST(InferPath, LinearThawRebuildsSnapshotAfterDirectWeightEdit) {
+  Rng rng(22);
+  Linear lin(4, 4, rng);
+  lin.set_weight_quant(QuantSpec::ternary());
+  Tensor x({2, 4});
+  rng.fill_normal(x, 0, 1);
+  (void)lin.forward(x);
+  (void)lin.infer(x);  // freeze
+  lin.weight().value[0] += 10.0f;  // out-of-band edit: snapshot is now stale
+  lin.thaw();
+  const Tensor after = lin.infer(x);
+  const Tensor manual = matmul(lin.input_quant().infer(x),
+                               lin.weight_quant().infer(lin.weight().value));
+  for (int r = 0; r < after.dim(0); ++r)
+    for (int c = 0; c < after.dim(1); ++c)
+      EXPECT_EQ(after.at(r, c), manual.at(r, c) + lin.bias().value[static_cast<std::size_t>(c)]);
+}
+
 TEST(InferPath, LayerNormBitExactWithForward) {
   LayerNorm ln(6);
   Rng rng(14);

@@ -128,6 +128,67 @@ TEST(LsqQuantizerTest, ResetSpecReinitialises) {
   EXPECT_LT(s2, s1);
 }
 
+TEST(LsqQuantizerTest, FrozenInferMatchesInferAndMemoizes) {
+  LsqQuantizer q(QuantSpec::ternary());
+  Rng rng(6);
+  Tensor w({4, 4});
+  rng.fill_normal(w, 0, 1);
+  (void)q.forward(w);  // latch the step
+  EXPECT_FALSE(q.frozen());
+  const Tensor ref = q.infer(w);
+  const Tensor& a = q.frozen_infer(w);
+  EXPECT_TRUE(q.frozen());
+  for (std::size_t i = 0; i < w.size(); ++i) EXPECT_EQ(a[i], ref[i]);
+  // Memoized: the second call hands back the same tensor object.
+  EXPECT_EQ(&q.frozen_infer(w), &a);
+}
+
+TEST(LsqQuantizerTest, FrozenSnapshotThawedByResetSpecAndTraining) {
+  LsqQuantizer q(QuantSpec::ternary());
+  Rng rng(7);
+  Tensor w({4, 4});
+  rng.fill_normal(w, 0, 1);
+  (void)q.forward(w);
+  (void)q.frozen_infer(w);
+  ASSERT_TRUE(q.frozen());
+
+  // reset_spec (the apply_precision path) must thaw; the rebuilt snapshot
+  // reflects the new spec, bit-exact with the per-call path.
+  q.reset_spec(QuantSpec::from_bsl(16));
+  EXPECT_FALSE(q.frozen());
+  const Tensor fresh = q.infer(w);
+  const Tensor& rebuilt = q.frozen_infer(w);
+  for (std::size_t i = 0; i < w.size(); ++i) EXPECT_EQ(rebuilt[i], fresh[i]);
+
+  // A training forward must thaw too (the step is about to move).
+  (void)q.forward(w);
+  EXPECT_FALSE(q.frozen());
+
+  // Disabled spec: frozen_infer is the identity and never freezes.
+  LsqQuantizer off;
+  const Tensor& same = off.frozen_infer(w);
+  EXPECT_EQ(&same, &w);
+  EXPECT_FALSE(off.frozen());
+}
+
+TEST(LsqQuantizerTest, CopiesDropTheFrozenSnapshot) {
+  LsqQuantizer q(QuantSpec::ternary());
+  Rng rng(8);
+  Tensor w({3, 3});
+  rng.fill_normal(w, 0, 1);
+  (void)q.forward(w);
+  (void)q.frozen_infer(w);
+  ASSERT_TRUE(q.frozen());
+  LsqQuantizer copy(q);
+  EXPECT_FALSE(copy.frozen());
+  EXPECT_EQ(copy.step(), q.step());
+  // The copy rebuilds an identical snapshot from its own state.
+  const Tensor& a = q.frozen_infer(w);
+  const Tensor& b = copy.frozen_infer(w);
+  EXPECT_NE(&a, &b);
+  for (std::size_t i = 0; i < w.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
 TEST(LsqQuantizerTest, QuantizationErrorShrinksWithBsl) {
   Rng rng(5);
   Tensor x({128, 4});

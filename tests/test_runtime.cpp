@@ -65,6 +65,24 @@ TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
     EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), (i >= 7 && i < 997) ? 1 : 0) << i;
 }
 
+TEST(ThreadPool, ParallelForSmallChunksCoverRangeExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(500);
+  int max_seen = 0;
+  std::mutex mu;
+  pool.parallel_for(
+      3, 487,
+      [&](int lo, int hi) {
+        for (int i = lo; i < hi; ++i) hits[static_cast<std::size_t>(i)].fetch_add(1);
+        std::lock_guard<std::mutex> lock(mu);
+        max_seen = std::max(max_seen, hi - lo);
+      },
+      /*max_chunk=*/8);
+  for (int i = 0; i < 500; ++i)
+    EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), (i >= 3 && i < 487) ? 1 : 0) << i;
+  EXPECT_LE(max_seen, 8);
+}
+
 TEST(ThreadPool, ParallelForEmptyRangeIsNoop) {
   ThreadPool pool(2);
   pool.parallel_for(5, 5, [](int, int) { FAIL() << "body must not run"; });
@@ -151,6 +169,60 @@ TEST(GeluLut, TableMatchesBitLevelGateLogic) {
     const sc::ThermStream in =
         sc::ThermStream::from_value(sc::ThermValue{n, block.lin(), block.alpha_in()});
     EXPECT_EQ(lut.table()[static_cast<std::size_t>(n)], block.apply(in).value()) << "n=" << n;
+  }
+}
+
+TEST(GateSiLut, AutoKeyedCacheServesArbitrarySynthesizedBlocks) {
+  // A non-GELU nonlinearity through the generic gate-SI entry point.
+  const auto sigmoid = [](double x) { return 1.0 / (1.0 + std::exp(-x)); };
+  const sc::GateAssistedSI block = sc::GateAssistedSI::synthesize(sigmoid, 16, 4, 0.5, 0.25);
+  TfCache cache;
+  const GateSiLut* a = &cache.gate_si(block);
+  const GateSiLut* b = &cache.gate_si(block);
+  EXPECT_EQ(a, b) << "same block must hit the same cache entry";
+  for (int i = 0; i <= 400; ++i) {
+    const double x = -5.0 + 10.0 * i / 400.0;
+    ASSERT_EQ((*a)(x), block.transfer(x)) << "x=" << x;
+  }
+  // A different table is a different entry, never a stale hit.
+  const sc::GateAssistedSI other = sc::GateAssistedSI::synthesize(sigmoid, 16, 8, 0.5, 0.125);
+  EXPECT_NE(&cache.gate_si(other), a);
+  EXPECT_NE(gate_si_cache_key(block), gate_si_cache_key(other));
+}
+
+TEST(BernsteinLut, BitExactWithStochasticEmulatorAcrossSeedsAndBsls) {
+  const sc::BernsteinUnit unit =
+      sc::BernsteinUnit::fit([](double u) { return 0.5 + 0.4 * std::sin(3.0 * u); }, 5);
+  for (std::size_t bsl : {64u, 256u}) {
+    for (std::uint64_t seed : {1ull, 0xDEADBEEFull}) {
+      const BernsteinLut lut(unit, bsl, seed);
+      // Dense grid plus the exact plateau thresholds' neighbourhoods: u just
+      // below, at, and above a dyadic sample must all match the emulator.
+      for (int i = 0; i <= 300; ++i) {
+        const double u = static_cast<double>(i) / 300.0;
+        ASSERT_EQ(lut(u), unit.eval_stochastic(u, bsl, seed)) << "u=" << u << " bsl=" << bsl;
+      }
+      for (double base : {3.0 / 8192.0, 977.0 / 8192.0, 8191.0 / 8192.0}) {
+        for (double u : {std::nextafter(base, 0.0), base, std::nextafter(base, 1.0)})
+          ASSERT_EQ(lut(u), unit.eval_stochastic(u, bsl, seed)) << "u=" << u;
+      }
+      // Out-of-range inputs clamp identically.
+      ASSERT_EQ(lut(-0.5), unit.eval_stochastic(-0.5, bsl, seed));
+      ASSERT_EQ(lut(1.5), unit.eval_stochastic(1.5, bsl, seed));
+    }
+  }
+}
+
+TEST(BernsteinGeluLut, BitExactWithBernsteinGeluAndCached) {
+  const sc::BernsteinGelu block(4);
+  TfCache cache;
+  const BernsteinGeluLut* lut = &cache.bernstein(block, 128, 7);
+  EXPECT_EQ(lut, &cache.bernstein(block, 128, 7));
+  EXPECT_NE(lut, &cache.bernstein(block, 128, 8)) << "seed is part of the key";
+  EXPECT_NE(lut, &cache.bernstein(block, 256, 7)) << "bsl is part of the key";
+  for (int i = 0; i <= 500; ++i) {
+    const double x = -5.0 + 7.0 * i / 500.0;  // sweep past the input clamp
+    ASSERT_EQ((*lut)(x), block.eval_stochastic(x, 128, 7)) << "x=" << x;
   }
 }
 
@@ -252,6 +324,46 @@ TEST(SoftmaxFsmLut, RejectsBadInput) {
   bad = cfg;
   bad.scale = 0.0;  // the emulator's SNG rejects this too
   EXPECT_THROW(SoftmaxFsmLut{bad}, std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Cached MAE protocols — bit-identical to the sc:: sweep protocols.
+// ---------------------------------------------------------------------------
+
+TEST(CachedMae, SoftmaxIterIdenticalToEmulatedProtocol) {
+  TfCache cache;
+  sc::SoftmaxIterConfig cfg;
+  cfg.m = 16;
+  for (std::uint64_t seed : {99ull, 808ull}) {
+    const double cached = softmax_sc_mae_cached(cfg, 8, seed, cache);
+    const double emulated = sc::softmax_sc_mae(cfg, 8, seed);
+    EXPECT_EQ(cached, emulated) << "seed=" << seed;
+  }
+}
+
+TEST(CachedMae, FsmPerRowSeedsIdenticalToEmulatedProtocol) {
+  TfCache cache;
+  sc::FsmSoftmaxConfig cfg;
+  cfg.m = 8;
+  cfg.bsl = 64;  // keep the per-row table builds cheap
+  const double cached = softmax_fsm_mae_cached(cfg, 6, 77, cache, FsmSeedMode::kPerRowSeeds);
+  const double emulated = sc::softmax_fsm_mae(cfg, 6, 77);
+  EXPECT_EQ(cached, emulated);
+  EXPECT_EQ(cache.size(), 6u) << "one threshold table per row seed";
+  // A second run of the same protocol is served entirely from the cache.
+  EXPECT_EQ(softmax_fsm_mae_cached(cfg, 6, 77, cache, FsmSeedMode::kPerRowSeeds), emulated);
+  EXPECT_EQ(cache.size(), 6u);
+}
+
+TEST(CachedMae, FsmSharedSeedVariantUsesOneTable) {
+  TfCache cache;
+  sc::FsmSoftmaxConfig cfg;
+  cfg.m = 8;
+  cfg.bsl = 64;
+  const double shared = softmax_fsm_mae_cached(cfg, 6, 77, cache, FsmSeedMode::kSharedSeed);
+  EXPECT_EQ(cache.size(), 1u) << "every row must share the cfg.seed table";
+  EXPECT_GT(shared, 0.0);
+  EXPECT_LT(shared, 1.0);
 }
 
 TEST(TfCache, CachesFsmSoftmaxPerConfig) {
