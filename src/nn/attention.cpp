@@ -3,14 +3,21 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "nn/gemm.h"
+
 namespace ascend::nn {
 
 namespace {
 
 // Shared forward/infer kernels; all state is caller-provided so the infer
-// path can keep its activations on the stack.
+// path can keep its activations on the stack. All per-head products run
+// through the blocked GEMM kernels (nn/gemm.h) with strided panels — the
+// infer path reads Q/K/V straight out of the fused qkv projection and writes
+// per-head context tiles into the merged output, so no per-head Tensor is
+// ever allocated.
 
-/// Head-major gather of a [B*T, 3*dim] qkv projection into Q/K/V [B*H*T, dh].
+/// Head-major gather of a [B*T, 3*dim] qkv projection into Q/K/V [B*H*T, dh]
+/// (training path only: backward needs the gathered caches).
 void gather_qkv(const Tensor& qkv_out, int batch, int tokens, int heads, int dim, int dh,
                 Tensor& q, Tensor& k, Tensor& v) {
   const int bh = batch * heads;
@@ -32,27 +39,27 @@ void gather_qkv(const Tensor& qkv_out, int batch, int tokens, int heads, int dim
 }
 
 /// Scores per (batch, head): S = Q K^T / sqrt(dh), flattened to [B*H*T, T].
-Tensor attention_scores(const Tensor& q, const Tensor& k, int bh, int tokens, int dh) {
+/// Q/K rows are read with stride ldq/ldk, so callers can pass either the
+/// gathered [B*H*T, dh] caches (stride dh) or panels of the fused qkv output
+/// (stride 3*dim).
+Tensor attention_scores_strided(const float* q, int ldq, std::size_t q_head_stride, const float* k,
+                                int ldk, std::size_t k_head_stride, int bh, int tokens, int dh) {
   const float inv_sqrt_dh = 1.0f / std::sqrt(static_cast<float>(dh));
   Tensor scores({bh * tokens, tokens});
 #pragma omp parallel for schedule(static)
   for (int g = 0; g < bh; ++g) {
-    const float* qg = q.data() + static_cast<std::size_t>(g) * tokens * dh;
-    const float* kg = k.data() + static_cast<std::size_t>(g) * tokens * dh;
     float* s = scores.data() + static_cast<std::size_t>(g) * tokens * tokens;
-    for (int i = 0; i < tokens; ++i)
-      for (int j = 0; j < tokens; ++j) {
-        float acc = 0.0f;
-        for (int d = 0; d < dh; ++d) acc += qg[i * dh + d] * kg[j * dh + d];
-        s[i * tokens + j] = acc * inv_sqrt_dh;
-      }
+    gemm::gemm_nt(tokens, tokens, dh, q + static_cast<std::size_t>(g) * q_head_stride, ldq,
+                  k + static_cast<std::size_t>(g) * k_head_stride, ldk, s, tokens);
+    for (int i = 0; i < tokens * tokens; ++i) s[i] *= inv_sqrt_dh;
   }
   return scores;
 }
 
-/// Context: attn * V, merged back to [B*T, dim].
-Tensor attention_context(const Tensor& attn, const Tensor& v, int batch, int heads, int tokens,
-                         int dim, int dh) {
+/// Context: attn * V, merged back to [B*T, dim]. V rows read with stride ldv.
+Tensor attention_context_strided(const Tensor& attn, const float* v, int ldv,
+                                 std::size_t v_head_stride, int batch, int heads, int tokens,
+                                 int dim, int dh) {
   const int bh = batch * heads;
   Tensor ctx({batch * tokens, dim});
 #pragma omp parallel for schedule(static)
@@ -60,15 +67,9 @@ Tensor attention_context(const Tensor& attn, const Tensor& v, int batch, int hea
     const int b = g / heads;
     const int h = g % heads;
     const float* a = attn.data() + static_cast<std::size_t>(g) * tokens * tokens;
-    const float* vg = v.data() + static_cast<std::size_t>(g) * tokens * dh;
-    for (int i = 0; i < tokens; ++i) {
-      float* out = ctx.data() + (static_cast<std::size_t>(b) * tokens + i) * dim + h * dh;
-      for (int d = 0; d < dh; ++d) {
-        float acc = 0.0f;
-        for (int j = 0; j < tokens; ++j) acc += a[i * tokens + j] * vg[j * dh + d];
-        out[d] = acc;
-      }
-    }
+    float* out = ctx.data() + static_cast<std::size_t>(b) * tokens * dim + h * dh;
+    gemm::gemm_nn(tokens, dh, tokens, a, tokens, v + static_cast<std::size_t>(g) * v_head_stride,
+                  ldv, out, dim);
   }
   return ctx;
 }
@@ -95,7 +96,10 @@ Tensor MultiHeadSelfAttention::forward(const Tensor& x, int batch, int tokens) {
 
   const Tensor qkv_out = qkv_.forward(x);  // [B*T, 3*dim]
   gather_qkv(qkv_out, batch, tokens, heads_, dim_, dh_, cached_q_, cached_k_, cached_v_);
-  const Tensor scores = attention_scores(cached_q_, cached_k_, bh, tokens, dh_);
+  const std::size_t head_stride = static_cast<std::size_t>(tokens) * dh_;
+  const Tensor scores = attention_scores_strided(cached_q_.data(), dh_, head_stride,
+                                                 cached_k_.data(), dh_, head_stride, bh, tokens,
+                                                 dh_);
 
   used_hook_ = static_cast<bool>(hook_);
   if (used_hook_)
@@ -105,7 +109,8 @@ Tensor MultiHeadSelfAttention::forward(const Tensor& x, int batch, int tokens) {
   else
     cached_attn_ = softmax_rows(scores);
 
-  const Tensor ctx = attention_context(cached_attn_, cached_v_, batch, heads_, tokens, dim_, dh_);
+  const Tensor ctx = attention_context_strided(cached_attn_, cached_v_.data(), dh_, head_stride,
+                                               batch, heads_, tokens, dim_, dh_);
   return proj_.forward(ctx);
 }
 
@@ -114,10 +119,24 @@ Tensor MultiHeadSelfAttention::infer(const Tensor& x, int batch, int tokens) con
     throw std::invalid_argument("MSA::infer: bad input shape");
   const int bh = batch * heads_;
 
+  // The serving path never materialises per-head Q/K/V tensors: the strided
+  // GEMM kernels read each head's Q/K/V panel straight out of the fused
+  // projection (row stride 3*dim) and write its context tile into the merged
+  // [B*T, dim] output, so the only allocations are scores/attn/ctx.
   const Tensor qkv_out = qkv_.infer(x);  // [B*T, 3*dim]
-  Tensor q, k, v;
-  gather_qkv(qkv_out, batch, tokens, heads_, dim_, dh_, q, k, v);
-  const Tensor scores = attention_scores(q, k, bh, tokens, dh_);
+  const int ld = 3 * dim_;
+  const float inv_sqrt_dh = 1.0f / std::sqrt(static_cast<float>(dh_));
+  Tensor scores({bh * tokens, tokens});
+#pragma omp parallel for schedule(static)
+  for (int g = 0; g < bh; ++g) {
+    const int b = g / heads_;
+    const int h = g % heads_;
+    const float* base =
+        qkv_out.data() + static_cast<std::size_t>(b) * tokens * ld + static_cast<std::size_t>(h) * dh_;
+    float* s = scores.data() + static_cast<std::size_t>(g) * tokens * tokens;
+    gemm::gemm_nt(tokens, tokens, dh_, base, ld, base + dim_, ld, s, tokens);
+    for (int i = 0; i < tokens * tokens; ++i) s[i] *= inv_sqrt_dh;
+  }
 
   Tensor attn;
   if (hook_)
@@ -127,7 +146,17 @@ Tensor MultiHeadSelfAttention::infer(const Tensor& x, int batch, int tokens) con
   else
     attn = softmax_rows(scores);
 
-  const Tensor ctx = attention_context(attn, v, batch, heads_, tokens, dim_, dh_);
+  Tensor ctx({batch * tokens, dim_});
+#pragma omp parallel for schedule(static)
+  for (int g = 0; g < bh; ++g) {
+    const int b = g / heads_;
+    const int h = g % heads_;
+    const float* v = qkv_out.data() + static_cast<std::size_t>(b) * tokens * ld + 2 * dim_ +
+                     static_cast<std::size_t>(h) * dh_;
+    gemm::gemm_nn(tokens, dh_, tokens, attn.data() + static_cast<std::size_t>(g) * tokens * tokens,
+                  tokens, v, ld,
+                  ctx.data() + static_cast<std::size_t>(b) * tokens * dim_ + h * dh_, dim_);
+  }
   return proj_.infer(ctx);
 }
 
@@ -160,18 +189,8 @@ Tensor MultiHeadSelfAttention::backward(const Tensor& grad_out) {
     const float* a = cached_attn_.data() + static_cast<std::size_t>(g) * tokens * tokens;
     float* ga = g_attn.data() + static_cast<std::size_t>(g) * tokens * tokens;
     float* gv = g_v.data() + static_cast<std::size_t>(g) * tokens * dh_;
-    for (int i = 0; i < tokens; ++i)
-      for (int j = 0; j < tokens; ++j) {
-        float acc = 0.0f;
-        for (int d = 0; d < dh_; ++d) acc += gc[i * dh_ + d] * v[j * dh_ + d];
-        ga[i * tokens + j] = acc;
-      }
-    for (int j = 0; j < tokens; ++j)
-      for (int d = 0; d < dh_; ++d) {
-        float acc = 0.0f;
-        for (int i = 0; i < tokens; ++i) acc += a[i * tokens + j] * gc[i * dh_ + d];
-        gv[j * dh_ + d] = acc;
-      }
+    gemm::gemm_nt(tokens, tokens, dh_, gc, dh_, v, dh_, ga, tokens);
+    gemm::gemm_tn(tokens, dh_, tokens, a, tokens, gc, dh_, gv, dh_);
   }
 
   // Through the softmax.
@@ -189,18 +208,12 @@ Tensor MultiHeadSelfAttention::backward(const Tensor& grad_out) {
     const float* k = cached_k_.data() + static_cast<std::size_t>(g) * tokens * dh_;
     float* gq = g_q.data() + static_cast<std::size_t>(g) * tokens * dh_;
     float* gk = g_k.data() + static_cast<std::size_t>(g) * tokens * dh_;
-    for (int i = 0; i < tokens; ++i)
-      for (int d = 0; d < dh_; ++d) {
-        float acc = 0.0f;
-        for (int j = 0; j < tokens; ++j) acc += gs[i * tokens + j] * k[j * dh_ + d];
-        gq[i * dh_ + d] = acc * inv_sqrt_dh;
-      }
-    for (int j = 0; j < tokens; ++j)
-      for (int d = 0; d < dh_; ++d) {
-        float acc = 0.0f;
-        for (int i = 0; i < tokens; ++i) acc += gs[i * tokens + j] * q[i * dh_ + d];
-        gk[j * dh_ + d] = acc * inv_sqrt_dh;
-      }
+    gemm::gemm_nn(tokens, dh_, tokens, gs, tokens, k, dh_, gq, dh_);
+    gemm::gemm_tn(tokens, dh_, tokens, gs, tokens, q, dh_, gk, dh_);
+    for (int i = 0; i < tokens * dh_; ++i) {
+      gq[i] *= inv_sqrt_dh;
+      gk[i] *= inv_sqrt_dh;
+    }
   }
 
   // Scatter back into the qkv layout [B*T, 3*dim].

@@ -25,7 +25,10 @@ class MultiHeadSelfAttention {
   Tensor backward(const Tensor& grad_out);
   /// Re-entrant inference forward: all activation state lives on the call
   /// stack, so concurrent calls are safe. The softmax hook (if set) is
-  /// invoked per call and must itself be thread-safe.
+  /// invoked per call and must itself be thread-safe. Per-head Q·Kᵀ and
+  /// attn·V products run through the strided blocked-GEMM kernels
+  /// (nn/gemm.h) reading panels straight out of the fused qkv projection —
+  /// no per-head Q/K/V tensors are ever allocated on this path.
   Tensor infer(const Tensor& x, int batch, int tokens) const;
 
   void set_softmax_kind(SoftmaxKind kind) { softmax_kind_ = kind; }

@@ -1,0 +1,562 @@
+#include "nn/gemm.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdlib>
+#include <string_view>
+#include <vector>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+#include "runtime/thread_pool.h"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace ascend::nn::gemm {
+namespace {
+
+Backend init_backend() {
+  const char* v = std::getenv("ASCEND_GEMM");
+  if (v != nullptr && std::string_view(v) == "reference") return Backend::kReference;
+  return Backend::kBlocked;
+}
+
+Backend& backend_ref() {
+  static Backend b = init_backend();
+  return b;
+}
+
+template <bool ATrans>
+inline float a_elem(const float* a, int lda, int i, int p) {
+  return ATrans ? a[static_cast<std::size_t>(p) * lda + i]
+                : a[static_cast<std::size_t>(i) * lda + p];
+}
+
+template <bool BTrans>
+inline float b_elem(const float* b, int ldb, int p, int j) {
+  return BTrans ? b[static_cast<std::size_t>(j) * ldb + p]
+                : b[static_cast<std::size_t>(p) * ldb + j];
+}
+
+// Seed-order naive loops (strided): the reference backend and the skinny-m
+// path. BTrans == false reproduces the axpy-with-zero-skip order of the
+// seed's matmul/matmul_tn; BTrans == true the dot order of matmul_nt.
+template <bool ATrans, bool BTrans>
+void gemm_naive(int m, int n, int k, const float* a, int lda, const float* b, int ldb, float* c,
+                int ldc) {
+  for (int i = 0; i < m; ++i) {
+    float* crow = c + static_cast<std::size_t>(i) * ldc;
+    if constexpr (!BTrans) {
+      for (int p = 0; p < k; ++p) {
+        const float av = a_elem<ATrans>(a, lda, i, p);
+        if (av == 0.0f) continue;
+        const float* brow = b + static_cast<std::size_t>(p) * ldb;
+        for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    } else {
+      for (int j = 0; j < n; ++j) {
+        const float* brow = b + static_cast<std::size_t>(j) * ldb;
+        float acc = 0.0f;
+        for (int p = 0; p < k; ++p) acc += a_elem<ATrans>(a, lda, i, p) * brow[p];
+        crow[j] += acc;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Register-tiled micro-kernels.
+//
+// The micro-tile (MR rows x NR columns of C) is held in a local accumulator
+// array the compiler keeps in vector registers across the whole kc
+// contraction; each packed B-strip row is reused by all MR output rows. Two
+// instantiations are compiled: a baseline for the build's default ISA
+// (4 x 8 — eight xmm accumulators fit SSE2's register file) and an
+// AVX2+FMA-targeted 6 x 16 (twelve ymm accumulators), selected once at
+// startup by querying the CPU — the binary stays runnable on any x86-64.
+// ---------------------------------------------------------------------------
+
+/// kernel(kc, ap, bp, c, ldc, mr, nr): ap is the MR-interleaved packed A
+/// panel (ap[p * MR + r]), bp the NR-interleaved packed B strip
+/// (bp[p * NR + j]); only the live mr x nr corner folds into C.
+using MicroKernelFn = void (*)(int, const float*, const float*, float*, int, int, int);
+
+#if defined(__x86_64__) || defined(__i386__)
+#define ASCEND_GEMM_X86 1
+#endif
+
+#ifdef ASCEND_GEMM_X86
+
+// 4 x 8 SSE kernel (eight xmm accumulators; SSE2 is baseline on x86-64).
+void micro_kernel_base(int kc, const float* ap, const float* bp, float* c, int ldc, int mr,
+                       int nr) {
+  constexpr int MRv = 4, NRv = 8;
+  __m128 acc[MRv][2];
+  for (auto& row : acc) row[0] = row[1] = _mm_setzero_ps();
+  for (int p = 0; p < kc; ++p) {
+    const float* brow = bp + static_cast<std::size_t>(p) * NRv;
+    const float* arow = ap + static_cast<std::size_t>(p) * MRv;
+    const __m128 b0 = _mm_loadu_ps(brow);
+    const __m128 b1 = _mm_loadu_ps(brow + 4);
+    for (int r = 0; r < MRv; ++r) {
+      const __m128 ar = _mm_set1_ps(arow[r]);
+      acc[r][0] = _mm_add_ps(acc[r][0], _mm_mul_ps(ar, b0));
+      acc[r][1] = _mm_add_ps(acc[r][1], _mm_mul_ps(ar, b1));
+    }
+  }
+  for (int r = 0; r < mr; ++r) {
+    alignas(16) float tmp[NRv];
+    _mm_store_ps(tmp, acc[r][0]);
+    _mm_store_ps(tmp + 4, acc[r][1]);
+    float* crow = c + static_cast<std::size_t>(r) * ldc;
+    for (int j = 0; j < nr; ++j) crow[j] += tmp[j];
+  }
+}
+
+// 6 x 16 AVX2+FMA kernel (twelve ymm accumulators), compiled for AVX2 via
+// the target attribute and selected at startup only when the CPU supports
+// it — the binary stays runnable on any x86-64.
+__attribute__((target("avx2,fma"))) void micro_kernel_avx2(int kc, const float* ap,
+                                                           const float* bp, float* c, int ldc,
+                                                           int mr, int nr) {
+  constexpr int MRv = 6, NRv = 16;
+  __m256 acc[MRv][2];
+  for (auto& row : acc) row[0] = row[1] = _mm256_setzero_ps();
+  // Two contraction steps per iteration: halves loop overhead and gives the
+  // scheduler two independent load/broadcast streams. The accumulation order
+  // per element is unchanged (both steps chain through the same accumulator).
+  int p = 0;
+  for (; p + 2 <= kc; p += 2) {
+    const float* brow = bp + static_cast<std::size_t>(p) * NRv;
+    const float* arow = ap + static_cast<std::size_t>(p) * MRv;
+    _mm_prefetch(reinterpret_cast<const char*>(brow + 8 * NRv), _MM_HINT_T0);
+    const __m256 b0 = _mm256_loadu_ps(brow);
+    const __m256 b1 = _mm256_loadu_ps(brow + 8);
+    const __m256 b2 = _mm256_loadu_ps(brow + NRv);
+    const __m256 b3 = _mm256_loadu_ps(brow + NRv + 8);
+    for (int r = 0; r < MRv; ++r) {
+      const __m256 ar0 = _mm256_broadcast_ss(arow + r);
+      acc[r][0] = _mm256_fmadd_ps(ar0, b0, acc[r][0]);
+      acc[r][1] = _mm256_fmadd_ps(ar0, b1, acc[r][1]);
+      const __m256 ar1 = _mm256_broadcast_ss(arow + MRv + r);
+      acc[r][0] = _mm256_fmadd_ps(ar1, b2, acc[r][0]);
+      acc[r][1] = _mm256_fmadd_ps(ar1, b3, acc[r][1]);
+    }
+  }
+  for (; p < kc; ++p) {
+    const float* brow = bp + static_cast<std::size_t>(p) * NRv;
+    const float* arow = ap + static_cast<std::size_t>(p) * MRv;
+    const __m256 b0 = _mm256_loadu_ps(brow);
+    const __m256 b1 = _mm256_loadu_ps(brow + 8);
+    for (int r = 0; r < MRv; ++r) {
+      const __m256 ar = _mm256_broadcast_ss(arow + r);
+      acc[r][0] = _mm256_fmadd_ps(ar, b0, acc[r][0]);
+      acc[r][1] = _mm256_fmadd_ps(ar, b1, acc[r][1]);
+    }
+  }
+  for (int r = 0; r < mr; ++r) {
+    alignas(32) float tmp[NRv];
+    _mm256_store_ps(tmp, acc[r][0]);
+    _mm256_store_ps(tmp + 8, acc[r][1]);
+    float* crow = c + static_cast<std::size_t>(r) * ldc;
+    for (int j = 0; j < nr; ++j) crow[j] += tmp[j];
+  }
+}
+
+#else  // !ASCEND_GEMM_X86
+
+// Portable scalar fallback: a 4 x 8 accumulator tile the compiler
+// auto-vectorizes for whatever ISA the build targets.
+void micro_kernel_base(int kc, const float* ap, const float* bp, float* c, int ldc, int mr,
+                       int nr) {
+  constexpr int MRv = 4, NRv = 8;
+  float acc[MRv][NRv] = {};
+  for (int p = 0; p < kc; ++p) {
+    const float* brow = bp + static_cast<std::size_t>(p) * NRv;
+    const float* arow = ap + static_cast<std::size_t>(p) * MRv;
+    for (int r = 0; r < MRv; ++r) {
+      const float ar = arow[r];
+      for (int j = 0; j < NRv; ++j) acc[r][j] += ar * brow[j];
+    }
+  }
+  for (int r = 0; r < mr; ++r) {
+    float* crow = c + static_cast<std::size_t>(r) * ldc;
+    for (int j = 0; j < nr; ++j) crow[j] += acc[r][j];
+  }
+}
+
+#endif  // ASCEND_GEMM_X86
+
+struct Tile {
+  int mr;
+  int nr;
+  MicroKernelFn kernel;
+};
+
+Tile select_tile() {
+#ifdef ASCEND_GEMM_X86
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma"))
+    return Tile{6, 16, &micro_kernel_avx2};
+#endif
+  return Tile{4, 8, &micro_kernel_base};
+}
+
+const Tile& tile() {
+  static const Tile t = select_tile();
+  return t;
+}
+
+/// Pack an up-to-mr-row panel of the A block into mr_stride-interleaved
+/// layout (dst[p * mr_stride + r]); rows beyond mr are zero so the
+/// micro-kernel never branches on the edge.
+template <bool ATrans>
+void pack_a_panel(const float* a, int lda, int i0, int mr, int mr_stride, int p0, int kc,
+                  float* dst) {
+  for (int p = 0; p < kc; ++p) {
+    float* d = dst + static_cast<std::size_t>(p) * mr_stride;
+    for (int r = 0; r < mr; ++r) d[r] = a_elem<ATrans>(a, lda, i0 + r, p0 + p);
+    for (int r = mr; r < mr_stride; ++r) d[r] = 0.0f;
+  }
+}
+
+/// Pack an up-to-nr-column strip of the B block (dst[p * nr_stride + j],
+/// zero-padded columns beyond nr).
+template <bool BTrans>
+void pack_b_strip(const float* b, int ldb, int p0, int kc, int j0, int nr, int nr_stride,
+                  float* dst) {
+  for (int p = 0; p < kc; ++p) {
+    float* d = dst + static_cast<std::size_t>(p) * nr_stride;
+    for (int j = 0; j < nr; ++j) d[j] = b_elem<BTrans>(b, ldb, p0 + p, j0 + j);
+    for (int j = nr; j < nr_stride; ++j) d[j] = 0.0f;
+  }
+}
+
+// Contraction block: KC x NR B strips stay L1-resident across a whole A
+// panel; MC/NC bound the packed block footprints (multiples of mr/nr keep
+// edges rare). The accumulation order of every C element is p-ascending
+// inside each KC block with KC blocks folding into C in order — fixed
+// regardless of tiling or row-band partitioning (determinism contract).
+constexpr int KC = 256;
+
+/// Grow-only thread-local packing scratch: per-call heap allocation of the
+/// pack buffers would mmap/page-fault hundreds of KB on every GEMM. Each
+/// thread (caller or pool worker) keeps its own, so parallel row bands never
+/// share a buffer.
+float* pack_scratch_a(std::size_t n) {
+  thread_local std::vector<float> buf;
+  if (buf.size() < n) buf.resize(n);
+  return buf.data();
+}
+
+float* pack_scratch_b(std::size_t n) {
+  thread_local std::vector<float> buf;
+  if (buf.size() < n) buf.resize(n);
+  return buf.data();
+}
+
+template <bool ATrans, bool BTrans>
+void gemm_blocked(int m, int n, int k, const float* a, int lda, const float* b, int ldb, float* c,
+                  int ldc, const GemmOptions& opts) {
+  if (m <= 0 || n <= 0 || k <= 0) return;
+  const Tile& t = tile();
+  const int MR = t.mr, NR = t.nr;
+  // Skinny outputs cannot amortise an MR-padded panel; the seed-order loop is
+  // near-optimal there (contiguous axpy / dot) and keeps batch-1 serving fast.
+  if (m < MR) {
+    gemm_naive<ATrans, BTrans>(m, n, k, a, lda, b, ldb, c, ldc);
+    return;
+  }
+  const int MC = 24 * MR;
+  const int NC = 15 * NR;
+  float* bpack = pack_scratch_b(static_cast<std::size_t>(KC) * NC);
+  for (int jc = 0; jc < n; jc += NC) {
+    const int nc = std::min(NC, n - jc);
+    const int nstrips = (nc + NR - 1) / NR;
+    for (int pc = 0; pc < k; pc += KC) {
+      const int kc = std::min(KC, k - pc);
+      for (int js = 0; js < nstrips; ++js) {
+        const int j0 = jc + js * NR;
+        pack_b_strip<BTrans>(b, ldb, pc, kc, j0, std::min(NR, n - j0), NR,
+                             bpack + static_cast<std::size_t>(js) * kc * NR);
+      }
+      const int niblocks = (m + MC - 1) / MC;
+      auto run_iblocks = [&](int ib0, int ib1) {
+        float* apack = pack_scratch_a(static_cast<std::size_t>(MC) * kc);
+        for (int ib = ib0; ib < ib1; ++ib) {
+          const int ic = ib * MC;
+          const int mc = std::min(MC, m - ic);
+          const int npanels = (mc + MR - 1) / MR;
+          for (int is = 0; is < npanels; ++is) {
+            const int i0 = ic + is * MR;
+            pack_a_panel<ATrans>(a, lda, i0, std::min(MR, m - i0), MR, pc, kc,
+                                 apack + static_cast<std::size_t>(is) * kc * MR);
+          }
+          for (int js = 0; js < nstrips; ++js) {
+            const int j0 = jc + js * NR;
+            const int nr = std::min(NR, n - j0);
+            const float* bp = bpack + static_cast<std::size_t>(js) * kc * NR;
+            for (int is = 0; is < npanels; ++is) {
+              const int i0 = ic + is * MR;
+              t.kernel(kc, apack + static_cast<std::size_t>(is) * kc * MR, bp,
+                       c + static_cast<std::size_t>(i0) * ldc + j0, ldc, std::min(MR, m - i0),
+                       nr);
+            }
+          }
+        }
+      };
+      if (opts.pool != nullptr && niblocks > 1) {
+        opts.pool->parallel_for(0, niblocks, run_iblocks);
+        continue;
+      }
+#ifdef _OPENMP
+      const int nthreads = std::min(opts.threads, niblocks);
+      if (nthreads > 1) {
+#pragma omp parallel for schedule(static) num_threads(nthreads)
+        for (int ib = 0; ib < niblocks; ++ib) run_iblocks(ib, ib + 1);
+        continue;
+      }
+#endif
+      run_iblocks(0, niblocks);
+    }
+  }
+}
+
+template <bool ATrans, bool BTrans>
+void gemm_dispatch(int m, int n, int k, const float* a, int lda, const float* b, int ldb, float* c,
+                   int ldc, const GemmOptions& opts) {
+  if (backend() == Backend::kReference)
+    gemm_naive<ATrans, BTrans>(m, n, k, a, lda, b, ldb, c, ldc);
+  else
+    gemm_blocked<ATrans, BTrans>(m, n, k, a, lda, b, ldb, c, ldc, opts);
+}
+
+}  // namespace
+
+Backend backend() { return backend_ref(); }
+void set_backend(Backend b) { backend_ref() = b; }
+
+void gemm_nn(int m, int n, int k, const float* a, int lda, const float* b, int ldb, float* c,
+             int ldc, const GemmOptions& opts) {
+  gemm_dispatch<false, false>(m, n, k, a, lda, b, ldb, c, ldc, opts);
+}
+
+void gemm_tn(int m, int n, int k, const float* a, int lda, const float* b, int ldb, float* c,
+             int ldc, const GemmOptions& opts) {
+  gemm_dispatch<true, false>(m, n, k, a, lda, b, ldb, c, ldc, opts);
+}
+
+void gemm_nt(int m, int n, int k, const float* a, int lda, const float* b, int ldb, float* c,
+             int ldc, const GemmOptions& opts) {
+  gemm_dispatch<false, true>(m, n, k, a, lda, b, ldb, c, ldc, opts);
+}
+
+int recommended_threads(long long m, long long n, long long k) {
+#ifdef _OPENMP
+  if (m * n * k > 16384) return omp_get_max_threads();
+#else
+  (void)m;
+  (void)n;
+  (void)k;
+#endif
+  return 1;
+}
+
+namespace {
+
+/// Popcount correlation of one activation sign pair against all weight
+/// columns: y[j] += scale * (|xp&P_j| + |xn&N_j| - |xp&N_j| - |xn&P_j|).
+/// W is the compile-time words-per-plane so the inner loop fully unrolls for
+/// the common serving widths (k <= 256).
+template <int W>
+[[gnu::always_inline]] inline void ternary_popcount_cols(const std::uint64_t* xp,
+                                                         const std::uint64_t* xn,
+                                                         const std::uint64_t* col_words, int n,
+                                                         float scale, float* yr) {
+  const std::uint64_t* col = col_words;
+  for (int j = 0; j < n; ++j, col += 2 * W) {
+    int acc = 0;
+    for (int t = 0; t < W; ++t) {
+      acc += std::popcount(xp[t] & col[t]);
+      acc += std::popcount(xn[t] & col[W + t]);
+      acc -= std::popcount(xp[t] & col[W + t]);
+      acc -= std::popcount(xn[t] & col[t]);
+    }
+    yr[j] += scale * static_cast<float>(acc);
+  }
+}
+
+[[gnu::always_inline]] inline void ternary_cols_body(const std::uint64_t* xp,
+                                                     const std::uint64_t* xn,
+                                                     const std::uint64_t* col_words, int n,
+                                                     int nwords, float scale, float* yr) {
+  switch (nwords) {
+    case 1:
+      ternary_popcount_cols<1>(xp, xn, col_words, n, scale, yr);
+      return;
+    case 2:
+      ternary_popcount_cols<2>(xp, xn, col_words, n, scale, yr);
+      return;
+    case 3:
+      ternary_popcount_cols<3>(xp, xn, col_words, n, scale, yr);
+      return;
+    case 4:
+      ternary_popcount_cols<4>(xp, xn, col_words, n, scale, yr);
+      return;
+    default:
+      break;
+  }
+  const std::uint64_t* col = col_words;
+  for (int j = 0; j < n; ++j, col += 2 * nwords) {
+    int acc = 0;
+    for (int t = 0; t < nwords; ++t) {
+      acc += std::popcount(xp[t] & col[t]);
+      acc += std::popcount(xn[t] & col[nwords + t]);
+      acc -= std::popcount(xp[t] & col[nwords + t]);
+      acc -= std::popcount(xn[t] & col[t]);
+    }
+    yr[j] += scale * static_cast<float>(acc);
+  }
+}
+
+using TernaryColsFn = void (*)(const std::uint64_t*, const std::uint64_t*, const std::uint64_t*,
+                               int, int, float, float*);
+
+// std::popcount lowers to a library call on baseline x86-64 (POPCNT arrived
+// with SSE4.2) — the hardware-popcount clone is selected at startup exactly
+// like the AVX2 GEMM micro-kernel.
+void ternary_cols_base(const std::uint64_t* xp, const std::uint64_t* xn,
+                       const std::uint64_t* col_words, int n, int nwords, float scale,
+                       float* yr) {
+  ternary_cols_body(xp, xn, col_words, n, nwords, scale, yr);
+}
+
+#ifdef ASCEND_GEMM_X86
+__attribute__((target("popcnt"))) void ternary_cols_popcnt(const std::uint64_t* xp,
+                                                           const std::uint64_t* xn,
+                                                           const std::uint64_t* col_words, int n,
+                                                           int nwords, float scale, float* yr) {
+  ternary_cols_body(xp, xn, col_words, n, nwords, scale, yr);
+}
+#endif
+
+TernaryColsFn ternary_cols() {
+  static const TernaryColsFn fn = [] {
+#ifdef ASCEND_GEMM_X86
+    if (__builtin_cpu_supports("popcnt")) return &ternary_cols_popcnt;
+#endif
+    return &ternary_cols_base;
+  }();
+  return fn;
+}
+
+/// Grow-only thread-local activation sign planes (same rationale as the
+/// dense pack scratch: the batch-1 serving path must not malloc per call).
+/// Returns 2*nwords words: xp at [0], xn at [nwords].
+std::uint64_t* sign_plane_scratch(int nwords) {
+  thread_local std::vector<std::uint64_t> buf;
+  const std::size_t need = 2 * static_cast<std::size_t>(nwords);
+  if (buf.size() < need) buf.resize(need);
+  return buf.data();
+}
+
+}  // namespace
+
+void ternary_matmul(const float* x, int m, int ldx, const PackedTernary& w, float* y, int ldy) {
+  const int k = w.rows, n = w.cols;
+  if (m <= 0 || k <= 0 || n <= 0) return;
+  const int nwords = w.words_per_plane;
+  std::uint64_t* const xp = sign_plane_scratch(nwords);
+  std::uint64_t* const xn = xp + nwords;
+  for (int r = 0; r < m; ++r) {
+    const float* xr = x + static_cast<std::size_t>(r) * ldx;
+    float* yr = y + static_cast<std::size_t>(r) * ldy;
+    // Ternary-activation detection: if every nonzero shares one magnitude the
+    // whole row contribution is step * mag * (integer count), computable with
+    // word-parallel AND/popcount over the sign planes — exact, no rounding.
+    float mag = 0.0f;
+    bool uniform = true;
+    for (int i = 0; i < k; ++i) {
+      const float v = xr[i];
+      if (v == 0.0f) continue;
+      const float av = std::fabs(v);
+      if (mag == 0.0f)
+        mag = av;
+      else if (av != mag) {
+        uniform = false;
+        break;
+      }
+    }
+    if (uniform && mag == 0.0f) continue;  // all-zero row contributes nothing
+    if (uniform) {
+      std::fill(xp, xp + nwords, 0u);
+      std::fill(xn, xn + nwords, 0u);
+      for (int i = 0; i < k; ++i) {
+        const float v = xr[i];
+        if (v > 0.0f)
+          xp[static_cast<std::size_t>(i) >> 6] |= std::uint64_t{1} << (i & 63);
+        else if (v < 0.0f)
+          xn[static_cast<std::size_t>(i) >> 6] |= std::uint64_t{1} << (i & 63);
+      }
+      const float scale = w.step * mag;
+      ternary_cols()(xp, xn, w.col_words.data(), n, nwords, scale, yr);
+    } else {
+      // General activations: walk each sign plane's set bits in ascending i
+      // order (fixed deterministic accumulation), adds/subtracts only.
+      const std::uint64_t* col = w.col_words.data();
+      for (int j = 0; j < n; ++j, col += 2 * nwords) {
+        float sp = 0.0f, sn = 0.0f;
+        for (int t = 0; t < nwords; ++t) {
+          const int base = t << 6;
+          std::uint64_t wv = col[t];
+          while (wv != 0) {
+            sp += xr[base + std::countr_zero(wv)];
+            wv &= wv - 1;
+          }
+          wv = col[nwords + t];
+          while (wv != 0) {
+            sn += xr[base + std::countr_zero(wv)];
+            wv &= wv - 1;
+          }
+        }
+        yr[j] += w.step * (sp - sn);
+      }
+    }
+  }
+}
+
+void ternary_matmul_ternary_x(const float* x, int m, int ldx, float x_step,
+                              const PackedTernary& w, float* y, int ldy) {
+  const int k = w.rows, n = w.cols;
+  if (m <= 0 || k <= 0 || n <= 0) return;
+  const int nwords = w.words_per_plane;
+  const float s = std::max(x_step, 1e-6f);
+  // clamp(round(x / s), -1, +1) as sign thresholds: +1 iff x >= s/2, -1 iff
+  // x <= -s/2 (round halves away from zero). This skips materialising the
+  // fake-quantized activation tensor entirely — raw activations quantize
+  // straight into the sign planes.
+  const float hi = 0.5f * s;
+  const float scale = w.step * s;
+  std::uint64_t* const xp = sign_plane_scratch(nwords);
+  std::uint64_t* const xn = xp + nwords;
+  for (int r = 0; r < m; ++r) {
+    const float* xr = x + static_cast<std::size_t>(r) * ldx;
+    std::fill(xp, xp + nwords, 0u);
+    std::fill(xn, xn + nwords, 0u);
+    for (int i = 0; i < k; ++i) {
+      const float v = xr[i];
+      if (v >= hi)
+        xp[static_cast<std::size_t>(i) >> 6] |= std::uint64_t{1} << (i & 63);
+      else if (v <= -hi)
+        xn[static_cast<std::size_t>(i) >> 6] |= std::uint64_t{1} << (i & 63);
+    }
+    ternary_cols()(xp, xn, w.col_words.data(), n, nwords, scale,
+                   y + static_cast<std::size_t>(r) * ldy);
+  }
+}
+
+}  // namespace ascend::nn::gemm

@@ -1,0 +1,94 @@
+#pragma once
+// gemm.h — blocked/tiled f32 GEMM kernel subsystem and the multiply-free
+// packed-ternary matmul that serves ternary Linear layers.
+//
+// Dense kernels are cache-blocked and register-tiled: A and B blocks are
+// packed into MR-/NR-interleaved panels so the micro-kernel's innermost loops
+// stream contiguously and auto-vectorize, with an MR x NR accumulator tile
+// the compiler keeps in vector registers across the whole contraction.
+//
+// Determinism: the accumulation order of every output element is fixed —
+// the contraction dimension is walked ascending inside each K block and K
+// blocks fold into C in ascending order. The optional row-band parallelism
+// (GemmOptions) partitions *rows*, which never changes any element's
+// operation order, so results are bit-identical run-to-run and across thread
+// counts.
+//
+// Backend selection: the matmul/matmul_tn/matmul_nt wrappers in ops.h (and
+// Linear's packed-ternary serving path) consult backend(), initialised once
+// from the ASCEND_GEMM environment variable — "reference" selects the seed's
+// naive scalar loops for bit-exact reproduction of pre-kernel results;
+// anything else (or unset) selects the blocked kernels. set_backend()
+// overrides programmatically (tests/benches; not thread-safe against
+// in-flight GEMM calls).
+
+#include <cstdint>
+
+#include "nn/quant.h"  // PackedTernary
+
+namespace ascend::runtime {
+class ThreadPool;  // optional row-band parallelism; resolved via the runtime lib
+}
+
+namespace ascend::nn::gemm {
+
+enum class Backend { kBlocked, kReference };
+
+/// Active kernel backend (env-initialised; see header comment).
+Backend backend();
+/// Override the backend for this process (tests/benches only).
+void set_backend(Backend b);
+
+/// Row-band parallelism knobs for one GEMM call. Default is serial. When
+/// `pool` is set, row bands run on it via ThreadPool::parallel_for (do not
+/// call from inside a task of the same pool — caller-waits would deadlock).
+/// Otherwise `threads > 1` uses OpenMP bands when the build has OpenMP and
+/// falls back to serial when it does not. Either way the row partitioning is
+/// numerically invisible (see determinism note above).
+struct GemmOptions {
+  int threads = 1;
+  runtime::ThreadPool* pool = nullptr;
+};
+
+/// Pointer-level strided kernels. All ACCUMULATE into C (callers pass
+/// zero-initialised or pre-loaded C); ld* are row strides of the *stored*
+/// matrices, which lets attention read Q/K/V panels straight out of a fused
+/// qkv projection and write per-head context tiles into the merged output.
+///
+/// C[m,n] += A[m,k] * B[k,n].
+void gemm_nn(int m, int n, int k, const float* a, int lda, const float* b, int ldb, float* c,
+             int ldc, const GemmOptions& opts = {});
+/// C[m,n] += A^T * B with A stored [k,m].
+void gemm_tn(int m, int n, int k, const float* a, int lda, const float* b, int ldb, float* c,
+             int ldc, const GemmOptions& opts = {});
+/// C[m,n] += A * B^T with B stored [n,k].
+void gemm_nt(int m, int n, int k, const float* a, int lda, const float* b, int ldb, float* c,
+             int ldc, const GemmOptions& opts = {});
+
+/// Thread count the ops.h wrappers pass for an m*n*k-flop product: matches
+/// the seed's OpenMP heuristic (parallel above 16384 multiply-adds, serial
+/// below; always 1 without OpenMP).
+int recommended_threads(long long m, long long n, long long k);
+
+/// Multiply-free packed-ternary matmul:
+///   y[r, j] += step * (sum_{i in P_j} x[r, i] - sum_{i in N_j} x[r, i])
+/// with P_j/N_j the word-packed sign planes of `w` (see PackedTernary).
+/// x is row-major [m, w.rows] with row stride ldx; y is [m, w.cols] with row
+/// stride ldy and is accumulated into. Rows whose nonzeros share one
+/// magnitude (ternary-quantized activations — the W2A2 serving case) take a
+/// word-parallel AND/popcount path; other rows fall back to sign-plane bit
+/// iteration. Both paths accumulate in a fixed i-ascending order per output
+/// and are deterministic; neither multiplies inside the contraction.
+void ternary_matmul(const float* x, int m, int ldx, const PackedTernary& w, float* y, int ldy);
+
+/// Fused W2A2 serving kernel: quantizes the *raw* activations ternary with
+/// step `x_step` (levels -1/0/+1 via the thresholds x >= x_step/2 /
+/// x <= -x_step/2, i.e. clamp(round(x / x_step), -1, +1) with halves away
+/// from zero) straight into sign planes — no fake-quantized activation
+/// tensor is materialised — then popcount-correlates them against the weight
+/// planes: y[r, j] += w.step * x_step * (signed plane correlation). Agrees
+/// with quantize-then-ternary_matmul up to boundary rounding of x / x_step.
+void ternary_matmul_ternary_x(const float* x, int m, int ldx, float x_step,
+                              const PackedTernary& w, float* y, int ldy);
+
+}  // namespace ascend::nn::gemm

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "nn/gemm.h"
+
 namespace ascend::nn {
 
 // ---------------------------------------------------------------------------
@@ -35,10 +37,36 @@ Tensor Linear::forward(const Tensor& x) {
 
 Tensor Linear::infer(const Tensor& x) const {
   if (x.rank() != 2 || x.dim(1) != in_) throw std::invalid_argument("Linear::infer: bad input");
-  const Tensor xq = input_quant_.infer(x);
-  // Weights are immutable while serving: quantize once, serve the snapshot.
-  const Tensor& wq = weight_quant_.frozen_infer(w_.value);
-  Tensor y = matmul(xq, wq);
+  const bool ternary_w =
+      weight_quant_.enabled() && weight_quant_.spec().qn == -1 && weight_quant_.spec().qp == 1;
+  // The multiply-free kernel only beats dense GEMM when the activations are
+  // ternary too (the W2A2 serving regime): quantized rows then hit its
+  // word-parallel popcount path. Ternary weights against full-precision or
+  // multi-bit activations serve dense — the sign-plane bit-iteration
+  // fallback would be slower than the blocked kernels.
+  const bool ternary_a =
+      input_quant_.enabled() && input_quant_.spec().qn == -1 && input_quant_.spec().qp == 1;
+  Tensor y;
+  if (ternary_w && ternary_a && gemm::backend() != gemm::Backend::kReference) {
+    // Serve the word-packed sign planes through the multiply-free kernel
+    // (adds/subtracts only; see gemm::ternary_matmul).
+    const PackedTernary& pt = weight_quant_.frozen_packed_ternary(w_.value);
+    y = Tensor({x.dim(0), out_});
+    const float a_step = input_quant_.step();
+    if (input_quant_.calibrated() && a_step > 0.0f) {
+      // W2A2: raw activations quantize straight into sign planes (no
+      // fake-quantized tensor), then popcount-correlate.
+      gemm::ternary_matmul_ternary_x(x.data(), x.dim(0), in_, a_step, pt, y.data(), out_);
+    } else {
+      const Tensor xq = input_quant_.infer(x);
+      gemm::ternary_matmul(xq.data(), xq.dim(0), in_, pt, y.data(), out_);
+    }
+  } else {
+    // Weights are immutable while serving: quantize once, serve the snapshot.
+    const Tensor xq = input_quant_.infer(x);
+    const Tensor& wq = weight_quant_.frozen_infer(w_.value);
+    y = matmul(xq, wq);
+  }
   if (has_bias_) {
     const int n = y.dim(0);
     for (int r = 0; r < n; ++r)
@@ -174,10 +202,20 @@ BatchNorm::BatchNorm(int features, float eps, float momentum)
   running_var_ = Tensor({features_}, 1.0f);
 }
 
+void BatchNorm::thaw() {
+  std::lock_guard<std::mutex> lock(snap_mu_);
+  snap_valid_.store(false, std::memory_order_release);
+  snap_scale_.clear();
+  snap_shift_.clear();
+}
+
 Tensor BatchNorm::forward(const Tensor& x, bool training) {
   if (x.rank() != 2 || x.dim(1) != features_)
     throw std::invalid_argument("BatchNorm::forward: bad input");
   if (!training) return infer(x);
+  // Training is about to move the running stats (and the optimizer will move
+  // gamma/beta next): any frozen serving snapshot is stale from here on.
+  if (snap_valid_.load(std::memory_order_relaxed)) thaw();
   const int rows = x.dim(0);
   Tensor y(x.shape());
   cached_rows_ = rows;
@@ -208,15 +246,32 @@ Tensor BatchNorm::forward(const Tensor& x, bool training) {
 Tensor BatchNorm::infer(const Tensor& x) const {
   if (x.rank() != 2 || x.dim(1) != features_)
     throw std::invalid_argument("BatchNorm::infer: bad input");
-  const int rows = x.dim(0);
-  Tensor y(x.shape());
-  for (int r = 0; r < rows; ++r)
-    for (int c = 0; c < features_; ++c) {
-      const float inv = 1.0f / std::sqrt(running_var_[static_cast<std::size_t>(c)] + eps_);
-      y.at(r, c) = (x.at(r, c) - running_mean_[static_cast<std::size_t>(c)]) * inv *
-                       gamma_.value[static_cast<std::size_t>(c)] +
-                   beta_.value[static_cast<std::size_t>(c)];
+  // Serve from the frozen per-channel scale/shift (built on first use;
+  // double-checked so concurrent first infers race safely).
+  if (!snap_valid_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(snap_mu_);
+    if (!snap_valid_.load(std::memory_order_relaxed)) {
+      snap_scale_.assign(static_cast<std::size_t>(features_), 0.0f);
+      snap_shift_.assign(static_cast<std::size_t>(features_), 0.0f);
+      for (int c = 0; c < features_; ++c) {
+        const std::size_t ci = static_cast<std::size_t>(c);
+        const float scale =
+            gamma_.value[ci] / std::sqrt(running_var_[ci] + eps_);
+        snap_scale_[ci] = scale;
+        snap_shift_[ci] = beta_.value[ci] - running_mean_[ci] * scale;
+      }
+      snap_valid_.store(true, std::memory_order_release);
     }
+  }
+  const int rows = x.dim(0);
+  const float* scale = snap_scale_.data();
+  const float* shift = snap_shift_.data();
+  Tensor y(x.shape());
+  for (int r = 0; r < rows; ++r) {
+    const float* xr = x.data() + static_cast<std::size_t>(r) * features_;
+    float* yr = y.data() + static_cast<std::size_t>(r) * features_;
+    for (int c = 0; c < features_; ++c) yr[c] = xr[c] * scale[c] + shift[c];
+  }
   return y;
 }
 

@@ -12,6 +12,8 @@
 // initialised by a prior forward); see LsqQuantizer::infer for the
 // uncalibrated fallback.
 
+#include <atomic>
+#include <mutex>
 #include <vector>
 
 #include "nn/ops.h"
@@ -27,11 +29,18 @@ namespace ascend::nn {
 /// Serving-path weight snapshot: the weight matrix is immutable while
 /// serving, so infer() quantizes it through the weight quantizer's frozen
 /// snapshot (LsqQuantizer::frozen_infer) — built lazily on the first infer()
-/// and bit-exact with per-call re-quantization. The snapshot is invalidated
-/// ("thawed") by any training-path forward()/backward(), by
-/// set_weight_quant()/set_input_quant() (the apply_precision path), and by
-/// thaw(). Mutating weight() directly outside the training loop requires a
-/// manual thaw() before the next infer().
+/// and bit-exact with per-call re-quantization. Under ternary weight AND
+/// input specs (the W2A2 serving regime) infer() instead serves from the
+/// packed-ternary snapshot (LsqQuantizer::frozen_packed_ternary) through the
+/// multiply-free gemm::ternary_matmul kernel — adds/subtracts over
+/// word-packed sign bit-planes; dense blocked GEMM otherwise (including
+/// ternary weights against non-ternary activations, where the sign-plane
+/// fallback would lose to the blocked kernels). ASCEND_GEMM=reference disables
+/// the packed path too, reproducing the seed's dense behaviour bit-exactly.
+/// Every snapshot is invalidated ("thawed") by any training-path
+/// forward()/backward(), by set_weight_quant()/set_input_quant() (the
+/// apply_precision path), and by thaw(). Mutating weight() directly outside
+/// the training loop requires a manual thaw() before the next infer().
 class Linear {
  public:
   Linear(int in_features, int out_features, Rng& rng, bool bias = true);
@@ -88,12 +97,28 @@ class LayerNorm {
 
 /// BatchNorm over the first dimension of a rank-2 tensor (ASCEND replaces
 /// LN with BN for SC-friendliness; tokens and batch are flattened together).
+///
+/// Eval-mode snapshot: running stats and gamma/beta are immutable while
+/// serving, so infer() folds them once into per-channel scale/shift
+/// (scale_c = gamma_c / sqrt(var_c + eps), shift_c = beta_c - mean_c *
+/// scale_c) and evaluates y = x * scale + shift — one multiply-add per
+/// element instead of a sqrt/divide chain. The snapshot is built lazily on
+/// the first infer() (double-checked under an internal mutex, so concurrent
+/// first infers are safe) and thawed by any training-path forward(x, true).
+/// Mutating gamma()/beta()/running stats by other means (an optimizer step,
+/// copy_weights_from) requires a manual thaw() before the next infer() — in
+/// the training loop this holds automatically because every optimizer step
+/// is preceded by a training forward.
 class BatchNorm {
  public:
   explicit BatchNorm(int features, float eps = 1e-5f, float momentum = 0.1f);
   Tensor forward(const Tensor& x, bool training);
   Tensor backward(const Tensor& grad_out);
   Tensor infer(const Tensor& x) const;  ///< eval-mode normalisation off running stats
+  /// Drop the frozen scale/shift snapshot; the next infer() rebuilds it.
+  void thaw();
+  /// True while a frozen snapshot is live (exposed for tests/benches).
+  bool frozen() const { return snap_valid_.load(std::memory_order_acquire); }
   void collect_params(std::vector<Param*>& out);
   Param& gamma() { return gamma_; }
   Param& beta() { return beta_; }
@@ -108,6 +133,11 @@ class BatchNorm {
   Tensor cached_xhat_;
   std::vector<float> cached_invstd_;
   int cached_rows_ = 0;
+  // Frozen per-channel scale/shift (see class comment): guarded by snap_mu_
+  // for building, published through the acquire/release flag.
+  mutable std::mutex snap_mu_;
+  mutable std::atomic<bool> snap_valid_{false};
+  mutable std::vector<float> snap_scale_, snap_shift_;
 };
 
 /// Elementwise GELU layer.

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "nn/gemm.h"
+
 namespace ascend::nn {
 namespace {
 
@@ -12,6 +14,14 @@ void check_rank2(const Tensor& t, const char* who) {
 
 constexpr float kInvSqrt2 = 0.7071067811865475f;
 constexpr float kInvSqrt2Pi = 0.3989422804014327f;
+
+bool use_reference_gemm() { return gemm::backend() == gemm::Backend::kReference; }
+
+gemm::GemmOptions default_gemm_options(int m, int n, int k) {
+  gemm::GemmOptions opts;
+  opts.threads = gemm::recommended_threads(m, n, k);
+  return opts;
+}
 
 }  // namespace
 
@@ -24,6 +34,11 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
+  if (!use_reference_gemm()) {
+    gemm::gemm_nn(m, n, k, pa, k, pb, n, pc, n, default_gemm_options(m, n, k));
+    return c;
+  }
+  // ASCEND_GEMM=reference: the seed's naive loops, verbatim.
 #pragma omp parallel for schedule(static) if (static_cast<long long>(m) * n * k > 16384)
   for (int i = 0; i < m; ++i) {
     float* crow = pc + static_cast<std::size_t>(i) * n;
@@ -46,6 +61,10 @@ Tensor matmul_tn(const Tensor& a_kxm, const Tensor& b_kxn) {
   const float* pa = a_kxm.data();
   const float* pb = b_kxn.data();
   float* pc = c.data();
+  if (!use_reference_gemm()) {
+    gemm::gemm_tn(m, n, k, pa, m, pb, n, pc, n, default_gemm_options(m, n, k));
+    return c;
+  }
 #pragma omp parallel for schedule(static) if (static_cast<long long>(m) * n * k > 16384)
   for (int i = 0; i < m; ++i) {
     float* crow = pc + static_cast<std::size_t>(i) * n;
@@ -68,6 +87,11 @@ Tensor matmul_nt(const Tensor& a_mxn, const Tensor& b_kxn) {
   const float* pa = a_mxn.data();
   const float* pb = b_kxn.data();
   float* pc = c.data();
+  if (!use_reference_gemm()) {
+    // C[m, k] = A[m, n] * B[k, n]^T: contraction over n.
+    gemm::gemm_nt(m, k, n, pa, n, pb, n, pc, k, default_gemm_options(m, k, n));
+    return c;
+  }
 #pragma omp parallel for schedule(static) if (static_cast<long long>(m) * n * k > 16384)
   for (int i = 0; i < m; ++i) {
     const float* arow = pa + static_cast<std::size_t>(i) * n;

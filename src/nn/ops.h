@@ -1,5 +1,9 @@
 #pragma once
-// ops.h — tensor kernels (OpenMP-parallel matmuls, activations, softmax).
+// ops.h — tensor kernels (matmuls, activations, softmax).
+//
+// The matmul wrappers dispatch to the blocked/tiled kernels in nn/gemm.h by
+// default; set ASCEND_GEMM=reference (or gemm::set_backend) to select the
+// seed's naive scalar loops for bit-exact reproduction of pre-kernel results.
 
 #include "nn/tensor.h"
 

@@ -58,6 +58,12 @@ class BitVec {
   /// True when every 1 bit precedes every 0 bit (canonical thermometer order).
   bool is_sorted_descending() const;
 
+  /// Raw word-packed storage (bit i lives at word i/64, bit i%64; tail bits
+  /// beyond size() are kept zero). Exposed for word-parallel kernels that
+  /// AND/popcount packed planes without per-bit get() calls.
+  const std::uint64_t* words() const { return words_.data(); }
+  std::size_t word_count() const { return words_.size(); }
+
  private:
   void check_same_size(const BitVec& o) const;
   void mask_tail();

@@ -11,8 +11,12 @@
 #include <thread>
 #include <vector>
 
+#include "nn/gemm.h"
+#include "nn/module.h"
+#include "nn/rng.h"
 #include "runtime/batcher.h"
 #include "runtime/engine.h"
+#include "runtime/thread_pool.h"
 #include "vit/dataset.h"
 #include "vit/model.h"
 
@@ -297,4 +301,85 @@ TEST(EngineBackpressure, RejectPolicySurfacesThroughSubmit) {
   EXPECT_GT(rejected, 0);
   ASSERT_FALSE(accepted.empty());
   for (auto& f : accepted) EXPECT_GE(f.get().label, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Frozen-snapshot double-checked builds and pool-parallel GEMM under threads
+// (the TSan CI job drives these).
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotConcurrency, ConcurrentBatchNormFirstInferAgrees) {
+  nn::BatchNorm bn(8);
+  nn::Rng rng(33);
+  nn::Tensor xt({16, 8});
+  rng.fill_normal(xt, 0.2f, 1.1f);
+  (void)bn.forward(xt, /*training=*/true);
+
+  nn::Tensor x({6, 8});
+  rng.fill_normal(x, 0, 1);
+  // All threads race the first snapshot build (double-checked under the
+  // internal mutex); every result must be identical.
+  constexpr int kThreads = 8;
+  std::vector<nn::Tensor> results(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  const nn::BatchNorm& cbn = bn;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&, t] { results[static_cast<std::size_t>(t)] = cbn.infer(x); });
+  for (auto& t : threads) t.join();
+  EXPECT_TRUE(bn.frozen());
+  for (int t = 1; t < kThreads; ++t)
+    for (std::size_t i = 0; i < results[0].size(); ++i)
+      ASSERT_EQ(results[static_cast<std::size_t>(t)][i], results[0][i]) << "thread " << t;
+}
+
+TEST(SnapshotConcurrency, ConcurrentPackedTernaryFirstInferAgrees) {
+  nn::Rng rng(34);
+  nn::Linear lin(32, 24, rng);
+  lin.set_weight_quant(nn::QuantSpec::ternary());
+  lin.set_input_quant(nn::QuantSpec::ternary());
+  nn::Tensor x({4, 32});
+  rng.fill_normal(x, 0, 1);
+  (void)lin.forward(x);  // latch steps; thaws any snapshot
+
+  constexpr int kThreads = 8;
+  std::vector<nn::Tensor> results(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  const nn::Linear& clin = lin;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&, t] { results[static_cast<std::size_t>(t)] = clin.infer(x); });
+  for (auto& t : threads) t.join();
+  for (int t = 1; t < kThreads; ++t)
+    for (std::size_t i = 0; i < results[0].size(); ++i)
+      ASSERT_EQ(results[static_cast<std::size_t>(t)][i], results[0][i]) << "thread " << t;
+}
+
+TEST(GemmConcurrency, PoolParallelCallersFromManyThreads) {
+  // Caller threads sharing one pool for row-band-parallel GEMM: TSan probes
+  // the pool handoff, and every caller must reproduce the serial product.
+  nn::Rng rng(35);
+  const int m = 320, k = 48, n = 40;
+  nn::Tensor a({m, k}), b({k, n});
+  rng.fill_normal(a, 0, 1);
+  rng.fill_normal(b, 0, 1);
+  nn::Tensor serial({m, n});
+  nn::gemm::gemm_nn(m, n, k, a.data(), k, b.data(), n, serial.data(), n);
+
+  runtime::ThreadPool pool(3);
+  constexpr int kCallers = 4;
+  std::vector<nn::Tensor> results(kCallers, nn::Tensor({m, n}));
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int t = 0; t < kCallers; ++t)
+    callers.emplace_back([&, t] {
+      nn::gemm::GemmOptions opts;
+      opts.pool = &pool;
+      nn::gemm::gemm_nn(m, n, k, a.data(), k, b.data(), n,
+                        results[static_cast<std::size_t>(t)].data(), n, opts);
+    });
+  for (auto& t : callers) t.join();
+  for (int t = 0; t < kCallers; ++t)
+    for (std::size_t i = 0; i < serial.size(); ++i)
+      ASSERT_EQ(results[static_cast<std::size_t>(t)][i], serial[i]) << "caller " << t;
 }

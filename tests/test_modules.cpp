@@ -275,6 +275,38 @@ TEST(InferPath, BatchNormBitExactWithEvalForward) {
   expect_bitwise_equal(bn.infer(x), bn.forward(x, /*training=*/false), "batchnorm");
 }
 
+TEST(InferPath, BatchNormFrozenSnapshotThawRules) {
+  BatchNorm bn(4);
+  Rng rng(23);
+  Tensor xt({8, 4});
+  rng.fill_normal(xt, 0.3f, 1.2f);
+  (void)bn.forward(xt, /*training=*/true);
+
+  Tensor x({5, 4});
+  rng.fill_normal(x, 0, 1);
+  const Tensor first = bn.infer(x);
+  EXPECT_TRUE(bn.frozen()) << "infer must freeze the per-channel scale/shift";
+  expect_bitwise_equal(bn.infer(x), first, "snapshot serving is deterministic");
+
+  // A training forward moves the running stats and must thaw.
+  Tensor xt2({8, 4});
+  rng.fill_normal(xt2, -0.8f, 2.0f);
+  (void)bn.forward(xt2, /*training=*/true);
+  EXPECT_FALSE(bn.frozen()) << "training forward must thaw the snapshot";
+  const Tensor second = bn.infer(x);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < second.size(); ++i) any_diff = any_diff || second[i] != first[i];
+  EXPECT_TRUE(any_diff) << "rebuilt snapshot must reflect the updated stats";
+
+  // Out-of-band stat edits require a manual thaw (same contract as Linear).
+  bn.running_var()[0] *= 4.0f;
+  bn.thaw();
+  EXPECT_FALSE(bn.frozen());
+  const Tensor third = bn.infer(x);
+  EXPECT_NE(third.at(0, 0), second.at(0, 0));
+  expect_bitwise_equal(bn.infer(x), third, "rebuilt snapshot serves consistently");
+}
+
 TEST(InferPath, GeluBitExactWithForward) {
   Gelu gelu;
   Rng rng(16);
