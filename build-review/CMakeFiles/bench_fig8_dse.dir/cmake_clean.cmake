@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_dse.dir/bench/bench_fig8_dse.cpp.o"
+  "CMakeFiles/bench_fig8_dse.dir/bench/bench_fig8_dse.cpp.o.d"
+  "bench_fig8_dse"
+  "bench_fig8_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_runtime_throughput.dir/bench/bench_runtime_throughput.cpp.o"
+  "CMakeFiles/bench_runtime_throughput.dir/bench/bench_runtime_throughput.cpp.o.d"
+  "bench_runtime_throughput"
+  "bench_runtime_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_runtime_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

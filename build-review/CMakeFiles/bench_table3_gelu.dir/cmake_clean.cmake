@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_gelu.dir/bench/bench_table3_gelu.cpp.o"
+  "CMakeFiles/bench_table3_gelu.dir/bench/bench_table3_gelu.cpp.o.d"
+  "bench_table3_gelu"
+  "bench_table3_gelu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_gelu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_softmax.dir/bench/bench_table4_softmax.cpp.o"
+  "CMakeFiles/bench_table4_softmax.dir/bench/bench_table4_softmax.cpp.o.d"
+  "bench_table4_softmax"
+  "bench_table4_softmax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_softmax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_accelerator.dir/bench/bench_table6_accelerator.cpp.o"
+  "CMakeFiles/bench_table6_accelerator.dir/bench/bench_table6_accelerator.cpp.o.d"
+  "bench_table6_accelerator"
+  "bench_table6_accelerator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_accelerator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core.dir/src/core/accelerator.cpp.o"
+  "CMakeFiles/core.dir/src/core/accelerator.cpp.o.d"
+  "CMakeFiles/core.dir/src/core/dse.cpp.o"
+  "CMakeFiles/core.dir/src/core/dse.cpp.o.d"
+  "libcore.a"
+  "libcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

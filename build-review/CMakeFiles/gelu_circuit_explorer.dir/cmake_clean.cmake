@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gelu_circuit_explorer.dir/examples/gelu_circuit_explorer.cpp.o"
+  "CMakeFiles/gelu_circuit_explorer.dir/examples/gelu_circuit_explorer.cpp.o.d"
+  "gelu_circuit_explorer"
+  "gelu_circuit_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gelu_circuit_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

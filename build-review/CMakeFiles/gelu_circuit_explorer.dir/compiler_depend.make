@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gelu_circuit_explorer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/cell_library.cpp" "CMakeFiles/hw.dir/src/hw/cell_library.cpp.o" "gcc" "CMakeFiles/hw.dir/src/hw/cell_library.cpp.o.d"
+  "/root/repo/src/hw/cost_model.cpp" "CMakeFiles/hw.dir/src/hw/cost_model.cpp.o" "gcc" "CMakeFiles/hw.dir/src/hw/cost_model.cpp.o.d"
+  "/root/repo/src/hw/gate_inventory.cpp" "CMakeFiles/hw.dir/src/hw/gate_inventory.cpp.o" "gcc" "CMakeFiles/hw.dir/src/hw/gate_inventory.cpp.o.d"
+  "/root/repo/src/hw/report.cpp" "CMakeFiles/hw.dir/src/hw/report.cpp.o" "gcc" "CMakeFiles/hw.dir/src/hw/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/CMakeFiles/sc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw.dir/src/hw/cell_library.cpp.o"
+  "CMakeFiles/hw.dir/src/hw/cell_library.cpp.o.d"
+  "CMakeFiles/hw.dir/src/hw/cost_model.cpp.o"
+  "CMakeFiles/hw.dir/src/hw/cost_model.cpp.o.d"
+  "CMakeFiles/hw.dir/src/hw/gate_inventory.cpp.o"
+  "CMakeFiles/hw.dir/src/hw/gate_inventory.cpp.o.d"
+  "CMakeFiles/hw.dir/src/hw/report.cpp.o"
+  "CMakeFiles/hw.dir/src/hw/report.cpp.o.d"
+  "libhw.a"
+  "libhw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

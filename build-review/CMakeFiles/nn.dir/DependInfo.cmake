@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/approx_softmax.cpp" "CMakeFiles/nn.dir/src/nn/approx_softmax.cpp.o" "gcc" "CMakeFiles/nn.dir/src/nn/approx_softmax.cpp.o.d"
+  "/root/repo/src/nn/attention.cpp" "CMakeFiles/nn.dir/src/nn/attention.cpp.o" "gcc" "CMakeFiles/nn.dir/src/nn/attention.cpp.o.d"
+  "/root/repo/src/nn/gemm.cpp" "CMakeFiles/nn.dir/src/nn/gemm.cpp.o" "gcc" "CMakeFiles/nn.dir/src/nn/gemm.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "CMakeFiles/nn.dir/src/nn/loss.cpp.o" "gcc" "CMakeFiles/nn.dir/src/nn/loss.cpp.o.d"
+  "/root/repo/src/nn/module.cpp" "CMakeFiles/nn.dir/src/nn/module.cpp.o" "gcc" "CMakeFiles/nn.dir/src/nn/module.cpp.o.d"
+  "/root/repo/src/nn/ops.cpp" "CMakeFiles/nn.dir/src/nn/ops.cpp.o" "gcc" "CMakeFiles/nn.dir/src/nn/ops.cpp.o.d"
+  "/root/repo/src/nn/optim.cpp" "CMakeFiles/nn.dir/src/nn/optim.cpp.o" "gcc" "CMakeFiles/nn.dir/src/nn/optim.cpp.o.d"
+  "/root/repo/src/nn/quant.cpp" "CMakeFiles/nn.dir/src/nn/quant.cpp.o" "gcc" "CMakeFiles/nn.dir/src/nn/quant.cpp.o.d"
+  "/root/repo/src/nn/tensor.cpp" "CMakeFiles/nn.dir/src/nn/tensor.cpp.o" "gcc" "CMakeFiles/nn.dir/src/nn/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/CMakeFiles/sc.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/runtime.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/vit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn.dir/src/nn/approx_softmax.cpp.o"
+  "CMakeFiles/nn.dir/src/nn/approx_softmax.cpp.o.d"
+  "CMakeFiles/nn.dir/src/nn/attention.cpp.o"
+  "CMakeFiles/nn.dir/src/nn/attention.cpp.o.d"
+  "CMakeFiles/nn.dir/src/nn/gemm.cpp.o"
+  "CMakeFiles/nn.dir/src/nn/gemm.cpp.o.d"
+  "CMakeFiles/nn.dir/src/nn/loss.cpp.o"
+  "CMakeFiles/nn.dir/src/nn/loss.cpp.o.d"
+  "CMakeFiles/nn.dir/src/nn/module.cpp.o"
+  "CMakeFiles/nn.dir/src/nn/module.cpp.o.d"
+  "CMakeFiles/nn.dir/src/nn/ops.cpp.o"
+  "CMakeFiles/nn.dir/src/nn/ops.cpp.o.d"
+  "CMakeFiles/nn.dir/src/nn/optim.cpp.o"
+  "CMakeFiles/nn.dir/src/nn/optim.cpp.o.d"
+  "CMakeFiles/nn.dir/src/nn/quant.cpp.o"
+  "CMakeFiles/nn.dir/src/nn/quant.cpp.o.d"
+  "CMakeFiles/nn.dir/src/nn/tensor.cpp.o"
+  "CMakeFiles/nn.dir/src/nn/tensor.cpp.o.d"
+  "libnn.a"
+  "libnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

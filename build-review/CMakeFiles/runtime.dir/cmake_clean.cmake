@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime.dir/src/runtime/batcher.cpp.o"
+  "CMakeFiles/runtime.dir/src/runtime/batcher.cpp.o.d"
+  "CMakeFiles/runtime.dir/src/runtime/engine.cpp.o"
+  "CMakeFiles/runtime.dir/src/runtime/engine.cpp.o.d"
+  "CMakeFiles/runtime.dir/src/runtime/tf_cache.cpp.o"
+  "CMakeFiles/runtime.dir/src/runtime/tf_cache.cpp.o.d"
+  "CMakeFiles/runtime.dir/src/runtime/thread_pool.cpp.o"
+  "CMakeFiles/runtime.dir/src/runtime/thread_pool.cpp.o.d"
+  "libruntime.a"
+  "libruntime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sc/bernstein.cpp" "CMakeFiles/sc.dir/src/sc/bernstein.cpp.o" "gcc" "CMakeFiles/sc.dir/src/sc/bernstein.cpp.o.d"
+  "/root/repo/src/sc/bitvec.cpp" "CMakeFiles/sc.dir/src/sc/bitvec.cpp.o" "gcc" "CMakeFiles/sc.dir/src/sc/bitvec.cpp.o.d"
+  "/root/repo/src/sc/bsn.cpp" "CMakeFiles/sc.dir/src/sc/bsn.cpp.o" "gcc" "CMakeFiles/sc.dir/src/sc/bsn.cpp.o.d"
+  "/root/repo/src/sc/fsm_units.cpp" "CMakeFiles/sc.dir/src/sc/fsm_units.cpp.o" "gcc" "CMakeFiles/sc.dir/src/sc/fsm_units.cpp.o.d"
+  "/root/repo/src/sc/gate_si.cpp" "CMakeFiles/sc.dir/src/sc/gate_si.cpp.o" "gcc" "CMakeFiles/sc.dir/src/sc/gate_si.cpp.o.d"
+  "/root/repo/src/sc/si.cpp" "CMakeFiles/sc.dir/src/sc/si.cpp.o" "gcc" "CMakeFiles/sc.dir/src/sc/si.cpp.o.d"
+  "/root/repo/src/sc/sng.cpp" "CMakeFiles/sc.dir/src/sc/sng.cpp.o" "gcc" "CMakeFiles/sc.dir/src/sc/sng.cpp.o.d"
+  "/root/repo/src/sc/softmax_fsm.cpp" "CMakeFiles/sc.dir/src/sc/softmax_fsm.cpp.o" "gcc" "CMakeFiles/sc.dir/src/sc/softmax_fsm.cpp.o.d"
+  "/root/repo/src/sc/softmax_iter.cpp" "CMakeFiles/sc.dir/src/sc/softmax_iter.cpp.o" "gcc" "CMakeFiles/sc.dir/src/sc/softmax_iter.cpp.o.d"
+  "/root/repo/src/sc/stoch_arith.cpp" "CMakeFiles/sc.dir/src/sc/stoch_arith.cpp.o" "gcc" "CMakeFiles/sc.dir/src/sc/stoch_arith.cpp.o.d"
+  "/root/repo/src/sc/stoch_stream.cpp" "CMakeFiles/sc.dir/src/sc/stoch_stream.cpp.o" "gcc" "CMakeFiles/sc.dir/src/sc/stoch_stream.cpp.o.d"
+  "/root/repo/src/sc/therm_arith.cpp" "CMakeFiles/sc.dir/src/sc/therm_arith.cpp.o" "gcc" "CMakeFiles/sc.dir/src/sc/therm_arith.cpp.o.d"
+  "/root/repo/src/sc/therm_stream.cpp" "CMakeFiles/sc.dir/src/sc/therm_stream.cpp.o" "gcc" "CMakeFiles/sc.dir/src/sc/therm_stream.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc.dir/src/sc/bernstein.cpp.o"
+  "CMakeFiles/sc.dir/src/sc/bernstein.cpp.o.d"
+  "CMakeFiles/sc.dir/src/sc/bitvec.cpp.o"
+  "CMakeFiles/sc.dir/src/sc/bitvec.cpp.o.d"
+  "CMakeFiles/sc.dir/src/sc/bsn.cpp.o"
+  "CMakeFiles/sc.dir/src/sc/bsn.cpp.o.d"
+  "CMakeFiles/sc.dir/src/sc/fsm_units.cpp.o"
+  "CMakeFiles/sc.dir/src/sc/fsm_units.cpp.o.d"
+  "CMakeFiles/sc.dir/src/sc/gate_si.cpp.o"
+  "CMakeFiles/sc.dir/src/sc/gate_si.cpp.o.d"
+  "CMakeFiles/sc.dir/src/sc/si.cpp.o"
+  "CMakeFiles/sc.dir/src/sc/si.cpp.o.d"
+  "CMakeFiles/sc.dir/src/sc/sng.cpp.o"
+  "CMakeFiles/sc.dir/src/sc/sng.cpp.o.d"
+  "CMakeFiles/sc.dir/src/sc/softmax_fsm.cpp.o"
+  "CMakeFiles/sc.dir/src/sc/softmax_fsm.cpp.o.d"
+  "CMakeFiles/sc.dir/src/sc/softmax_iter.cpp.o"
+  "CMakeFiles/sc.dir/src/sc/softmax_iter.cpp.o.d"
+  "CMakeFiles/sc.dir/src/sc/stoch_arith.cpp.o"
+  "CMakeFiles/sc.dir/src/sc/stoch_arith.cpp.o.d"
+  "CMakeFiles/sc.dir/src/sc/stoch_stream.cpp.o"
+  "CMakeFiles/sc.dir/src/sc/stoch_stream.cpp.o.d"
+  "CMakeFiles/sc.dir/src/sc/therm_arith.cpp.o"
+  "CMakeFiles/sc.dir/src/sc/therm_arith.cpp.o.d"
+  "CMakeFiles/sc.dir/src/sc/therm_stream.cpp.o"
+  "CMakeFiles/sc.dir/src/sc/therm_stream.cpp.o.d"
+  "libsc.a"
+  "libsc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

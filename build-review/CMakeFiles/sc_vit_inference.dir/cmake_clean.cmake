@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_vit_inference.dir/examples/sc_vit_inference.cpp.o"
+  "CMakeFiles/sc_vit_inference.dir/examples/sc_vit_inference.cpp.o.d"
+  "sc_vit_inference"
+  "sc_vit_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_vit_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

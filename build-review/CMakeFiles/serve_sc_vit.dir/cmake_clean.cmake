@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serve_sc_vit.dir/examples/serve_sc_vit.cpp.o"
+  "CMakeFiles/serve_sc_vit.dir/examples/serve_sc_vit.cpp.o.d"
+  "serve_sc_vit"
+  "serve_sc_vit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serve_sc_vit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

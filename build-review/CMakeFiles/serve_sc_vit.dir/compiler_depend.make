@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for serve_sc_vit.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_accelerator_dse.dir/tests/test_accelerator_dse.cpp.o"
+  "CMakeFiles/test_accelerator_dse.dir/tests/test_accelerator_dse.cpp.o.d"
+  "test_accelerator_dse"
+  "test_accelerator_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_accelerator_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

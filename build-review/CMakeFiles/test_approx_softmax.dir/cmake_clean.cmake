@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_approx_softmax.dir/tests/test_approx_softmax.cpp.o"
+  "CMakeFiles/test_approx_softmax.dir/tests/test_approx_softmax.cpp.o.d"
+  "test_approx_softmax"
+  "test_approx_softmax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_approx_softmax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_attention.cpp" "CMakeFiles/test_attention.dir/tests/test_attention.cpp.o" "gcc" "CMakeFiles/test_attention.dir/tests/test_attention.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/CMakeFiles/core.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/hw.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/vit.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/runtime.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/nn.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/sc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

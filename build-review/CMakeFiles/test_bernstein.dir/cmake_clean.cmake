@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bernstein.dir/tests/test_bernstein.cpp.o"
+  "CMakeFiles/test_bernstein.dir/tests/test_bernstein.cpp.o.d"
+  "test_bernstein"
+  "test_bernstein.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bernstein.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bitvec.dir/tests/test_bitvec.cpp.o"
+  "CMakeFiles/test_bitvec.dir/tests/test_bitvec.cpp.o.d"
+  "test_bitvec"
+  "test_bitvec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bitvec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bsn.dir/tests/test_bsn.cpp.o"
+  "CMakeFiles/test_bsn.dir/tests/test_bsn.cpp.o.d"
+  "test_bsn"
+  "test_bsn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bsn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

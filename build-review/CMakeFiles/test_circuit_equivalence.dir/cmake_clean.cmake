@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_circuit_equivalence.dir/tests/test_circuit_equivalence.cpp.o"
+  "CMakeFiles/test_circuit_equivalence.dir/tests/test_circuit_equivalence.cpp.o.d"
+  "test_circuit_equivalence"
+  "test_circuit_equivalence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_circuit_equivalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fsm_units.dir/tests/test_fsm_units.cpp.o"
+  "CMakeFiles/test_fsm_units.dir/tests/test_fsm_units.cpp.o.d"
+  "test_fsm_units"
+  "test_fsm_units.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fsm_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gate_si.dir/tests/test_gate_si.cpp.o"
+  "CMakeFiles/test_gate_si.dir/tests/test_gate_si.cpp.o.d"
+  "test_gate_si"
+  "test_gate_si.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gate_si.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_loss_optim.dir/tests/test_loss_optim.cpp.o"
+  "CMakeFiles/test_loss_optim.dir/tests/test_loss_optim.cpp.o.d"
+  "test_loss_optim"
+  "test_loss_optim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_loss_optim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

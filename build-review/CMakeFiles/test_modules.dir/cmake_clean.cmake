@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_modules.dir/tests/test_modules.cpp.o"
+  "CMakeFiles/test_modules.dir/tests/test_modules.cpp.o.d"
+  "test_modules"
+  "test_modules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_modules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

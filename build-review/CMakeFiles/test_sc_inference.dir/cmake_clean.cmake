@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sc_inference.dir/tests/test_sc_inference.cpp.o"
+  "CMakeFiles/test_sc_inference.dir/tests/test_sc_inference.cpp.o.d"
+  "test_sc_inference"
+  "test_sc_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sc_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

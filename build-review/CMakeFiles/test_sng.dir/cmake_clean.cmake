@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sng.dir/tests/test_sng.cpp.o"
+  "CMakeFiles/test_sng.dir/tests/test_sng.cpp.o.d"
+  "test_sng"
+  "test_sng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_softmax_fsm.dir/tests/test_softmax_fsm.cpp.o"
+  "CMakeFiles/test_softmax_fsm.dir/tests/test_softmax_fsm.cpp.o.d"
+  "test_softmax_fsm"
+  "test_softmax_fsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_softmax_fsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

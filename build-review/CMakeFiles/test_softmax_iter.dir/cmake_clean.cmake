@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_softmax_iter.dir/tests/test_softmax_iter.cpp.o"
+  "CMakeFiles/test_softmax_iter.dir/tests/test_softmax_iter.cpp.o.d"
+  "test_softmax_iter"
+  "test_softmax_iter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_softmax_iter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stoch.dir/tests/test_stoch.cpp.o"
+  "CMakeFiles/test_stoch.dir/tests/test_stoch.cpp.o.d"
+  "test_stoch"
+  "test_stoch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stoch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

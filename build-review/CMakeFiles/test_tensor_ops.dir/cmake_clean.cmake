@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tensor_ops.dir/tests/test_tensor_ops.cpp.o"
+  "CMakeFiles/test_tensor_ops.dir/tests/test_tensor_ops.cpp.o.d"
+  "test_tensor_ops"
+  "test_tensor_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tensor_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

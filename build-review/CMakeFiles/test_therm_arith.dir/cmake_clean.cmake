@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_therm_arith.dir/tests/test_therm_arith.cpp.o"
+  "CMakeFiles/test_therm_arith.dir/tests/test_therm_arith.cpp.o.d"
+  "test_therm_arith"
+  "test_therm_arith.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_therm_arith.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

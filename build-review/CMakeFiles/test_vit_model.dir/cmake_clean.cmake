@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vit_model.dir/tests/test_vit_model.cpp.o"
+  "CMakeFiles/test_vit_model.dir/tests/test_vit_model.cpp.o.d"
+  "test_vit_model"
+  "test_vit_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vit_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

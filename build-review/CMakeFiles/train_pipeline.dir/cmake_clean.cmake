@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_pipeline.dir/examples/train_pipeline.cpp.o"
+  "CMakeFiles/train_pipeline.dir/examples/train_pipeline.cpp.o.d"
+  "train_pipeline"
+  "train_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vit/config.cpp" "CMakeFiles/vit.dir/src/vit/config.cpp.o" "gcc" "CMakeFiles/vit.dir/src/vit/config.cpp.o.d"
+  "/root/repo/src/vit/dataset.cpp" "CMakeFiles/vit.dir/src/vit/dataset.cpp.o" "gcc" "CMakeFiles/vit.dir/src/vit/dataset.cpp.o.d"
+  "/root/repo/src/vit/model.cpp" "CMakeFiles/vit.dir/src/vit/model.cpp.o" "gcc" "CMakeFiles/vit.dir/src/vit/model.cpp.o.d"
+  "/root/repo/src/vit/sc_inference.cpp" "CMakeFiles/vit.dir/src/vit/sc_inference.cpp.o" "gcc" "CMakeFiles/vit.dir/src/vit/sc_inference.cpp.o.d"
+  "/root/repo/src/vit/train.cpp" "CMakeFiles/vit.dir/src/vit/train.cpp.o" "gcc" "CMakeFiles/vit.dir/src/vit/train.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/CMakeFiles/nn.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/sc.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vit.dir/src/vit/config.cpp.o"
+  "CMakeFiles/vit.dir/src/vit/config.cpp.o.d"
+  "CMakeFiles/vit.dir/src/vit/dataset.cpp.o"
+  "CMakeFiles/vit.dir/src/vit/dataset.cpp.o.d"
+  "CMakeFiles/vit.dir/src/vit/model.cpp.o"
+  "CMakeFiles/vit.dir/src/vit/model.cpp.o.d"
+  "CMakeFiles/vit.dir/src/vit/sc_inference.cpp.o"
+  "CMakeFiles/vit.dir/src/vit/sc_inference.cpp.o.d"
+  "CMakeFiles/vit.dir/src/vit/train.cpp.o"
+  "CMakeFiles/vit.dir/src/vit/train.cpp.o.d"
+  "libvit.a"
+  "libvit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
