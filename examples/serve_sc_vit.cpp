@@ -1,14 +1,20 @@
-// serve_sc_vit — concurrent clients against the batched SC inference runtime.
+// serve_sc_vit — mixed-priority clients against the model-agnostic serving
+// runtime.
 //
-// Trains a small W2-A2-R16 BN-ViT, stands up a runtime::InferenceEngine
-// (worker pool + dynamic batcher + transfer-function LUT cache), then hammers
-// it from several client threads submitting one image at a time, exactly as a
-// serving frontend would. Prints throughput, client-side latency percentiles
-// and the engine's batching statistics.
+// Trains a small W2-A2-R16 BN-ViT once, fans it out into four registered
+// servable variants (fp32 dense, W2A2 packed-ternary, SC LUT-cached, SC
+// circuit-emulated), and stands up one runtime::InferenceEngine over the
+// registry. Client threads then hammer it with mixed traffic — interactive
+// requests with deadlines, normal requests, and bulk batch-priority
+// requests, spread across the variants — exactly as a serving frontend
+// would. Prints throughput, per-priority and per-variant client latency
+// percentiles, and the engine's scheduling statistics.
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <map>
+#include <mutex>
 #include <random>
 #include <thread>
 #include <vector>
@@ -21,13 +27,21 @@ using Clock = std::chrono::steady_clock;
 
 namespace {
 
-double percentile(std::vector<double>& xs, double p) {
+double percentile(std::vector<double> xs, double p) {
   if (xs.empty()) return 0.0;
   std::sort(xs.begin(), xs.end());
   const std::size_t i =
       std::min(xs.size() - 1, static_cast<std::size_t>(p * static_cast<double>(xs.size() - 1)));
   return xs[i];
 }
+
+struct ClientRecord {
+  double latency_ms = 0.0;
+  runtime::Priority priority = runtime::Priority::kNormal;
+  std::string variant;
+  bool correct = false;
+  bool deadline_dropped = false;
+};
 
 }  // namespace
 
@@ -64,42 +78,85 @@ int main() {
   sc_cfg.gelu_bsl = 16;
   sc_cfg.gelu_range = 4.0;
 
+  // One trained model, four registered fidelity variants.
+  auto registry = std::make_shared<runtime::ModelRegistry>();
+  runtime::ThreadPool sc_pool(4);  // shared per-activation pool for the SC variants
+  ScServableOptions sc_opts;
+  sc_opts.pool = &sc_pool;
+  registry->publish(make_sc_servable(model, sc_cfg, sc_opts, "sc-lut"));
+  sc_opts.use_tf_cache = false;
+  registry->publish(make_sc_servable(model, sc_cfg, sc_opts, "sc-emulated"));
+  registry->publish(make_packed_ternary_servable(model, "w2a2-packed"));
+  registry->publish(make_fp32_servable(model, "fp32"));
+
   runtime::EngineOptions eng_opts;
   eng_opts.threads = 4;
   eng_opts.max_batch = 16;
   eng_opts.max_delay = std::chrono::microseconds(2000);
   eng_opts.concurrent_forwards = 2;  // re-entrant infer path: batch forwards overlap
-  runtime::InferenceEngine engine(model, sc_cfg, eng_opts);
+  eng_opts.default_variant = "sc-lut";
+  runtime::InferenceEngine engine(registry, eng_opts);
 
   constexpr int kClients = 8;
   const int per_client = test.size() / kClients;
-  std::printf("serving %d images from %d concurrent clients (pool=%d, max_batch=%d, "
-              "max_delay=%lldus, concurrent_forwards=%d)...\n",
-              per_client * kClients, kClients, engine.threads(), eng_opts.max_batch,
-              static_cast<long long>(eng_opts.max_delay.count()),
-              engine.concurrent_forwards());
+  std::printf("registered variants:");
+  for (const auto& id : registry->variant_ids()) std::printf(" %s", id.c_str());
+  std::printf("\nserving %d images from %d concurrent clients (sc pool=%d, max_batch=%d, "
+              "max_delay=%lldus, concurrent_forwards=%d, default=%s)...\n",
+              per_client * kClients, kClients, sc_pool.size(), eng_opts.max_batch,
+              static_cast<long long>(eng_opts.max_delay.count()), engine.concurrent_forwards(),
+              engine.default_variant().c_str());
+
+  // Traffic mix: 2 interactive clients with 50 ms deadlines on the serving
+  // default, 2 batch-priority bulk clients on the cheap packed variant, and
+  // 4 normal clients spread across all four variants.
+  const auto client_opts = [&](int c) {
+    runtime::RequestOptions ropts;
+    if (c < 2) {
+      ropts.priority = runtime::Priority::kInteractive;
+      ropts.deadline = std::chrono::microseconds(50'000);
+      ropts.variant = "sc-lut";
+    } else if (c < 4) {
+      ropts.priority = runtime::Priority::kBatch;
+      ropts.variant = "w2a2-packed";
+    } else {
+      ropts.priority = runtime::Priority::kNormal;
+      const std::vector<std::string> ids = registry->variant_ids();
+      ropts.variant = ids[static_cast<std::size_t>(c) % ids.size()];
+    }
+    return ropts;
+  };
 
   const int pixels = test.images.dim(1);
-  std::vector<std::vector<double>> latencies(kClients);
-  std::vector<int> correct(kClients, 0);
+  std::vector<std::vector<ClientRecord>> records(kClients);
   std::vector<std::thread> clients;
   const auto t0 = Clock::now();
   for (int c = 0; c < kClients; ++c) {
     clients.emplace_back([&, c] {
       std::mt19937_64 rng(static_cast<std::uint64_t>(c) + 1);
       std::uniform_int_distribution<int> jitter_us(0, 500);
+      const runtime::RequestOptions ropts = client_opts(c);
       for (int i = 0; i < per_client; ++i) {
         const int r = c * per_client + i;
         std::vector<float> img(static_cast<std::size_t>(pixels));
         for (int p = 0; p < pixels; ++p)
           img[static_cast<std::size_t>(p)] = test.images.at(r, p);
+        ClientRecord rec;
+        rec.priority = ropts.priority;
+        rec.variant = ropts.variant;
         const auto sent = Clock::now();
-        auto fut = engine.submit(std::move(img));
-        const runtime::Prediction pred = fut.get();
-        latencies[static_cast<std::size_t>(c)].push_back(
-            std::chrono::duration<double, std::milli>(Clock::now() - sent).count());
-        if (pred.label == test.labels[static_cast<std::size_t>(r)])
-          ++correct[static_cast<std::size_t>(c)];
+        try {
+          auto fut = engine.submit(std::move(img), ropts);
+          const runtime::Prediction pred = fut.get();
+          rec.latency_ms =
+              std::chrono::duration<double, std::milli>(Clock::now() - sent).count();
+          rec.correct = pred.label == test.labels[static_cast<std::size_t>(r)];
+        } catch (const runtime::DeadlineExceededError&) {
+          rec.latency_ms =
+              std::chrono::duration<double, std::milli>(Clock::now() - sent).count();
+          rec.deadline_dropped = true;
+        }
+        records[static_cast<std::size_t>(c)].push_back(std::move(rec));
         std::this_thread::sleep_for(std::chrono::microseconds(jitter_us(rng)));
       }
     });
@@ -107,33 +164,59 @@ int main() {
   for (auto& t : clients) t.join();
   const double wall_s = std::chrono::duration<double>(Clock::now() - t0).count();
 
+  std::vector<ClientRecord> all;
+  for (auto& r : records) all.insert(all.end(), r.begin(), r.end());
+  int served = 0, correct = 0, dropped = 0;
   std::vector<double> all_lat;
-  int all_correct = 0;
-  for (int c = 0; c < kClients; ++c) {
-    all_lat.insert(all_lat.end(), latencies[static_cast<std::size_t>(c)].begin(),
-                   latencies[static_cast<std::size_t>(c)].end());
-    all_correct += correct[static_cast<std::size_t>(c)];
+  std::map<runtime::Priority, std::vector<double>> by_prio;
+  std::map<std::string, std::vector<double>> by_variant;
+  std::map<std::string, int> variant_correct, variant_count;
+  for (const ClientRecord& rec : all) {
+    if (rec.deadline_dropped) {
+      ++dropped;
+      continue;
+    }
+    ++served;
+    if (rec.correct) ++correct;
+    all_lat.push_back(rec.latency_ms);
+    by_prio[rec.priority].push_back(rec.latency_ms);
+    by_variant[rec.variant].push_back(rec.latency_ms);
+    variant_count[rec.variant] += 1;
+    if (rec.correct) variant_correct[rec.variant] += 1;
   }
-  const int served = static_cast<int>(all_lat.size());
-  const runtime::EngineStats st = engine.stats();
 
-  std::printf("\nserved %d images in %.2f s  ->  %.1f images/s\n", served, wall_s,
-              served / wall_s);
+  std::printf("\nserved %d images (+%d deadline-dropped) in %.2f s  ->  %.1f images/s\n", served,
+              dropped, wall_s, served / wall_s);
   std::printf("client latency (aggregate): p50 %.2f ms, p95 %.2f ms, max %.2f ms\n",
               percentile(all_lat, 0.50), percentile(all_lat, 0.95), percentile(all_lat, 1.0));
-  std::printf("per-client latency:\n");
-  for (int c = 0; c < kClients; ++c) {
-    auto& lat = latencies[static_cast<std::size_t>(c)];
-    std::printf("  client %d: p50 %6.2f ms   p95 %6.2f ms   (%zu images)\n", c,
-                percentile(lat, 0.50), percentile(lat, 0.95), lat.size());
-  }
-  std::printf("batching: %llu batches, avg fill %.1f images, %llu full, avg queue wait %.2f ms, "
-              "peak forwards in flight %d\n",
+
+  std::printf("\nper-priority client latency:\n");
+  for (const auto& [p, lat] : by_prio)
+    std::printf("  %-12s p50 %6.2f ms   p95 %6.2f ms   (%zu served)\n",
+                runtime::priority_name(p), percentile(lat, 0.50), percentile(lat, 0.95),
+                lat.size());
+  std::printf("per-variant client latency:\n");
+  for (const auto& [v, lat] : by_variant)
+    std::printf("  %-12s p50 %6.2f ms   p95 %6.2f ms   acc %5.1f%%   (%zu served)\n", v.c_str(),
+                percentile(lat, 0.50), percentile(lat, 0.95),
+                100.0 * variant_correct[v] / std::max(variant_count[v], 1), lat.size());
+
+  const runtime::EngineStats st = engine.stats();
+  std::printf("\nbatching: %llu batches, avg fill %.1f images, %llu full, avg queue wait "
+              "%.2f ms, peak forwards in flight %d\n",
               static_cast<unsigned long long>(st.batches), st.avg_batch(),
               static_cast<unsigned long long>(st.full_batches), st.avg_queue_ms(),
               st.max_in_flight);
-  std::printf("served accuracy (SC softmax By=%d k=%d + gate-SI GELU %db): %.2f%%\n",
-              sc_cfg.softmax.by, sc_cfg.softmax.k, sc_cfg.gelu_bsl,
-              100.0 * all_correct / std::max(served, 1));
+  std::printf("scheduler counters (queued / served / deadline-dropped / rejected):\n");
+  for (int p = 0; p < runtime::kNumPriorities; ++p) {
+    const runtime::PriorityStats& ps = st.by_priority[static_cast<std::size_t>(p)];
+    std::printf("  %-12s %6llu / %6llu / %6llu / %6llu\n",
+                runtime::priority_name(static_cast<runtime::Priority>(p)),
+                static_cast<unsigned long long>(ps.queued),
+                static_cast<unsigned long long>(ps.served),
+                static_cast<unsigned long long>(ps.deadline_dropped),
+                static_cast<unsigned long long>(ps.rejected));
+  }
+  std::printf("overall served accuracy: %.2f%%\n", 100.0 * correct / std::max(served, 1));
   return 0;
 }

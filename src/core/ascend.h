@@ -32,6 +32,8 @@
 #include "nn/tensor.h"
 #include "runtime/batcher.h"
 #include "runtime/engine.h"
+#include "runtime/registry.h"
+#include "runtime/servable.h"
 #include "runtime/tf_cache.h"
 #include "runtime/thread_pool.h"
 #include "sc/bernstein.h"
@@ -51,4 +53,5 @@
 #include "vit/dataset.h"
 #include "vit/model.h"
 #include "vit/sc_inference.h"
+#include "vit/servable.h"
 #include "vit/train.h"

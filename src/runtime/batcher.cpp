@@ -5,6 +5,34 @@
 
 namespace ascend::runtime {
 
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// How far ahead of a member's deadline its batch is closed, so the timed
+/// wait's wake-up jitter (easily a few ms on a loaded host) still lands
+/// *before* the deadline and the request is served rather than dropped.
+/// Requests whose remaining budget is tighter than the lead dispatch
+/// immediately.
+constexpr std::chrono::milliseconds kDeadlineCloseLead{5};
+
+/// Scheduling order: priority class first, arrival order within a class.
+bool sched_before(const Request& a, const Request& b) {
+  if (a.priority != b.priority) return a.priority < b.priority;
+  return a.seq < b.seq;
+}
+
+}  // namespace
+
+const char* priority_name(Priority p) {
+  switch (p) {
+    case Priority::kInteractive: return "interactive";
+    case Priority::kNormal: return "normal";
+    case Priority::kBatch: return "batch";
+  }
+  return "?";
+}
+
 Batcher::Batcher(int max_batch, std::chrono::microseconds max_delay, int max_pending,
                  OverflowPolicy overflow)
     : max_batch_(max_batch), max_delay_(max_delay), max_pending_(max_pending), overflow_(overflow) {
@@ -13,48 +41,130 @@ Batcher::Batcher(int max_batch, std::chrono::microseconds max_delay, int max_pen
   if (max_pending_ < 0) throw std::invalid_argument("Batcher: max_pending must be >= 0");
 }
 
-std::future<Prediction> Batcher::enqueue(std::vector<float> image) {
+void Batcher::set_drop_observer(std::function<void(Priority)> observer) {
+  drop_observer_ = std::move(observer);
+}
+
+std::future<Prediction> Batcher::enqueue(std::vector<float> image, RequestOptions opts) {
   Request req;
   req.image = std::move(image);
-  req.enqueued = std::chrono::steady_clock::now();
+  req.enqueued = Clock::now();
+  req.variant = std::move(opts.variant);
+  req.priority = opts.priority;
+  if (opts.deadline.count() != 0) {
+    req.has_deadline = true;
+    req.deadline = req.enqueued + opts.deadline;
+  }
   std::future<Prediction> fut = req.promise.get_future();
   {
     std::unique_lock<std::mutex> lock(mu_);
-    if (max_pending_ > 0 && static_cast<int>(queue_.size()) >= max_pending_ && !closed_) {
+    if (closed_) throw std::runtime_error("Batcher::enqueue after close");
+    if (req.expired(req.enqueued)) {
+      // Negative budget: fail through the future without touching the queue,
+      // so an expired-on-arrival request can never displace live work.
+      lock.unlock();
+      req.promise.set_exception(std::make_exception_ptr(DeadlineExceededError{}));
+      if (drop_observer_) drop_observer_(req.priority);
+      return fut;
+    }
+    if (max_pending_ > 0 && static_cast<int>(queue_.size()) >= max_pending_) {
       if (overflow_ == OverflowPolicy::kReject) throw QueueFullError{};
       space_cv_.wait(lock, [this] {
         return closed_ || static_cast<int>(queue_.size()) < max_pending_;
       });
+      if (closed_) throw std::runtime_error("Batcher::enqueue after close");
     }
-    if (closed_) throw std::runtime_error("Batcher::enqueue after close");
+    req.seq = next_seq_++;
     queue_.push_back(std::move(req));
   }
   cv_.notify_all();
   return fut;
 }
 
+void Batcher::drop_expired(std::unique_lock<std::mutex>& lock, Clock::time_point now) {
+  std::vector<Request> expired;
+  for (std::size_t i = 0; i < queue_.size();) {
+    if (queue_[i].expired(now)) {
+      expired.push_back(std::move(queue_[i]));
+      queue_.erase(queue_.begin() + static_cast<long>(i));
+    } else {
+      ++i;
+    }
+  }
+  if (expired.empty()) return;
+  if (max_pending_ > 0) space_cv_.notify_all();
+  lock.unlock();
+  for (Request& req : expired) {
+    req.promise.set_exception(std::make_exception_ptr(DeadlineExceededError{}));
+    if (drop_observer_) drop_observer_(req.priority);
+  }
+  lock.lock();
+}
+
+std::vector<std::size_t> Batcher::select_group() const {
+  // Leader: the request the scheduler owes service to next.
+  std::size_t leader = 0;
+  for (std::size_t i = 1; i < queue_.size(); ++i)
+    if (sched_before(queue_[i], queue_[leader])) leader = i;
+  // Companions: everything bound for the leader's variant, served in
+  // scheduling order so a mixed-priority group still favours urgent rows.
+  std::vector<std::size_t> members;
+  for (std::size_t i = 0; i < queue_.size(); ++i)
+    if (queue_[i].variant == queue_[leader].variant) members.push_back(i);
+  std::sort(members.begin(), members.end(),
+            [this](std::size_t a, std::size_t b) { return sched_before(queue_[a], queue_[b]); });
+  if (members.size() > static_cast<std::size_t>(max_batch_))
+    members.resize(static_cast<std::size_t>(max_batch_));
+  return members;
+}
+
 std::vector<Request> Batcher::next_batch() {
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
     cv_.wait(lock, [this] { return closed_ || !queue_.empty(); });
-    if (queue_.empty()) return {};  // closed and drained
-
-    if (static_cast<int>(queue_.size()) < max_batch_ && !closed_) {
-      // Wait out the remainder of the oldest request's latency budget; more
-      // arrivals may fill the batch (or trip the size cutoff) meanwhile.
-      const auto deadline = queue_.front().enqueued + max_delay_;
-      const bool full = cv_.wait_until(lock, deadline, [this] {
-        return closed_ || static_cast<int>(queue_.size()) >= max_batch_;
-      });
-      if (!full && queue_.empty()) continue;  // spurious state change; re-arm
+    drop_expired(lock, Clock::now());
+    if (queue_.empty()) {
+      if (closed_) return {};  // closed and drained
+      continue;
     }
 
-    const std::size_t take = std::min(queue_.size(), static_cast<std::size_t>(max_batch_));
-    std::vector<Request> batch(std::make_move_iterator(queue_.begin()),
-                               std::make_move_iterator(queue_.begin() + static_cast<long>(take)));
-    queue_.erase(queue_.begin(), queue_.begin() + static_cast<long>(take));
-    if (max_pending_ > 0) space_cv_.notify_all();
-    return batch;
+    const std::vector<std::size_t> members = select_group();
+    const auto now = Clock::now();
+    // Close the batch before the latency budget of its oldest member runs
+    // out, and with enough lead on any member's deadline that the member is
+    // served before it expires instead of being parked until it drops.
+    auto close_at = Clock::time_point::max();
+    for (std::size_t i : members) {
+      close_at = std::min(close_at, queue_[i].enqueued + max_delay_);
+      if (queue_[i].has_deadline)
+        close_at = std::min(close_at, queue_[i].deadline - kDeadlineCloseLead);
+    }
+    const bool full = members.size() >= static_cast<std::size_t>(max_batch_);
+    if (full || closed_ || now >= close_at) {
+      std::vector<Request> batch;
+      batch.reserve(members.size());
+      for (std::size_t i : members) batch.push_back(std::move(queue_[i]));
+      // Erase the taken slots back-to-front so earlier indices stay valid.
+      std::vector<std::size_t> sorted = members;
+      std::sort(sorted.begin(), sorted.end());
+      for (auto it = sorted.rbegin(); it != sorted.rend(); ++it)
+        queue_.erase(queue_.begin() + static_cast<long>(*it));
+      if (max_pending_ > 0) space_cv_.notify_all();
+      return batch;
+    }
+
+    // Wait for more arrivals (which may fill the batch, or bring a
+    // higher-priority request that re-aims the whole selection), the close
+    // deadline, or shutdown — then re-evaluate from scratch. Also wake at
+    // the earliest deadline of *any* queued request (not just the leader
+    // group's), so an expiring request of another variant is failed at its
+    // deadline instead of whenever this group's cutoff next fires.
+    auto wake_at = close_at;
+    for (const Request& r : queue_)
+      if (r.has_deadline) wake_at = std::min(wake_at, r.deadline);
+    const std::size_t n = queue_.size();
+    cv_.wait_until(lock, wake_at,
+                   [this, n] { return closed_ || queue_.size() != n; });
   }
 }
 

@@ -1,23 +1,43 @@
 #pragma once
-// batcher.h — dynamic request batching for the SC inference engine.
+// batcher.h — priority/deadline-aware dynamic request batching.
 //
-// Clients enqueue single images and get a future; a dispatcher thread (owned
-// by the engine) pulls coalesced batches. A batch closes when either
-//   * `max_batch` requests are waiting (size cutoff), or
-//   * the oldest waiting request has aged past `max_delay` (latency cutoff),
-// so a lone request is never parked longer than the configured latency bound
-// while bursts still fill whole batches.
+// Clients enqueue single payloads tagged with RequestOptions{variant,
+// priority, deadline} and get a future; a dispatcher thread (owned by the
+// engine) pulls coalesced batches. The queue is a priority queue over
+// (priority, arrival order), and a batch only ever groups requests bound for
+// the same variant ("compatible" requests — different servables cannot share
+// a forward). Batch formation:
+//   * the scheduler always serves the highest-priority waiting request
+//     first: the next batch is built around it, from same-variant requests
+//     in (priority, arrival) order;
+//   * the batch closes when `max_batch` compatible requests are waiting
+//     (size cutoff), when the group's oldest member has aged past
+//     `max_delay` (latency cutoff), or when waiting any longer would expire
+//     a member's deadline (deadline cutoff);
+//   * a request whose deadline has already passed is failed fast with
+//     DeadlineExceededError at batch-formation time — it never reaches a
+//     forward — and a higher-priority arrival re-aims the next batch at its
+//     variant (interactive traffic preempts batch traffic in queue order).
+//
+// Scheduling is priority-strict, not earliest-deadline-first: a deadline
+// never promotes a request ahead of its (priority, arrival) rank. The
+// deadline cutoff closes the batch the request is *scheduled into*; a
+// deadline expiring on a request outside the current selection wakes the
+// dispatcher only to fail it fast at the deadline.
 //
 // Overload: an optional `max_pending` bounds the queue. When it is full,
 // enqueue() either blocks until the dispatcher drains space (kBlock) or
 // fails fast with QueueFullError (kReject), per the configured policy.
 
+#include <array>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <mutex>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace ascend::runtime {
@@ -33,17 +53,53 @@ struct QueueFullError : std::runtime_error {
   QueueFullError() : std::runtime_error("Batcher: queue full") {}
 };
 
-/// Result delivered to a client for one image.
+/// Delivered through the request future when a deadline expires before the
+/// request's batch forward started; the forward is never run for it.
+struct DeadlineExceededError : std::runtime_error {
+  DeadlineExceededError() : std::runtime_error("request deadline exceeded before forward") {}
+};
+
+/// Scheduling class of a request. Lower value = served first.
+enum class Priority : int {
+  kInteractive = 0,  ///< latency-sensitive; always scheduled before the rest
+  kNormal = 1,       ///< default
+  kBatch = 2,        ///< throughput traffic; yields to everything above
+};
+inline constexpr int kNumPriorities = 3;
+const char* priority_name(Priority p);
+
+/// Per-request routing and scheduling options for InferenceEngine::submit.
+struct RequestOptions {
+  /// Registry variant to serve this request; empty = the engine's default.
+  std::string variant;
+  Priority priority = Priority::kNormal;
+  /// Time budget from submit(): once it elapses, the request fails fast with
+  /// DeadlineExceededError instead of being served late. 0 = no deadline;
+  /// negative = already expired (the future fails without queueing).
+  std::chrono::microseconds deadline{0};
+};
+
+/// Result delivered to a client for one payload.
 struct Prediction {
   int label = -1;              ///< argmax class
   std::vector<float> logits;   ///< raw head outputs
   double queue_ms = 0.0;       ///< enqueue -> batch-close wait
+  std::string variant;         ///< variant that served the request
 };
 
 struct Request {
-  std::vector<float> image;  ///< flattened [channels*H*W] pixels
+  std::vector<float> image;  ///< flattened request payload
   std::promise<Prediction> promise;
   std::chrono::steady_clock::time_point enqueued;
+  std::string variant;       ///< resolved routing key (engine fills the default in)
+  Priority priority = Priority::kNormal;
+  bool has_deadline = false;
+  std::chrono::steady_clock::time_point deadline{};  ///< absolute; valid if has_deadline
+  std::uint64_t seq = 0;     ///< arrival order within the batcher
+
+  bool expired(std::chrono::steady_clock::time_point now) const {
+    return has_deadline && now > deadline;
+  }
 };
 
 class Batcher {
@@ -53,16 +109,25 @@ class Batcher {
           OverflowPolicy overflow = OverflowPolicy::kBlock);
 
   /// Thread-safe producer side. Throws after close(); on a full bounded
-  /// queue, blocks or throws QueueFullError per the overflow policy.
-  std::future<Prediction> enqueue(std::vector<float> image);
+  /// queue, blocks or throws QueueFullError per the overflow policy. A
+  /// request with a negative deadline budget is failed immediately through
+  /// its future (DeadlineExceededError) without queueing.
+  std::future<Prediction> enqueue(std::vector<float> image, RequestOptions opts = {});
 
   /// Consumer side (single dispatcher thread): blocks until a batch is ready
-  /// per the cutoff rules, or the batcher is closed. Returns an empty vector
-  /// only when closed *and* drained.
+  /// per the cutoff rules, or the batcher is closed. Every returned request
+  /// shares one variant. Expired requests are failed and dropped here, never
+  /// returned. Returns an empty vector only when closed *and* drained.
   std::vector<Request> next_batch();
 
   /// Stop accepting work and wake the dispatcher; queued requests still drain.
   void close();
+
+  /// Observer for deadline-expired drops (stats); called outside the queue
+  /// lock, from the thread that dropped the request (the dispatcher inside
+  /// next_batch, or a producer that enqueued an already-expired request).
+  /// Set before the dispatcher starts; not thread-safe against next_batch.
+  void set_drop_observer(std::function<void(Priority)> observer);
 
   int max_batch() const { return max_batch_; }
   std::chrono::microseconds max_delay() const { return max_delay_; }
@@ -71,14 +136,25 @@ class Batcher {
   std::size_t pending() const;
 
  private:
+  /// Fail and remove every expired queued request. Drops the lock while
+  /// resolving promises; re-acquires before returning.
+  void drop_expired(std::unique_lock<std::mutex>& lock,
+                    std::chrono::steady_clock::time_point now);
+  /// Indices of the next batch's members, (priority, seq)-ordered, capped at
+  /// max_batch: same-variant companions of the highest-priority oldest
+  /// request. Requires a non-empty queue; caller holds the lock.
+  std::vector<std::size_t> select_group() const;
+
   const int max_batch_;
   const std::chrono::microseconds max_delay_;
   const int max_pending_;
   const OverflowPolicy overflow_;
+  std::function<void(Priority)> drop_observer_;
   mutable std::mutex mu_;
   std::condition_variable cv_;        ///< wakes the dispatcher (work / close)
   std::condition_variable space_cv_;  ///< wakes blocked producers (space / close)
   std::vector<Request> queue_;
+  std::uint64_t next_seq_ = 0;
   bool closed_ = false;
 };
 

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <numeric>
+#include <stdexcept>
+
+#include "vit/model.h"
+#include "vit/servable.h"
 
 namespace ascend::runtime {
 
@@ -22,23 +26,53 @@ int argmax_row(const Tensor& logits, int r) {
   return best;
 }
 
+PriorityStats& prio(std::array<PriorityStats, kNumPriorities>& a, Priority p) {
+  return a[static_cast<std::size_t>(p)];
+}
+
 }  // namespace
+
+InferenceEngine::InferenceEngine(std::shared_ptr<ModelRegistry> registry, EngineOptions opts)
+    : opts_(opts),
+      batcher_(opts.max_batch, opts.max_delay, opts.max_pending, opts.overflow),
+      registry_(std::move(registry)) {
+  if (!registry_) throw std::invalid_argument("InferenceEngine: null registry");
+  if (opts_.default_variant.empty()) {
+    const std::vector<std::string> ids = registry_->variant_ids();
+    if (ids.empty())
+      throw std::invalid_argument("InferenceEngine: registry holds no variants");
+    if (ids.size() > 1)
+      throw std::invalid_argument(
+          "InferenceEngine: multi-variant registry needs EngineOptions::default_variant");
+    default_variant_ = ids.front();
+  } else {
+    if (!registry_->contains(opts_.default_variant))
+      throw UnknownVariantError(opts_.default_variant);
+    default_variant_ = opts_.default_variant;
+  }
+  start();
+}
 
 InferenceEngine::InferenceEngine(vit::VisionTransformer& model, const vit::ScInferenceConfig& cfg,
                                  EngineOptions opts)
-    : model_(model),
-      cfg_(cfg),
-      opts_(opts),
-      pool_(resolve_threads(opts.threads)),
+    : opts_(opts),
       batcher_(opts.max_batch, opts.max_delay, opts.max_pending, opts.overflow) {
+  // The pre-registry engine, reproduced: one SC servable driving the
+  // caller's model in place (hooks installed here, restored on destruction),
+  // the engine's worker pool running the per-activation SC work.
+  pool_ = std::make_unique<ThreadPool>(resolve_threads(opts_.threads));
+  vit::ScServableOptions sopts;
+  sopts.use_tf_cache = opts_.use_tf_cache;
+  sopts.pool = pool_.get();
+  registry_ = std::make_shared<ModelRegistry>();
+  registry_->publish(vit::make_sc_servable_in_place(model, cfg, sopts, "sc"));
+  default_variant_ = "sc";
+  start();
+}
+
+void InferenceEngine::start() {
   if (opts_.concurrent_forwards < 1) opts_.concurrent_forwards = 1;
-  try {
-    install_hooks();
-  } catch (...) {
-    // A half-installed hook would dangle on the pool once members unwind.
-    model_.clear_hooks();
-    throw;
-  }
+  batcher_.set_drop_observer([this](Priority p) { count_drop(p); });
   forward_pool_ = std::make_unique<ThreadPool>(opts_.concurrent_forwards);
   dispatcher_ = std::thread([this] { dispatch_loop(); });
 }
@@ -47,61 +81,50 @@ InferenceEngine::~InferenceEngine() {
   batcher_.close();
   dispatcher_.join();
   forward_pool_.reset();  // drains the in-flight batch forwards
-  model_.clear_hooks();
+  // registry_ (and with it any in-place SC servable, which restores the
+  // model's hooks) is released by member destruction, before pool_.
 }
 
-void InferenceEngine::install_hooks() {
-  if (cfg_.use_sc_softmax) {
-    softmax_cfg_ = cfg_.softmax;
-    softmax_cfg_.m = model_.config().tokens();
-    softmax_cfg_.validate();
-    if (opts_.use_tf_cache) softmax_lut_ = &global_tf_cache().softmax(softmax_cfg_);
-    const sc::SoftmaxIterConfig sm = softmax_cfg_;
-    const SoftmaxLut* lut = softmax_lut_;
-    ThreadPool* pool = &pool_;
-    model_.set_softmax_hook([sm, lut, pool](const Tensor& scores) {
-      const int rows = scores.dim(0), m = scores.dim(1);
-      Tensor out({rows, m});
-      pool->parallel_for(0, rows, [&](int lo, int hi) {
-        std::vector<double> row(static_cast<std::size_t>(m));
-        for (int r = lo; r < hi; ++r) {
-          for (int c = 0; c < m; ++c) row[static_cast<std::size_t>(c)] = scores.at(r, c);
-          const auto y = lut ? (*lut)(row) : sc::softmax_iterative_sc(row, sm);
-          for (int c = 0; c < m; ++c)
-            out.at(r, c) = static_cast<float>(y[static_cast<std::size_t>(c)]);
-        }
-      });
-      return out;
-    });
-  }
-  if (cfg_.use_sc_gelu) {
-    if (opts_.use_tf_cache)
-      gelu_lut_ = &global_tf_cache().gelu(cfg_.gelu_bsl, -cfg_.gelu_range, cfg_.gelu_range, 16);
-    else
-      gelu_proto_ = std::make_shared<const sc::GateAssistedSI>(
-          sc::make_gelu_block(cfg_.gelu_bsl, -cfg_.gelu_range, cfg_.gelu_range, 16));
-    const GateSiLut* lut = gelu_lut_;
-    auto proto = gelu_proto_;
-    ThreadPool* pool = &pool_;
-    model_.set_gelu_hook([lut, proto, pool](const Tensor& x) {
-      // Per-call emulator instance: concurrent forwards never share one
-      // (reads within the call are const, so the chunks may share it).
-      std::unique_ptr<const sc::GateAssistedSI> block;
-      if (!lut) block = std::make_unique<const sc::GateAssistedSI>(*proto);
-      Tensor y(x.shape());
-      pool->parallel_for(0, static_cast<int>(x.size()), [&](int lo, int hi) {
-        for (int i = lo; i < hi; ++i) {
-          const std::size_t s = static_cast<std::size_t>(i);
-          y[s] = static_cast<float>(lut ? (*lut)(x[s]) : block->transfer(x[s]));
-        }
-      });
-      return y;
-    });
-  }
+void InferenceEngine::count_drop(Priority p) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  prio(stats_.by_priority, p).deadline_dropped += 1;
 }
 
-std::future<Prediction> InferenceEngine::submit(std::vector<float> image) {
-  return batcher_.enqueue(std::move(image));
+const std::string& InferenceEngine::resolve_variant(const std::string& requested) const {
+  return requested.empty() ? default_variant_ : requested;
+}
+
+std::future<Prediction> InferenceEngine::submit(std::vector<float> image, RequestOptions ropts) {
+  const Priority p = ropts.priority;
+  std::string variant = resolve_variant(ropts.variant);
+  if (!registry_->contains(variant)) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    prio(stats_.by_priority, p).rejected += 1;
+    throw UnknownVariantError(variant);
+  }
+  ropts.variant = std::move(variant);
+  // Count `queued` before handing the request to the batcher: once enqueued
+  // it can be served (and counted) immediately, and a stats() reader must
+  // never observe served > queued. A rejected enqueue rolls the count back.
+  const bool counted = ropts.deadline.count() >= 0;  // expired-on-arrival never queues
+  if (counted) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    prio(stats_.by_priority, p).queued += 1;
+  }
+  try {
+    return batcher_.enqueue(std::move(image), std::move(ropts));
+  } catch (const QueueFullError&) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    if (counted) prio(stats_.by_priority, p).queued -= 1;
+    prio(stats_.by_priority, p).rejected += 1;
+    throw;
+  } catch (...) {
+    if (counted) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      prio(stats_.by_priority, p).queued -= 1;
+    }
+    throw;
+  }
 }
 
 void InferenceEngine::dispatch_loop() {
@@ -142,26 +165,60 @@ void InferenceEngine::dispatch_loop() {
 void InferenceEngine::process_batch(std::vector<Request>& batch) {
   const auto closed_at = std::chrono::steady_clock::now();
   const int b = static_cast<int>(batch.size());
-  const int pixels = static_cast<int>(batch[0].image.size());
+  const std::string& variant = batch[0].variant;  // next_batch groups per variant
+
+  // The generation snapshot this batch runs on: a concurrent hot-swap
+  // republishing the variant never blocks or invalidates us.
+  std::shared_ptr<const Servable> servable = registry_->try_get(variant);
+  if (!servable) {
+    const auto err = std::make_exception_ptr(UnknownVariantError(variant));
+    for (auto& req : batch) req.promise.set_exception(err);
+    return;
+  }
+
+  const int pixels = servable->input_dim();
   Tensor images({b, pixels});
   std::vector<bool> rejected(static_cast<std::size_t>(b), false);
+  std::array<std::uint64_t, kNumPriorities> dropped{};
   for (int r = 0; r < b; ++r) {
-    if (static_cast<int>(batch[static_cast<std::size_t>(r)].image.size()) != pixels) {
+    Request& req = batch[static_cast<std::size_t>(r)];
+    if (req.expired(closed_at)) {
+      // Last line of deadline defence: expired while the batch sat in the
+      // forward queue. Fail fast; the forward never sees this row.
+      rejected[static_cast<std::size_t>(r)] = true;
+      dropped[static_cast<std::size_t>(req.priority)] += 1;
+      req.promise.set_exception(std::make_exception_ptr(DeadlineExceededError{}));
+      continue;
+    }
+    if (static_cast<int>(req.image.size()) != pixels) {
       // Odd-sized request: fail it alone (its row stays zero) and keep
       // serving the rest of the batch.
       rejected[static_cast<std::size_t>(r)] = true;
-      batch[static_cast<std::size_t>(r)].promise.set_exception(std::make_exception_ptr(
-          std::invalid_argument("InferenceEngine: inconsistent image size in batch")));
+      req.promise.set_exception(std::make_exception_ptr(std::invalid_argument(
+          "InferenceEngine: payload size does not match variant input_dim")));
       continue;
     }
-    std::copy(batch[static_cast<std::size_t>(r)].image.begin(),
-              batch[static_cast<std::size_t>(r)].image.end(),
+    std::copy(req.image.begin(), req.image.end(),
               images.data() + static_cast<std::size_t>(r) * pixels);
+  }
+
+  bool any_live = false;
+  for (int r = 0; r < b; ++r)
+    if (!rejected[static_cast<std::size_t>(r)]) any_live = true;
+  if (!any_live) {
+    // Every row was dropped — never spend a model forward on a dead batch
+    // (this is exactly the overloaded case where a forward hurts most).
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.batches += 1;
+    stats_.max_batch_seen = std::max(stats_.max_batch_seen, b);
+    for (std::size_t p = 0; p < kNumPriorities; ++p)
+      stats_.by_priority[p].deadline_dropped += dropped[p];
+    return;
   }
 
   Tensor logits;
   try {
-    logits = model_.infer(images);
+    logits = servable->infer(images);
   } catch (...) {
     const auto err = std::current_exception();
     for (int r = 0; r < b; ++r)
@@ -172,12 +229,15 @@ void InferenceEngine::process_batch(std::vector<Request>& batch) {
 
   double queue_ms_sum = 0.0;
   int served = 0;
+  std::array<std::uint64_t, kNumPriorities> served_by_prio{};
   std::vector<Prediction> preds(static_cast<std::size_t>(b));
   for (int r = 0; r < b; ++r) {
     if (rejected[static_cast<std::size_t>(r)]) continue;
     ++served;
+    served_by_prio[static_cast<std::size_t>(batch[static_cast<std::size_t>(r)].priority)] += 1;
     Prediction& pred = preds[static_cast<std::size_t>(r)];
     pred.label = argmax_row(logits, r);
+    pred.variant = variant;
     pred.logits.resize(static_cast<std::size_t>(logits.dim(1)));
     for (int c = 0; c < logits.dim(1); ++c)
       pred.logits[static_cast<std::size_t>(c)] = logits.at(r, c);
@@ -196,6 +256,10 @@ void InferenceEngine::process_batch(std::vector<Request>& batch) {
     if (b >= batcher_.max_batch()) stats_.full_batches += 1;
     stats_.total_queue_ms += queue_ms_sum;
     stats_.max_batch_seen = std::max(stats_.max_batch_seen, b);
+    for (std::size_t p = 0; p < kNumPriorities; ++p) {
+      stats_.by_priority[p].served += served_by_prio[p];
+      stats_.by_priority[p].deadline_dropped += dropped[p];
+    }
   }
 
   for (int r = 0; r < b; ++r)
@@ -204,14 +268,16 @@ void InferenceEngine::process_batch(std::vector<Request>& batch) {
           std::move(preds[static_cast<std::size_t>(r)]));
 }
 
-std::vector<int> InferenceEngine::predict_batch(const Tensor& images) {
-  const Tensor logits = model_.infer(images);
+std::vector<int> InferenceEngine::predict_batch(const Tensor& images, const std::string& variant) {
+  const std::shared_ptr<const Servable> servable = registry_->get(resolve_variant(variant));
+  const Tensor logits = servable->infer(images);
   std::vector<int> labels(static_cast<std::size_t>(logits.dim(0)));
   for (int r = 0; r < logits.dim(0); ++r) labels[static_cast<std::size_t>(r)] = argmax_row(logits, r);
   return labels;
 }
 
-double InferenceEngine::evaluate(const vit::Dataset& data, int batch_size) {
+double InferenceEngine::evaluate(const vit::Dataset& data, int batch_size,
+                                 const std::string& variant) {
   const int n = data.size();
   int correct = 0;
   for (int start = 0; start < n; start += batch_size) {
@@ -219,7 +285,7 @@ double InferenceEngine::evaluate(const vit::Dataset& data, int batch_size) {
     std::vector<int> idx(static_cast<std::size_t>(end - start));
     std::iota(idx.begin(), idx.end(), start);
     const vit::Batch batch = vit::take_batch(data, idx);
-    const std::vector<int> labels = predict_batch(batch.images);
+    const std::vector<int> labels = predict_batch(batch.images, variant);
     for (std::size_t r = 0; r < labels.size(); ++r)
       if (labels[r] == batch.labels[r]) ++correct;
   }

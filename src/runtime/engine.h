@@ -1,32 +1,39 @@
 #pragma once
-// engine.h — batched SC inference engine.
+// engine.h — model-agnostic batched inference engine.
 //
-// InferenceEngine turns a trained VisionTransformer plus an ScInferenceConfig
-// into a serving endpoint: it installs the SC nonlinear-block hooks (served
-// from the transfer-function LUT cache by default, or the bit-true circuit
-// emulators when caching is disabled), owns a fixed-size worker pool that
-// parallelises the per-activation SC emulation inside each forward, and runs
-// a dispatcher thread that drains a dynamic request batcher.
+// InferenceEngine serves every Servable published in a ModelRegistry from
+// one priority/deadline-aware request queue: submit(payload, RequestOptions)
+// routes a request to a named variant with a scheduling class and an
+// optional deadline, the batcher groups compatible (same-variant) requests
+// and serves interactive traffic first, and a dispatcher thread hands each
+// closed batch to a forward pool running up to
+// EngineOptions::concurrent_forwards Servable::infer calls in flight.
+// Requests whose deadline expires in the queue fail fast with
+// DeadlineExceededError and never reach a forward. Variants hot-swap through
+// ModelRegistry::publish without pausing the engine: each batch forward runs
+// on the shared_ptr snapshot it grabbed.
 //
-// Model forwards go through the const, re-entrant VisionTransformer::infer
-// path, so the engine runs up to EngineOptions::concurrent_forwards batch
-// forwards in flight at once: the dispatcher hands each closed batch to a
-// dedicated forward pool instead of forwarding inline, and predict_batch()
-// callers from different threads overlap freely as well. The engine still has
-// exclusive use of the model's *hooks* while alive (they are installed at
-// construction and restored on destruction), but no longer serializes the
-// forwards themselves.
+// Back-compat: the (model, ScInferenceConfig) constructor wraps the model in
+// a single SC servable exactly like the pre-registry engine — hooks are
+// installed on the caller's model at construction and restored on
+// destruction, and submit/predict_batch/evaluate without request options are
+// bit-identical to the old single-model engine. vit::evaluate_sc still
+// delegates here.
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <thread>
 
 #include "runtime/batcher.h"
-#include "runtime/tf_cache.h"
+#include "runtime/registry.h"
 #include "runtime/thread_pool.h"
 #include "vit/dataset.h"
-#include "vit/model.h"
 #include "vit/sc_inference.h"
+
+namespace ascend::vit {
+class VisionTransformer;
+}
 
 namespace ascend::runtime {
 
@@ -34,10 +41,22 @@ struct EngineOptions {
   int threads = 0;    ///< worker pool size; 0 -> hardware_concurrency
   int max_batch = 32; ///< dynamic-batching size cutoff
   std::chrono::microseconds max_delay{2000};  ///< dynamic-batching latency cutoff
-  bool use_tf_cache = true;  ///< false: per-activation circuit emulation (bench baseline)
+  bool use_tf_cache = true;  ///< SC shim ctor only: false = per-activation circuit emulation
   int concurrent_forwards = 2;  ///< batch forwards in flight (>= 1); see engine doc
   int max_pending = 0;          ///< bounded batcher queue; 0 = unbounded
   OverflowPolicy overflow = OverflowPolicy::kBlock;  ///< full-queue behaviour
+  /// Variant served when RequestOptions::variant is empty. Empty: the
+  /// registry's sole variant (construction throws if it holds several —
+  /// a multi-variant engine must name its default).
+  std::string default_variant;
+};
+
+/// Per-scheduling-class serving counters.
+struct PriorityStats {
+  std::uint64_t queued = 0;            ///< accepted into the request queue
+  std::uint64_t served = 0;            ///< resolved with a Prediction
+  std::uint64_t deadline_dropped = 0;  ///< failed fast with DeadlineExceededError
+  std::uint64_t rejected = 0;          ///< QueueFullError / unknown variant at submit
 };
 
 struct EngineStats {
@@ -47,13 +66,24 @@ struct EngineStats {
   double total_queue_ms = 0.0;      ///< summed enqueue -> batch-close waits
   int max_batch_seen = 0;
   int max_in_flight = 0;            ///< peak concurrent batch forwards observed
+  std::array<PriorityStats, kNumPriorities> by_priority;  ///< index by Priority
 
   double avg_batch() const { return batches ? static_cast<double>(images) / batches : 0.0; }
   double avg_queue_ms() const { return images ? total_queue_ms / images : 0.0; }
+  const PriorityStats& priority(Priority p) const {
+    return by_priority[static_cast<std::size_t>(p)];
+  }
 };
 
 class InferenceEngine {
  public:
+  /// Model-agnostic engine over a registry of servable variants. The
+  /// registry stays caller-owned and live for hot-swaps while serving.
+  explicit InferenceEngine(std::shared_ptr<ModelRegistry> registry, EngineOptions opts = {});
+
+  /// Back-compat SC shim: serves `model` in place as the sole variant
+  /// ("sc"), with the SC nonlinear-block hooks installed on it for the
+  /// engine's lifetime — the pre-registry behaviour, bit-exact.
   InferenceEngine(vit::VisionTransformer& model, const vit::ScInferenceConfig& cfg,
                   EngineOptions opts = {});
   ~InferenceEngine();
@@ -61,52 +91,59 @@ class InferenceEngine {
   InferenceEngine(const InferenceEngine&) = delete;
   InferenceEngine& operator=(const InferenceEngine&) = delete;
 
-  /// Async single-image path through the dynamic batcher. `image` is the
-  /// flattened [channels*H*W] pixel row the dataset stores. On a full bounded
-  /// queue this blocks or throws QueueFullError per EngineOptions::overflow.
-  std::future<Prediction> submit(std::vector<float> image);
+  /// Async single-payload path through the priority batcher. On a full
+  /// bounded queue this blocks or throws QueueFullError per
+  /// EngineOptions::overflow; an unknown variant throws UnknownVariantError
+  /// here, before queueing. A deadline that expires before the request's
+  /// batch forward starts fails the future with DeadlineExceededError.
+  std::future<Prediction> submit(std::vector<float> image, RequestOptions ropts = {});
 
-  /// Synchronous batch path (no batcher): argmax labels for [B, pixels].
-  /// Re-entrant — callers from different threads run concurrently.
-  std::vector<int> predict_batch(const nn::Tensor& images);
+  /// Synchronous batch path (no batcher): argmax labels for [B, pixels]
+  /// through `variant` (empty = default). Re-entrant — callers from
+  /// different threads run concurrently.
+  std::vector<int> predict_batch(const nn::Tensor& images, const std::string& variant = {});
 
-  /// Top-1 accuracy with the engine's SC blocks active — the serving twin of
+  /// Top-1 accuracy of `variant` (empty = default) — the serving twin of
   /// vit::evaluate(); vit::evaluate_sc delegates here.
-  double evaluate(const vit::Dataset& data, int batch_size = 128);
+  double evaluate(const vit::Dataset& data, int batch_size = 128,
+                  const std::string& variant = {});
 
   EngineStats stats() const;
-  int threads() const { return pool_.size(); }
+  const std::shared_ptr<ModelRegistry>& registry() const { return registry_; }
+  const std::string& default_variant() const { return default_variant_; }
+  /// Size of the SC shim's per-activation worker pool; 0 for a registry
+  /// engine (variants bring their own pools, see vit::ScServableOptions).
+  int threads() const { return pool_ ? pool_->size() : 0; }
   int concurrent_forwards() const { return opts_.concurrent_forwards; }
-  const vit::ScInferenceConfig& sc_config() const { return cfg_; }
   bool cached() const { return opts_.use_tf_cache; }
 
  private:
-  void install_hooks();
+  void start();
   void dispatch_loop();
   void process_batch(std::vector<Request>& batch);
+  const std::string& resolve_variant(const std::string& requested) const;
+  void count_drop(Priority p);
 
-  vit::VisionTransformer& model_;
-  vit::ScInferenceConfig cfg_;
   EngineOptions opts_;
-  ThreadPool pool_;
+  /// Per-activation worker pool handed to the SC shim servable; null on the
+  /// registry path, where each servable carries its own parallelism.
+  std::unique_ptr<ThreadPool> pool_;
   Batcher batcher_;
 
   mutable std::mutex stats_mu_;
   EngineStats stats_;
 
   // In-flight forward accounting: the dispatcher stops pulling batches while
-  // `concurrent_forwards` are already running, so overload queues up in the
+  // `concurrent_forwards` are already running, so overload queues in the
   // batcher (where max_pending applies) instead of in the forward pool.
   std::mutex flight_mu_;
   std::condition_variable flight_cv_;
   int in_flight_ = 0;
 
-  // Uncached fallback: an immutable prototype block the GELU hook copies into
-  // per-call emulator instances (the shared prototype is never invoked).
-  std::shared_ptr<const sc::GateAssistedSI> gelu_proto_;
-  const GateSiLut* gelu_lut_ = nullptr;
-  const SoftmaxLut* softmax_lut_ = nullptr;
-  sc::SoftmaxIterConfig softmax_cfg_;  ///< m resolved to the model's tokens
+  // Declared after pool_ so servables (which may parallelise over pool_) are
+  // destroyed before it.
+  std::shared_ptr<ModelRegistry> registry_;
+  std::string default_variant_;
 
   std::unique_ptr<ThreadPool> forward_pool_;  ///< runs the in-flight batch forwards
   std::thread dispatcher_;

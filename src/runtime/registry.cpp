@@ -1,0 +1,59 @@
+#include "runtime/registry.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ascend::runtime {
+
+std::uint64_t ModelRegistry::publish(std::shared_ptr<const Servable> servable) {
+  if (!servable) throw std::invalid_argument("ModelRegistry::publish: null servable");
+  const std::string id = servable->variant_id();
+  if (id.empty()) throw std::invalid_argument("ModelRegistry::publish: empty variant_id");
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[id];
+  if (e.generation == 0) e.order = entries_.size() - 1;
+  e.servable = std::move(servable);
+  return ++e.generation;
+}
+
+std::shared_ptr<const Servable> ModelRegistry::get(const std::string& variant) const {
+  std::shared_ptr<const Servable> s = try_get(variant);
+  if (!s) throw UnknownVariantError(variant);
+  return s;
+}
+
+std::shared_ptr<const Servable> ModelRegistry::try_get(const std::string& variant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(variant);
+  return it == entries_.end() ? nullptr : it->second.servable;
+}
+
+std::uint64_t ModelRegistry::generation(const std::string& variant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(variant);
+  return it == entries_.end() ? 0 : it->second.generation;
+}
+
+bool ModelRegistry::contains(const std::string& variant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.count(variant) != 0;
+}
+
+std::size_t ModelRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::vector<std::string> ModelRegistry::variant_ids() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::size_t, std::string>> ranked;
+  ranked.reserve(entries_.size());
+  for (const auto& [id, e] : entries_) ranked.emplace_back(e.order, id);
+  std::sort(ranked.begin(), ranked.end());
+  std::vector<std::string> out;
+  out.reserve(ranked.size());
+  for (auto& [order, id] : ranked) out.push_back(std::move(id));
+  return out;
+}
+
+}  // namespace ascend::runtime

@@ -1,0 +1,58 @@
+#pragma once
+// registry.h — named servable variants with atomic hot-swap.
+//
+// A ModelRegistry maps variant ids to Servables. publish() registers a new
+// variant or atomically replaces a live one; each replacement bumps the
+// variant's generation counter. Readers (the engine's forward workers) take
+// a shared_ptr snapshot under a briefly-held mutex and run the forward
+// outside any lock, so re-publishing a variant — re-freezing snapshots,
+// swapping weights, changing fidelity — never blocks in-flight forwards:
+// they finish on the generation they grabbed, and the old servable is
+// destroyed when its last in-flight reference drops.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "runtime/servable.h"
+
+namespace ascend::runtime {
+
+class ModelRegistry {
+ public:
+  /// Register `servable` under its variant_id(), or atomically replace the
+  /// live servable of that id (hot-swap). Returns the variant's generation
+  /// after the publish: 1 on first registration, incremented per swap.
+  std::uint64_t publish(std::shared_ptr<const Servable> servable);
+
+  /// Snapshot of the live servable for `variant`. The returned pointer stays
+  /// valid (and the servable alive) across any later publish.
+  /// Throws UnknownVariantError on an unregistered id.
+  std::shared_ptr<const Servable> get(const std::string& variant) const;
+
+  /// Like get(), but returns nullptr instead of throwing.
+  std::shared_ptr<const Servable> try_get(const std::string& variant) const;
+
+  /// Current generation of `variant` (0 if never published).
+  std::uint64_t generation(const std::string& variant) const;
+
+  bool contains(const std::string& variant) const;
+  std::size_t size() const;
+  /// Registered ids in first-publish order (stable across hot-swaps).
+  std::vector<std::string> variant_ids() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const Servable> servable;
+    std::uint64_t generation = 0;
+    std::size_t order = 0;  ///< first-publish rank, for variant_ids()
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace ascend::runtime

@@ -294,6 +294,46 @@ void VisionTransformer::copy_weights_from(VisionTransformer& other) {
   }
 }
 
+std::unique_ptr<VisionTransformer> VisionTransformer::clone_for_serving() {
+  // The constructor's random init is immediately overwritten; the seed only
+  // feeds that throwaway init.
+  auto out = std::make_unique<VisionTransformer>(cfg_, /*seed=*/0);
+  out->copy_weights_from(*this);
+  out->precision_ = precision_;
+
+  // Quantizer calibration: LsqQuantizer's copy assignment carries the spec
+  // and the learned step but deliberately drops frozen snapshots, so the
+  // clone re-freezes against its own weights.
+  const auto copy_linear_quants = [](nn::Linear& dst, nn::Linear& src) {
+    dst.weight_quant() = src.weight_quant();
+    dst.input_quant() = src.input_quant();
+  };
+  // BN running statistics are not Params, so copy_weights_from misses them.
+  const auto copy_norm_state = [](NormLayer& dst, NormLayer& src) {
+    if (nn::BatchNorm* sbn = src.batch_norm()) {
+      nn::BatchNorm* dbn = dst.batch_norm();
+      dbn->running_mean() = sbn->running_mean();
+      dbn->running_var() = sbn->running_var();
+      dbn->thaw();
+    }
+  };
+  for (std::size_t l = 0; l < blocks_.size(); ++l) {
+    EncoderBlock& src = blocks_[l];
+    EncoderBlock& dst = out->blocks_[l];
+    copy_linear_quants(dst.msa().qkv(), src.msa().qkv());
+    copy_linear_quants(dst.msa().proj(), src.msa().proj());
+    copy_linear_quants(dst.mlp().fc1(), src.mlp().fc1());
+    copy_linear_quants(dst.mlp().fc2(), src.mlp().fc2());
+    dst.residual_quant1() = src.residual_quant1();
+    dst.residual_quant2() = src.residual_quant2();
+    dst.msa().set_softmax_kind(src.msa().softmax_kind());
+    copy_norm_state(dst.norm1(), src.norm1());
+    copy_norm_state(dst.norm2(), src.norm2());
+  }
+  copy_norm_state(out->final_norm_, final_norm_);
+  return out;
+}
+
 void VisionTransformer::apply_precision(const PrecisionSpec& spec) {
   precision_ = spec;
   const nn::QuantSpec wq =

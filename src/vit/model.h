@@ -30,6 +30,10 @@ class NormLayer {
   nn::Tensor infer(const nn::Tensor& x) const;  ///< re-entrant eval-mode path
   void collect_params(std::vector<nn::Param*>& out);
   NormKind kind() const { return kind_; }
+  /// Underlying layer (nullptr when this NormLayer dispatches the other
+  /// kind) — exposed for serving-state copies (BN running statistics).
+  nn::BatchNorm* batch_norm() { return bn_.get(); }
+  nn::LayerNorm* layer_norm() { return ln_.get(); }
 
  private:
   NormKind kind_;
@@ -110,6 +114,15 @@ class VisionTransformer {
   std::vector<nn::Param*> structural_params();
   /// Copy structural parameters from a same-topology model.
   void copy_weights_from(VisionTransformer& other);
+
+  /// Deep serving copy: a fresh model with this model's topology, weights,
+  /// precision spec, quantizer calibration (specs + learned steps), BN
+  /// running statistics and softmax kind — `clone->infer(x)` is bit-exact
+  /// with `this->infer(x)`. Inference hooks and frozen serving snapshots are
+  /// NOT copied: the clone starts hook-free and re-freezes lazily, so
+  /// serving adapters can install per-variant hooks / precision on private
+  /// copies of one trained model (see vit/servable.h).
+  std::unique_ptr<VisionTransformer> clone_for_serving();
 
   /// Configure the W/A/R quantizers on every encoder block.
   void apply_precision(const PrecisionSpec& spec);

@@ -6,9 +6,11 @@ namespace ascend::vit {
 
 double evaluate_sc(VisionTransformer& model, const Dataset& data, const ScInferenceConfig& cfg,
                    int batch_size) {
-  // The engine installs the SC hooks (LUT-cached, validated bit-exact against
-  // the circuit emulators), parallelises the per-activation emulation across
-  // its worker pool, and restores the model's hooks when it goes out of scope.
+  // The engine's back-compat SC constructor serves `model` in place as a
+  // single registered variant: SC hooks installed on it (LUT-cached,
+  // validated bit-exact against the circuit emulators), per-activation
+  // emulation parallelised across the worker pool, hooks restored when the
+  // engine goes out of scope. Identical numerics to the pre-registry engine.
   runtime::InferenceEngine engine(model, cfg);
   return engine.evaluate(data, batch_size);
 }

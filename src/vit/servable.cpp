@@ -1,0 +1,159 @@
+#include "vit/servable.h"
+
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "sc/gate_si.h"
+#include "sc/softmax_iter.h"
+
+namespace ascend::vit {
+
+namespace {
+
+using nn::Tensor;
+
+/// Servable over a VisionTransformer — owned serving clone or a caller-owned
+/// instance — with optional SC nonlinear-block hooks installed on it for the
+/// servable's lifetime. infer() is const and re-entrant: the model's const
+/// infer path writes no member state, and the hooks only read immutable LUTs
+/// (or copy per-call emulator instances from an immutable prototype).
+class VitServable final : public runtime::Servable {
+ public:
+  VitServable(VisionTransformer* model, std::unique_ptr<VisionTransformer> owned,
+              std::string variant_id)
+      : model_(model), owned_(std::move(owned)), variant_id_(std::move(variant_id)) {
+    const VitConfig& cfg = model_->config();
+    input_dim_ = cfg.channels * cfg.image_size * cfg.image_size;
+    output_dim_ = cfg.classes;
+  }
+
+  /// Installs the SC hooks from `cfg`; the model's hooks belong to this
+  /// servable until destruction.
+  void install_sc_hooks(const ScInferenceConfig& cfg, const ScServableOptions& opts) {
+    if (!opts.pool && !owned_pool_)
+      owned_pool_ = std::make_unique<runtime::ThreadPool>(
+          opts.threads > 0 ? opts.threads : default_threads());
+    runtime::ThreadPool* pool = opts.pool ? opts.pool : owned_pool_.get();
+    runtime::TfCache* cache = opts.cache ? opts.cache : &runtime::global_tf_cache();
+    hooks_installed_ = true;
+    try {
+      if (cfg.use_sc_softmax) {
+        sc::SoftmaxIterConfig sm = cfg.softmax;
+        sm.m = model_->config().tokens();
+        sm.validate();
+        const runtime::SoftmaxLut* lut = opts.use_tf_cache ? &cache->softmax(sm) : nullptr;
+        model_->set_softmax_hook([sm, lut, pool](const Tensor& scores) {
+          const int rows = scores.dim(0), m = scores.dim(1);
+          Tensor out({rows, m});
+          pool->parallel_for(0, rows, [&](int lo, int hi) {
+            std::vector<double> row(static_cast<std::size_t>(m));
+            for (int r = lo; r < hi; ++r) {
+              for (int c = 0; c < m; ++c) row[static_cast<std::size_t>(c)] = scores.at(r, c);
+              const auto y = lut ? (*lut)(row) : sc::softmax_iterative_sc(row, sm);
+              for (int c = 0; c < m; ++c)
+                out.at(r, c) = static_cast<float>(y[static_cast<std::size_t>(c)]);
+            }
+          });
+          return out;
+        });
+      }
+      if (cfg.use_sc_gelu) {
+        const runtime::GateSiLut* lut = nullptr;
+        std::shared_ptr<const sc::GateAssistedSI> proto;
+        if (opts.use_tf_cache)
+          lut = &cache->gelu(cfg.gelu_bsl, -cfg.gelu_range, cfg.gelu_range, 16);
+        else
+          proto = std::make_shared<const sc::GateAssistedSI>(
+              sc::make_gelu_block(cfg.gelu_bsl, -cfg.gelu_range, cfg.gelu_range, 16));
+        model_->set_gelu_hook([lut, proto, pool](const Tensor& x) {
+          // Per-call emulator instance: concurrent forwards never share one
+          // (reads within the call are const, so the chunks may share it).
+          std::unique_ptr<const sc::GateAssistedSI> block;
+          if (!lut) block = std::make_unique<const sc::GateAssistedSI>(*proto);
+          Tensor y(x.shape());
+          pool->parallel_for(0, static_cast<int>(x.size()), [&](int lo, int hi) {
+            for (int i = lo; i < hi; ++i) {
+              const std::size_t s = static_cast<std::size_t>(i);
+              y[s] = static_cast<float>(lut ? (*lut)(x[s]) : block->transfer(x[s]));
+            }
+          });
+          return y;
+        });
+      }
+    } catch (...) {
+      // A half-installed hook must not outlive the failed construction.
+      model_->clear_hooks();
+      hooks_installed_ = false;
+      throw;
+    }
+  }
+
+  ~VitServable() override {
+    if (hooks_installed_) model_->clear_hooks();
+  }
+
+  Tensor infer(const Tensor& batch) const override {
+    return static_cast<const VisionTransformer*>(model_)->infer(batch);
+  }
+  int input_dim() const override { return input_dim_; }
+  int output_dim() const override { return output_dim_; }
+  const std::string& variant_id() const override { return variant_id_; }
+
+ private:
+  static int default_threads() {
+    const unsigned hc = std::thread::hardware_concurrency();
+    return hc > 0 ? static_cast<int>(hc) : 1;
+  }
+
+  VisionTransformer* model_;
+  std::unique_ptr<VisionTransformer> owned_;
+  std::unique_ptr<runtime::ThreadPool> owned_pool_;
+  std::string variant_id_;
+  int input_dim_ = 0;
+  int output_dim_ = 0;
+  bool hooks_installed_ = false;
+};
+
+}  // namespace
+
+std::shared_ptr<runtime::Servable> make_fp32_servable(VisionTransformer& model,
+                                                      std::string variant_id) {
+  std::unique_ptr<VisionTransformer> clone = model.clone_for_serving();
+  clone->apply_precision(PrecisionSpec::fp());
+  VisionTransformer* raw = clone.get();
+  return std::make_shared<VitServable>(raw, std::move(clone), std::move(variant_id));
+}
+
+std::shared_ptr<runtime::Servable> make_packed_ternary_servable(VisionTransformer& model,
+                                                                std::string variant_id) {
+  const PrecisionSpec& p = model.precision();
+  if (p.w_bsl != 2 || p.a_bsl != 2)
+    throw std::invalid_argument(
+        "make_packed_ternary_servable: model precision must be ternary W2-A2, got " + p.name());
+  std::unique_ptr<VisionTransformer> clone = model.clone_for_serving();
+  VisionTransformer* raw = clone.get();
+  return std::make_shared<VitServable>(raw, std::move(clone), std::move(variant_id));
+}
+
+std::shared_ptr<runtime::Servable> make_sc_servable(VisionTransformer& model,
+                                                    const ScInferenceConfig& cfg,
+                                                    ScServableOptions opts,
+                                                    std::string variant_id) {
+  std::unique_ptr<VisionTransformer> clone = model.clone_for_serving();
+  VisionTransformer* raw = clone.get();
+  auto servable = std::make_shared<VitServable>(raw, std::move(clone), std::move(variant_id));
+  servable->install_sc_hooks(cfg, opts);
+  return servable;
+}
+
+std::shared_ptr<runtime::Servable> make_sc_servable_in_place(VisionTransformer& model,
+                                                             const ScInferenceConfig& cfg,
+                                                             ScServableOptions opts,
+                                                             std::string variant_id) {
+  auto servable = std::make_shared<VitServable>(&model, nullptr, std::move(variant_id));
+  servable->install_sc_hooks(cfg, opts);
+  return servable;
+}
+
+}  // namespace ascend::vit

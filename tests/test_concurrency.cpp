@@ -16,9 +16,11 @@
 #include "nn/rng.h"
 #include "runtime/batcher.h"
 #include "runtime/engine.h"
+#include "runtime/registry.h"
 #include "runtime/thread_pool.h"
 #include "vit/dataset.h"
 #include "vit/model.h"
+#include "vit/servable.h"
 
 using namespace ascend;
 using namespace ascend::runtime;
@@ -212,6 +214,120 @@ TEST(EngineConcurrency, ConcurrentPredictBatchCallersAgree) {
   }
   for (auto& th : callers) th.join();
   EXPECT_EQ(mismatches.load(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Registry hot-swap and multi-variant serving under concurrency (the TSan CI
+// job drives these).
+// ---------------------------------------------------------------------------
+
+TEST(RegistryConcurrency, HotSwapMidTrafficIsBitExactWithQuiescedServing) {
+  const vit::VitConfig top = tiny_topology();
+  vit::VisionTransformer model(top, /*seed=*/47);
+  model.apply_precision(vit::PrecisionSpec::w2a2r16());
+  const vit::Dataset data = vit::make_synthetic_vision(24, top.classes, 56, top.image_size);
+  std::vector<int> idx(static_cast<std::size_t>(data.size()));
+  std::iota(idx.begin(), idx.end(), 0);
+  const vit::Batch all = vit::take_batch(data, idx);
+  (void)model.forward(all.images, /*training=*/false);  // latch the LSQ steps
+
+  auto reg = std::make_shared<ModelRegistry>();
+  reg->publish(vit::make_packed_ternary_servable(model, "m"));
+  EngineOptions opts;
+  opts.threads = 2;
+  opts.max_batch = 4;
+  opts.max_delay = std::chrono::microseconds(1000);
+  opts.concurrent_forwards = 2;
+  InferenceEngine engine(reg, opts);
+
+  // Quiesced reference: no swaps in flight.
+  const std::vector<int> ref = engine.predict_batch(all.images);
+  const int pixels = all.images.dim(1);
+
+  // Client threads stream the dataset while the main thread keeps
+  // hot-swapping freshly cloned (re-frozen) servables of the same weights.
+  constexpr int kClients = 3;
+  const int per_client = data.size() / kClients;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int rep = 0; rep < 3; ++rep)
+        for (int i = 0; i < per_client; ++i) {
+          const int r = c * per_client + i;
+          std::vector<float> img(static_cast<std::size_t>(pixels));
+          for (int p = 0; p < pixels; ++p) img[static_cast<std::size_t>(p)] = all.images.at(r, p);
+          const Prediction pred = engine.submit(std::move(img)).get();
+          if (pred.label != ref[static_cast<std::size_t>(r)]) mismatches.fetch_add(1);
+        }
+    });
+  }
+  for (int swap = 0; swap < 8; ++swap) {
+    reg->publish(vit::make_packed_ternary_servable(model, "m"));
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  for (auto& th : clients) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(reg->generation("m"), 9u);  // 1 initial + 8 swaps
+  // Post-swap sync path still matches the quiesced reference.
+  EXPECT_EQ(engine.predict_batch(all.images), ref);
+}
+
+TEST(RegistryConcurrency, ConcurrentMultiVariantSubmitsMatchPerVariantReferences) {
+  const vit::VitConfig top = tiny_topology();
+  vit::VisionTransformer model(top, /*seed=*/48);
+  model.apply_precision(vit::PrecisionSpec::w2a2r16());
+  const vit::Dataset data = vit::make_synthetic_vision(16, top.classes, 57, top.image_size);
+  std::vector<int> idx(static_cast<std::size_t>(data.size()));
+  std::iota(idx.begin(), idx.end(), 0);
+  const vit::Batch all = vit::take_batch(data, idx);
+  (void)model.forward(all.images, /*training=*/false);
+
+  auto reg = std::make_shared<ModelRegistry>();
+  reg->publish(vit::make_packed_ternary_servable(model, "packed"));
+  vit::ScServableOptions sopts;
+  sopts.threads = 2;
+  reg->publish(vit::make_sc_servable(model, tiny_sc_config(), sopts, "sc-lut"));
+  EngineOptions opts;
+  opts.threads = 2;
+  opts.max_batch = 4;
+  opts.max_delay = std::chrono::microseconds(1000);
+  opts.concurrent_forwards = 2;
+  opts.default_variant = "packed";
+  InferenceEngine engine(reg, opts);
+
+  const std::vector<int> ref_packed = engine.predict_batch(all.images, "packed");
+  const std::vector<int> ref_sc = engine.predict_batch(all.images, "sc-lut");
+  const int pixels = all.images.dim(1);
+
+  // Interleaved mixed-priority streams against both variants at once.
+  constexpr int kClients = 4;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      const bool use_sc = (c % 2) == 1;
+      RequestOptions ropts;
+      ropts.variant = use_sc ? "sc-lut" : "packed";
+      ropts.priority = (c % 3 == 0) ? Priority::kInteractive : Priority::kBatch;
+      const std::vector<int>& ref = use_sc ? ref_sc : ref_packed;
+      for (int r = 0; r < data.size(); ++r) {
+        std::vector<float> img(static_cast<std::size_t>(pixels));
+        for (int p = 0; p < pixels; ++p) img[static_cast<std::size_t>(p)] = all.images.at(r, p);
+        const Prediction pred = engine.submit(std::move(img), ropts).get();
+        if (pred.label != ref[static_cast<std::size_t>(r)]) mismatches.fetch_add(1);
+        if (pred.variant != ropts.variant) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : clients) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  const EngineStats st = engine.stats();
+  EXPECT_EQ(st.images, static_cast<std::uint64_t>(kClients * data.size()));
+  EXPECT_EQ(st.priority(Priority::kInteractive).served +
+                st.priority(Priority::kBatch).served,
+            st.images);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,545 @@
+// Tests for the model-agnostic serving API: the Servable contract, the
+// ModelRegistry (publish / get / generation-counted hot-swap), the
+// priority/deadline-aware batcher scheduling, engine routing across
+// variants, per-priority stats, and the ViT servable adapters
+// (fp32 / packed-ternary / SC) built from one trained model.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "runtime/batcher.h"
+#include "runtime/engine.h"
+#include "runtime/registry.h"
+#include "runtime/servable.h"
+#include "vit/model.h"
+#include "vit/servable.h"
+#include "vit/train.h"
+
+using namespace ascend;
+using namespace ascend::runtime;
+
+namespace {
+
+/// Deterministic toy servable: label = round(payload[0]) + `bias`, logits
+/// one-hot. Records every served payload row in arrival order and counts
+/// forwards, so tests can assert scheduling order and that dropped requests
+/// never reach a forward.
+class MockServable final : public Servable {
+ public:
+  MockServable(std::string id, int bias = 0, std::chrono::milliseconds delay = {})
+      : id_(std::move(id)), bias_(bias), delay_(delay) {}
+
+  nn::Tensor infer(const nn::Tensor& batch) const override {
+    if (delay_.count() > 0) std::this_thread::sleep_for(delay_);
+    nn::Tensor logits({batch.dim(0), kClasses});
+    std::lock_guard<std::mutex> lock(mu_);
+    forwards_ += 1;
+    for (int r = 0; r < batch.dim(0); ++r) {
+      const int label = (static_cast<int>(batch.at(r, 0)) + bias_) % kClasses;
+      logits.at(r, label) = 1.0f;
+      served_.push_back(batch.at(r, 0));
+    }
+    return logits;
+  }
+  int input_dim() const override { return kInputDim; }
+  int output_dim() const override { return kClasses; }
+  const std::string& variant_id() const override { return id_; }
+
+  int forwards() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return forwards_;
+  }
+  std::vector<float> served() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return served_;
+  }
+
+  static constexpr int kInputDim = 4;
+  static constexpr int kClasses = 8;
+
+ private:
+  std::string id_;
+  int bias_;
+  std::chrono::milliseconds delay_;
+  mutable std::mutex mu_;
+  mutable int forwards_ = 0;
+  mutable std::vector<float> served_;
+};
+
+std::vector<float> payload(float head) {
+  std::vector<float> p(MockServable::kInputDim, 0.0f);
+  p[0] = head;
+  return p;
+}
+
+RequestOptions req(Priority p, std::string variant = {},
+                   std::chrono::microseconds deadline = std::chrono::microseconds{0}) {
+  RequestOptions o;
+  o.priority = p;
+  o.variant = std::move(variant);
+  o.deadline = deadline;
+  return o;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ModelRegistry
+// ---------------------------------------------------------------------------
+
+TEST(ModelRegistry, PublishGetAndVariantIdsInFirstPublishOrder) {
+  ModelRegistry reg;
+  EXPECT_EQ(reg.size(), 0u);
+  EXPECT_FALSE(reg.contains("b"));
+  EXPECT_EQ(reg.publish(std::make_shared<MockServable>("b")), 1u);
+  EXPECT_EQ(reg.publish(std::make_shared<MockServable>("a")), 1u);
+  EXPECT_EQ(reg.size(), 2u);
+  EXPECT_TRUE(reg.contains("a"));
+  EXPECT_EQ(reg.get("b")->variant_id(), "b");
+  // First-publish order, not lexicographic.
+  EXPECT_EQ(reg.variant_ids(), (std::vector<std::string>{"b", "a"}));
+  EXPECT_THROW(reg.get("zzz"), UnknownVariantError);
+  EXPECT_EQ(reg.try_get("zzz"), nullptr);
+  EXPECT_THROW(reg.publish(nullptr), std::invalid_argument);
+}
+
+TEST(ModelRegistry, HotSwapBumpsGenerationAndKeepsOldSnapshotAlive) {
+  ModelRegistry reg;
+  auto v1 = std::make_shared<MockServable>("m", /*bias=*/0);
+  reg.publish(v1);
+  EXPECT_EQ(reg.generation("m"), 1u);
+  const std::shared_ptr<const Servable> snapshot = reg.get("m");
+
+  auto v2 = std::make_shared<MockServable>("m", /*bias=*/1);
+  EXPECT_EQ(reg.publish(v2), 2u);
+  EXPECT_EQ(reg.generation("m"), 2u);
+  // The pre-swap snapshot still works: in-flight forwards are never broken.
+  nn::Tensor x({1, MockServable::kInputDim});
+  x.at(0, 0) = 3.0f;
+  EXPECT_EQ(snapshot->infer(x).at(0, 3), 1.0f);  // bias 0: label 3
+  EXPECT_EQ(reg.get("m")->infer(x).at(0, 4), 1.0f);  // bias 1: label 4
+  EXPECT_EQ(reg.generation("absent"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Batcher: priority scheduling, variant grouping, deadlines
+// ---------------------------------------------------------------------------
+
+TEST(PriorityBatcher, InteractivePreemptsQueuedBatchTrafficInQueueOrder) {
+  Batcher b(2, std::chrono::microseconds(0));  // close immediately once inspected
+  auto f0 = b.enqueue(payload(0), req(Priority::kBatch));
+  auto f1 = b.enqueue(payload(1), req(Priority::kBatch));
+  auto f2 = b.enqueue(payload(2), req(Priority::kInteractive));
+  auto f3 = b.enqueue(payload(3), req(Priority::kNormal));
+  auto f4 = b.enqueue(payload(4), req(Priority::kInteractive));
+
+  // Interactive first (arrival order within the class), then normal, then
+  // the batch-class stragglers.
+  auto batch = b.next_batch();
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].image[0], 2.0f);
+  EXPECT_EQ(batch[1].image[0], 4.0f);
+  batch = b.next_batch();
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].image[0], 3.0f);
+  EXPECT_EQ(batch[1].image[0], 0.0f);
+  batch = b.next_batch();
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].image[0], 1.0f);
+  b.close();
+}
+
+TEST(PriorityBatcher, BatchesNeverMixVariants) {
+  Batcher b(8, std::chrono::microseconds(0));
+  auto f0 = b.enqueue(payload(0), req(Priority::kNormal, "x"));
+  auto f1 = b.enqueue(payload(1), req(Priority::kNormal, "y"));
+  auto f2 = b.enqueue(payload(2), req(Priority::kNormal, "x"));
+
+  // Leader is the oldest normal request (variant x); its batch takes every
+  // compatible x request but must leave y alone.
+  auto batch = b.next_batch();
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].variant, "x");
+  EXPECT_EQ(batch[0].image[0], 0.0f);
+  EXPECT_EQ(batch[1].image[0], 2.0f);
+  batch = b.next_batch();
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].variant, "y");
+  b.close();
+}
+
+TEST(PriorityBatcher, HigherPriorityVariantReaimsTheNextBatch) {
+  Batcher b(4, std::chrono::microseconds(200'000));  // 200 ms latency budget
+  auto f0 = b.enqueue(payload(0), req(Priority::kBatch, "slow"));
+  // While the dispatcher would wait out the batch's latency budget, an
+  // interactive request for another variant arrives and must be served first.
+  std::thread late([&b] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    auto f = b.enqueue(payload(1), req(Priority::kInteractive, "fast",
+                                       std::chrono::microseconds(1)));  // expires fast
+  });
+  // Use a deadline-free probe instead: enqueue on a second thread without
+  // deadline so the re-aim is observable deterministically.
+  std::thread late2([&b] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    auto f = b.enqueue(payload(2), req(Priority::kInteractive, "fast"));
+  });
+  late.join();
+  late2.join();
+  auto batch = b.next_batch();
+  ASSERT_GE(batch.size(), 1u);
+  EXPECT_EQ(batch[0].variant, "fast");
+  b.close();
+}
+
+TEST(PriorityBatcher, NegativeDeadlineFailsFastWithoutQueueing) {
+  Batcher b(4, std::chrono::microseconds(1000));
+  int drops = 0;
+  b.set_drop_observer([&drops](Priority p) {
+    EXPECT_EQ(p, Priority::kInteractive);
+    ++drops;
+  });
+  auto fut = b.enqueue(payload(1), req(Priority::kInteractive, {},
+                                       std::chrono::microseconds(-1)));
+  EXPECT_EQ(b.pending(), 0u);
+  EXPECT_THROW(fut.get(), DeadlineExceededError);
+  EXPECT_EQ(drops, 1);
+  b.close();
+}
+
+TEST(PriorityBatcher, ExpiredRequestIsDroppedAtBatchFormation) {
+  Batcher b(4, std::chrono::microseconds(30'000));
+  auto doomed = b.enqueue(payload(1), req(Priority::kNormal, {},
+                                          std::chrono::microseconds(1'000)));
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));  // let it expire
+  auto live = b.enqueue(payload(2), req(Priority::kNormal));
+  auto batch = b.next_batch();  // latency cutoff eventually releases `live`
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].image[0], 2.0f);
+  EXPECT_THROW(doomed.get(), DeadlineExceededError);
+  b.close();
+}
+
+TEST(PriorityBatcher, MemberDeadlineClosesTheBatchEarlyAndIsServed) {
+  // A serviceable request with a deadline tighter than the latency budget
+  // must close its batch ahead of the deadline and be served — the drop
+  // path is reserved for requests the scheduler genuinely could not reach
+  // in time.
+  Batcher b(64, std::chrono::microseconds(400'000));  // 400 ms batching budget
+  auto tight = b.enqueue(payload(1), req(Priority::kNormal, {},
+                                         std::chrono::microseconds(25'000)));
+  auto lax = b.enqueue(payload(2), req(Priority::kNormal));
+  const auto t0 = std::chrono::steady_clock::now();
+  auto batch = b.next_batch();
+  const auto ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0).count();
+  ASSERT_EQ(batch.size(), 2u) << "the deadline member rides in the batch it forced closed";
+  EXPECT_EQ(batch[0].image[0], 1.0f);
+  EXPECT_LT(ms, 300.0) << "batch must close near the 25 ms deadline, not the 400 ms budget";
+  b.close();
+}
+
+TEST(PriorityBatcher, CrossVariantDeadlineFailsFastDuringAnotherGroupsWait) {
+  // While the dispatcher waits out the leader group's cutoff, an expiring
+  // request bound for a *different* variant must still be failed at its
+  // deadline, not whenever that cutoff fires.
+  Batcher b(64, std::chrono::microseconds(150'000));  // 150 ms batching budget
+  auto leader = b.enqueue(payload(1), req(Priority::kInteractive, "a"));
+  auto doomed = b.enqueue(payload(2), req(Priority::kBatch, "b",
+                                          std::chrono::microseconds(20'000)));
+  std::atomic<bool> failed_promptly{false};
+  std::thread probe([&] {
+    // Well after the 20 ms deadline, well before the 150 ms cutoff.
+    std::this_thread::sleep_for(std::chrono::milliseconds(80));
+    failed_promptly.store(doomed.wait_for(std::chrono::seconds(0)) ==
+                          std::future_status::ready);
+  });
+  auto batch = b.next_batch();  // the "a" group, released by its cutoff
+  probe.join();
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].variant, "a");
+  EXPECT_TRUE(failed_promptly.load());
+  EXPECT_THROW(doomed.get(), DeadlineExceededError);
+  b.close();
+}
+
+// ---------------------------------------------------------------------------
+// InferenceEngine over a registry of mock variants
+// ---------------------------------------------------------------------------
+
+namespace {
+
+EngineOptions quick_engine_opts() {
+  EngineOptions opts;
+  opts.threads = 1;
+  opts.max_batch = 4;
+  opts.max_delay = std::chrono::microseconds(500);
+  opts.concurrent_forwards = 1;
+  return opts;
+}
+
+}  // namespace
+
+TEST(ServingEngine, RoutesRequestsToNamedVariants) {
+  auto reg = std::make_shared<ModelRegistry>();
+  auto a = std::make_shared<MockServable>("a", /*bias=*/0);
+  auto b = std::make_shared<MockServable>("b", /*bias=*/1);
+  reg->publish(a);
+  reg->publish(b);
+  EngineOptions opts = quick_engine_opts();
+  opts.default_variant = "a";
+  InferenceEngine engine(reg, opts);
+
+  auto fa = engine.submit(payload(3));                                  // default -> a
+  auto fb = engine.submit(payload(3), req(Priority::kNormal, "b"));     // explicit -> b
+  const Prediction pa = fa.get();
+  const Prediction pb = fb.get();
+  EXPECT_EQ(pa.label, 3);
+  EXPECT_EQ(pa.variant, "a");
+  EXPECT_EQ(pb.label, 4);
+  EXPECT_EQ(pb.variant, "b");
+  EXPECT_THROW(engine.submit(payload(0), req(Priority::kNormal, "nope")), UnknownVariantError);
+
+  const EngineStats st = engine.stats();
+  EXPECT_EQ(st.priority(Priority::kNormal).queued, 2u);
+  EXPECT_EQ(st.priority(Priority::kNormal).served, 2u);
+  EXPECT_EQ(st.priority(Priority::kNormal).rejected, 1u);
+}
+
+TEST(ServingEngine, MultiVariantRegistryRequiresExplicitDefault) {
+  auto reg = std::make_shared<ModelRegistry>();
+  reg->publish(std::make_shared<MockServable>("a"));
+  reg->publish(std::make_shared<MockServable>("b"));
+  EXPECT_THROW(InferenceEngine(reg, quick_engine_opts()), std::invalid_argument);
+  EngineOptions opts = quick_engine_opts();
+  opts.default_variant = "missing";
+  EXPECT_THROW(InferenceEngine(reg, opts), UnknownVariantError);
+  // A sole variant needs no explicit default.
+  auto reg1 = std::make_shared<ModelRegistry>();
+  reg1->publish(std::make_shared<MockServable>("only"));
+  InferenceEngine engine(reg1, quick_engine_opts());
+  EXPECT_EQ(engine.default_variant(), "only");
+}
+
+TEST(ServingEngine, InteractiveServedBeforeQueuedBatchUnderSaturatedBoundedQueue) {
+  auto reg = std::make_shared<ModelRegistry>();
+  auto mock = std::make_shared<MockServable>("m", 0, std::chrono::milliseconds(120));
+  reg->publish(mock);
+  EngineOptions opts = quick_engine_opts();
+  opts.max_batch = 2;
+  opts.max_delay = std::chrono::microseconds(0);
+  opts.max_pending = 6;
+  opts.overflow = OverflowPolicy::kReject;
+  InferenceEngine engine(reg, opts);
+
+  // Occupy the only forward slot, then saturate the bounded queue with batch
+  // traffic and add interactive arrivals behind it.
+  auto blocker = engine.submit(payload(99));
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));  // blocker in flight
+  std::vector<std::future<Prediction>> futs;
+  for (int i = 0; i < 4; ++i) futs.push_back(engine.submit(payload(10 + i), req(Priority::kBatch)));
+  for (int i = 0; i < 2; ++i)
+    futs.push_back(engine.submit(payload(20 + i), req(Priority::kInteractive)));
+  EXPECT_THROW(engine.submit(payload(0), req(Priority::kBatch)), QueueFullError);
+
+  blocker.get();
+  for (auto& f : futs) f.get();
+  const std::vector<float> order = mock->served();
+  ASSERT_EQ(order.size(), 7u);
+  // After the blocker, both interactive payloads ran before any batch one.
+  EXPECT_EQ(order[0], 99.0f);
+  EXPECT_EQ(order[1], 20.0f);
+  EXPECT_EQ(order[2], 21.0f);
+  for (std::size_t i = 3; i < order.size(); ++i) EXPECT_GE(order[i], 10.0f);
+  EXPECT_LT(order[3], 20.0f);
+
+  const EngineStats st = engine.stats();
+  EXPECT_EQ(st.priority(Priority::kInteractive).served, 2u);
+  EXPECT_EQ(st.priority(Priority::kBatch).served, 4u);
+  EXPECT_EQ(st.priority(Priority::kBatch).rejected, 1u);
+}
+
+TEST(ServingEngine, ExpiredDeadlineFailsTypedWithoutRunningTheForward) {
+  auto reg = std::make_shared<ModelRegistry>();
+  auto mock = std::make_shared<MockServable>("m", 0, std::chrono::milliseconds(150));
+  reg->publish(mock);
+  EngineOptions opts = quick_engine_opts();
+  opts.max_batch = 1;
+  opts.max_delay = std::chrono::microseconds(0);
+  InferenceEngine engine(reg, opts);
+
+  auto blocker = engine.submit(payload(1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));  // blocker in flight
+  // Expires long before the blocker's 150 ms forward frees the slot.
+  auto doomed = engine.submit(payload(2), req(Priority::kInteractive, {},
+                                              std::chrono::microseconds(5'000)));
+  EXPECT_THROW(doomed.get(), DeadlineExceededError);
+  EXPECT_EQ(blocker.get().label, 1);
+  // Give the dispatcher a beat, then assert the dropped payload never ran.
+  const std::vector<float> served = mock->served();
+  for (float v : served) EXPECT_NE(v, 2.0f);
+  const EngineStats st = engine.stats();
+  EXPECT_EQ(st.priority(Priority::kInteractive).deadline_dropped, 1u);
+  EXPECT_EQ(st.priority(Priority::kInteractive).served, 0u);
+  EXPECT_EQ(st.priority(Priority::kInteractive).queued, 1u);
+}
+
+TEST(ServingEngine, PredictBatchAndEvaluatePickVariants) {
+  auto reg = std::make_shared<ModelRegistry>();
+  reg->publish(std::make_shared<MockServable>("a", /*bias=*/0));
+  reg->publish(std::make_shared<MockServable>("b", /*bias=*/1));
+  EngineOptions opts = quick_engine_opts();
+  opts.default_variant = "a";
+  InferenceEngine engine(reg, opts);
+
+  nn::Tensor x({2, MockServable::kInputDim});
+  x.at(0, 0) = 5.0f;
+  x.at(1, 0) = 6.0f;
+  EXPECT_EQ(engine.predict_batch(x), (std::vector<int>{5, 6}));
+  EXPECT_EQ(engine.predict_batch(x, "b"), (std::vector<int>{6, 7}));
+  EXPECT_THROW(engine.predict_batch(x, "nope"), UnknownVariantError);
+}
+
+// ---------------------------------------------------------------------------
+// ViT servable adapters — one trained model, four fidelity variants
+// ---------------------------------------------------------------------------
+
+namespace {
+
+vit::VitConfig tiny_topology() {
+  vit::VitConfig cfg;
+  cfg.image_size = 16;
+  cfg.patch_size = 8;  // 4 tokens
+  cfg.dim = 16;
+  cfg.layers = 1;
+  cfg.heads = 2;
+  cfg.mlp_ratio = 2;
+  cfg.classes = 4;
+  return cfg;
+}
+
+vit::ScInferenceConfig tiny_sc_config() {
+  vit::ScInferenceConfig cfg;
+  cfg.use_sc_softmax = true;
+  cfg.use_sc_gelu = true;
+  cfg.gelu_bsl = 8;
+  cfg.gelu_range = 6.0;
+  return cfg;
+}
+
+/// A W2A2-calibrated tiny model (one eval forward latches the LSQ steps and
+/// the BN running stats stay at init — enough for bit-exactness tests).
+vit::VisionTransformer calibrated_model(const vit::VitConfig& top, std::uint64_t seed,
+                                        const nn::Tensor& calib) {
+  vit::VisionTransformer model(top, seed);
+  model.apply_precision(vit::PrecisionSpec::w2a2r16());
+  (void)model.forward(calib, /*training=*/false);
+  return model;
+}
+
+}  // namespace
+
+TEST(VitServables, CloneForServingIsBitExactWithSourceModel) {
+  const vit::VitConfig top = tiny_topology();
+  const vit::Dataset data = vit::make_synthetic_vision(8, top.classes, 71, top.image_size);
+  std::vector<int> idx(static_cast<std::size_t>(data.size()));
+  std::iota(idx.begin(), idx.end(), 0);
+  const vit::Batch all = vit::take_batch(data, idx);
+  vit::VisionTransformer model = calibrated_model(top, 61, all.images);
+
+  const std::unique_ptr<vit::VisionTransformer> clone = model.clone_for_serving();
+  EXPECT_EQ(clone->precision().name(), model.precision().name());
+  const nn::Tensor ref = static_cast<const vit::VisionTransformer&>(model).infer(all.images);
+  const nn::Tensor got = static_cast<const vit::VisionTransformer&>(*clone).infer(all.images);
+  ASSERT_EQ(got.shape(), ref.shape());
+  for (std::size_t i = 0; i < ref.size(); ++i) ASSERT_EQ(got[i], ref[i]) << "logit " << i;
+}
+
+TEST(VitServables, PackedTernaryAdapterMatchesSourceAndFp32Differs) {
+  const vit::VitConfig top = tiny_topology();
+  const vit::Dataset data = vit::make_synthetic_vision(6, top.classes, 72, top.image_size);
+  std::vector<int> idx(static_cast<std::size_t>(data.size()));
+  std::iota(idx.begin(), idx.end(), 0);
+  const vit::Batch all = vit::take_batch(data, idx);
+  vit::VisionTransformer model = calibrated_model(top, 62, all.images);
+
+  const auto packed = vit::make_packed_ternary_servable(model, "w2a2");
+  EXPECT_EQ(packed->input_dim(), top.channels * top.image_size * top.image_size);
+  EXPECT_EQ(packed->output_dim(), top.classes);
+  const nn::Tensor ref = static_cast<const vit::VisionTransformer&>(model).infer(all.images);
+  const nn::Tensor got = packed->infer(all.images);
+  for (std::size_t i = 0; i < ref.size(); ++i) ASSERT_EQ(got[i], ref[i]) << "logit " << i;
+
+  const auto fp32 = vit::make_fp32_servable(model, "fp32");
+  const nn::Tensor fp = fp32->infer(all.images);
+  ASSERT_EQ(fp.shape(), ref.shape());
+  bool any_diff = false;
+  for (std::size_t i = 0; i < ref.size(); ++i)
+    if (fp[i] != ref[i]) any_diff = true;
+  EXPECT_TRUE(any_diff) << "stripping fake-quantization must change the logits";
+
+  // The adapters cloned: the source model's hooks / precision are untouched.
+  EXPECT_EQ(model.precision().name(), vit::PrecisionSpec::w2a2r16().name());
+
+  vit::VisionTransformer fp_model(top, /*seed=*/63);
+  EXPECT_THROW(vit::make_packed_ternary_servable(fp_model), std::invalid_argument);
+}
+
+TEST(VitServables, ScAdapterMatchesInPlaceEngineAndLeavesSourceHookFree) {
+  const vit::VitConfig top = tiny_topology();
+  const vit::Dataset data = vit::make_synthetic_vision(16, top.classes, 73, top.image_size);
+  vit::VisionTransformer model(top, /*seed=*/64);
+  const vit::ScInferenceConfig cfg = tiny_sc_config();
+
+  // Reference: the back-compat single-model engine (hooks on `model`).
+  EngineOptions opts = quick_engine_opts();
+  double ref_acc;
+  {
+    InferenceEngine ref_engine(model, cfg, opts);
+    ref_acc = ref_engine.evaluate(data);
+  }
+
+  // Cloned SC adapters (cached and emulated) under the registry engine.
+  auto reg = std::make_shared<ModelRegistry>();
+  vit::ScServableOptions sopts;
+  sopts.threads = 1;
+  reg->publish(vit::make_sc_servable(model, cfg, sopts, "sc-lut"));
+  sopts.use_tf_cache = false;
+  reg->publish(vit::make_sc_servable(model, cfg, sopts, "sc-emu"));
+  reg->publish(vit::make_fp32_servable(model, "fp32"));
+  EngineOptions ropts = quick_engine_opts();
+  ropts.default_variant = "sc-lut";
+  InferenceEngine engine(reg, ropts);
+  EXPECT_EQ(engine.evaluate(data, 128, "sc-lut"), ref_acc);
+  EXPECT_EQ(engine.evaluate(data, 128, "sc-emu"), ref_acc);
+
+  // The clones never touched the source model's hooks: a plain evaluate is
+  // repeatable and hook-free.
+  EXPECT_EQ(vit::evaluate(model, data), vit::evaluate(model, data));
+}
+
+TEST(VitServables, HotSwapRefreezesWithoutChangingResults) {
+  const vit::VitConfig top = tiny_topology();
+  const vit::Dataset data = vit::make_synthetic_vision(8, top.classes, 74, top.image_size);
+  std::vector<int> idx(static_cast<std::size_t>(data.size()));
+  std::iota(idx.begin(), idx.end(), 0);
+  const vit::Batch all = vit::take_batch(data, idx);
+  vit::VisionTransformer model = calibrated_model(top, 65, all.images);
+
+  auto reg = std::make_shared<ModelRegistry>();
+  reg->publish(vit::make_packed_ternary_servable(model, "m"));
+  InferenceEngine engine(reg, quick_engine_opts());
+  const std::vector<int> before = engine.predict_batch(all.images);
+  // Re-publish a freshly cloned servable (new frozen snapshots, same
+  // weights): generation bumps, results stay bit-identical.
+  reg->publish(vit::make_packed_ternary_servable(model, "m"));
+  EXPECT_EQ(reg->generation("m"), 2u);
+  EXPECT_EQ(engine.predict_batch(all.images), before);
+}
