@@ -36,21 +36,22 @@ double seconds_per_call(const std::function<void()>& fn, int iters) {
 
 struct Shape {
   const char* label;
+  const char* key;  ///< JSON metric prefix; null = table-only
   int m, k, n;
 };
 
-void dense_kernel_table(bool fast) {
+void dense_kernel_table(bool fast, bench::JsonWriter* json) {
   // Square sweep plus the ViT products the serving path actually issues
   // (bench topology: dim 64, tokens 16, mlp ratio 2; batch 64 rows).
   const std::vector<Shape> shapes = {
-      {"64^3", 64, 64, 64},
-      {"128^3", 128, 128, 128},
-      {"192^3 (acceptance)", 192, 192, 192},
-      {"256^3", 256, 256, 256},
-      {"qkv   [1024,64]x[64,192]", 1024, 64, 192},
-      {"mlp1  [1024,64]x[64,128]", 1024, 64, 128},
-      {"mlp2  [1024,128]x[128,64]", 1024, 128, 64},
-      {"head  [64,64]x[64,10]", 64, 64, 10},
+      {"64^3", nullptr, 64, 64, 64},
+      {"128^3", nullptr, 128, 128, 128},
+      {"192^3 (acceptance)", "gemm_192", 192, 192, 192},
+      {"256^3", nullptr, 256, 256, 256},
+      {"qkv   [1024,64]x[64,192]", "gemm_qkv", 1024, 64, 192},
+      {"mlp1  [1024,64]x[64,128]", nullptr, 1024, 64, 128},
+      {"mlp2  [1024,128]x[128,64]", nullptr, 1024, 128, 64},
+      {"head  [64,64]x[64,10]", nullptr, 64, 64, 10},
   };
   Rng rng(2);
   std::printf("\n-- dense f32 GEMM: blocked kernels vs seed naive loops (1 thread) --\n");
@@ -70,6 +71,12 @@ void dense_kernel_table(bool fast) {
         seconds_per_call([&] { ::benchmark::DoNotOptimize(matmul(a, b).data()); }, iters);
     std::printf("  %-28s %12.3f %12.2f %12.3f %12.2f %8.2fx\n", s.label, t_ref * 1e3,
                 flops / t_ref / 1e9, t_blk * 1e3, flops / t_blk / 1e9, t_ref / t_blk);
+    if (json && s.key) {
+      const std::string base = s.key;
+      json->add(base + "_naive_gflops", flops / t_ref / 1e9);
+      json->add(base + "_blocked_gflops", flops / t_blk / 1e9);
+      json->add(base + "_speedup", t_ref / t_blk);
+    }
   }
   gemm::set_backend(gemm::Backend::kBlocked);
 }
@@ -105,7 +112,7 @@ void pool_parallel_table(bool fast) {
               "   scaling is bounded by the machine's core count)\n");
 }
 
-void packed_ternary_table(bool fast) {
+void packed_ternary_table(bool fast, bench::JsonWriter* json) {
   // The PR-3 acceptance layer: 128x128, ternary weights AND activations
   // (W2A2), serving at small batches. "dense frozen" is the PR-3 path
   // (ASCEND_GEMM=reference: frozen dense snapshot through the naive matmul);
@@ -130,6 +137,11 @@ void packed_ternary_table(bool fast) {
         seconds_per_call([&] { ::benchmark::DoNotOptimize(lin.infer(x).data()); }, iters);
     std::printf("  %8d %14.2f %14.2f %8.2fx\n", batch, t_dense * 1e6, t_packed * 1e6,
                 t_dense / t_packed);
+    if (json) {
+      const std::string base = "packed_ternary_b" + std::to_string(batch);
+      json->add(base + "_usec_per_call", t_packed * 1e6);
+      json->add(base + "_speedup", t_dense / t_packed);
+    }
   }
   gemm::set_backend(gemm::Backend::kBlocked);
 }
@@ -174,12 +186,15 @@ BENCHMARK(bm_linear_infer_packed_ternary)->Arg(1)->Arg(16);
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string json_path = bench::parse_json_flag(argc, argv);
+  bench::JsonWriter json;
   bench::banner("GEMM kernel layer — blocked/tiled dense + packed ternary",
                 "serving extension (no table in the paper)");
   const bool fast = bench::fast_mode();
-  dense_kernel_table(fast);
+  dense_kernel_table(fast, &json);
   pool_parallel_table(fast);
-  packed_ternary_table(fast);
+  packed_ternary_table(fast, &json);
+  if (!json_path.empty()) json.write(json_path);
   bench::run_timing_kernels(argc, argv);
   return 0;
 }

@@ -3,9 +3,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
+#include <thread>
+#include <utility>
+#include <vector>
 
 namespace ascend::bench {
 
@@ -14,6 +19,83 @@ inline bool fast_mode() {
   const char* v = std::getenv("ASCEND_FAST");
   return v != nullptr && v[0] != '\0' && v[0] != '0';
 }
+
+/// Strip a `--json <path>` / `--json=<path>` flag out of argv and return the
+/// path ("" when absent). Must run before benchmark::Initialize, which
+/// rejects flags it does not know.
+inline std::string parse_json_flag(int& argc, char** argv) {
+  std::string path;
+  int w = 1;
+  for (int r = 1; r < argc; ++r) {
+    if (std::strcmp(argv[r], "--json") == 0 && r + 1 < argc) {
+      path = argv[++r];
+    } else if (std::strncmp(argv[r], "--json=", 7) == 0) {
+      path = argv[r] + 7;
+    } else {
+      argv[w++] = argv[r];
+    }
+  }
+  argc = w;
+  argv[argc] = nullptr;
+  return path;
+}
+
+/// Flat machine-readable bench results: insertion-ordered {key: value}
+/// pairs written as one JSON object, host metadata included. CI uploads the
+/// file as an artifact so runs are diffable across commits.
+class JsonWriter {
+ public:
+  JsonWriter() {
+    add("host_threads", static_cast<std::int64_t>(std::thread::hardware_concurrency()));
+    add("compiler", __VERSION__);
+#ifdef NDEBUG
+    add("build", "release");
+#else
+    add("build", "debug");
+#endif
+    add("fast_mode", static_cast<std::int64_t>(fast_mode() ? 1 : 0));
+  }
+
+  void add(const std::string& key, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    entries_.emplace_back(key, buf);
+  }
+  void add(const std::string& key, std::int64_t v) {
+    entries_.emplace_back(key, std::to_string(v));
+  }
+  void add(const std::string& key, const std::string& v) {
+    std::string quoted(1, '"');
+    quoted += escape(v);
+    quoted += '"';
+    entries_.emplace_back(key, std::move(quoted));
+  }
+
+  /// Write `{ "k": v, ... }`, one key per line. Returns false on I/O error.
+  bool write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) return false;
+    std::fprintf(f, "{\n");
+    for (std::size_t i = 0; i < entries_.size(); ++i)
+      std::fprintf(f, "  \"%s\": %s%s\n", escape(entries_[i].first).c_str(),
+                   entries_[i].second.c_str(), i + 1 < entries_.size() ? "," : "");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote bench results to %s (%zu metrics)\n", path.c_str(), entries_.size());
+    return true;
+  }
+
+ private:
+  static std::string escape(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
 
 /// Print the standard bench banner.
 inline void banner(const char* what, const char* paper_ref) {

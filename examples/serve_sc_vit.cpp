@@ -9,10 +9,18 @@
 // requests, spread across the variants — exactly as a serving frontend
 // would. Prints throughput, per-priority and per-variant client latency
 // percentiles, and the engine's scheduling statistics.
+//
+// The observability layer is on: a scrape thread prints live queue-depth /
+// in-flight gauges while the clients run, and after the drain the example
+// dumps the engine's Prometheus scrape (per-variant/per-priority latency
+// histograms) plus the span-tree trace of the slowest request on record.
+// ASCEND_TRACE=0 disables request tracing (used to measure its overhead).
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <mutex>
 #include <random>
@@ -95,6 +103,9 @@ int main() {
   eng_opts.max_delay = std::chrono::microseconds(2000);
   eng_opts.concurrent_forwards = 2;  // re-entrant infer path: batch forwards overlap
   eng_opts.default_variant = "sc-lut";
+  const char* trace_env = std::getenv("ASCEND_TRACE");
+  eng_opts.trace.enabled = !(trace_env && trace_env[0] == '0');
+  eng_opts.trace.slowest = 4;
   runtime::InferenceEngine engine(registry, eng_opts);
 
   constexpr int kClients = 8;
@@ -131,6 +142,22 @@ int main() {
   std::vector<std::vector<ClientRecord>> records(kClients);
   std::vector<std::thread> clients;
   const auto t0 = Clock::now();
+
+  // Live scrape: what a metrics poller would see while the clients run.
+  std::atomic<bool> serving{true};
+  std::thread scraper([&] {
+    while (serving.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      if (!serving.load()) break;
+      const runtime::PendingCounts q = engine.pending();
+      const runtime::EngineStats st = engine.stats();
+      std::printf("  [scrape t=%5.2fs] queue=%zu (int %zu / norm %zu / batch %zu)  "
+                  "in_flight=%d  served=%llu\n",
+                  std::chrono::duration<double>(Clock::now() - t0).count(), q.total,
+                  q.by_priority[0], q.by_priority[1], q.by_priority[2], engine.in_flight(),
+                  static_cast<unsigned long long>(st.images));
+    }
+  });
   for (int c = 0; c < kClients; ++c) {
     clients.emplace_back([&, c] {
       std::mt19937_64 rng(static_cast<std::uint64_t>(c) + 1);
@@ -163,6 +190,8 @@ int main() {
   }
   for (auto& t : clients) t.join();
   const double wall_s = std::chrono::duration<double>(Clock::now() - t0).count();
+  serving.store(false);
+  scraper.join();
 
   std::vector<ClientRecord> all;
   for (auto& r : records) all.insert(all.end(), r.begin(), r.end());
@@ -218,5 +247,36 @@ int main() {
                 static_cast<unsigned long long>(ps.rejected));
   }
   std::printf("overall served accuracy: %.2f%%\n", 100.0 * correct / std::max(served, 1));
+
+  // Server-side latency: the engine's own histograms, per (variant, priority).
+  const runtime::metrics::RegistrySnapshot snap = engine.metrics()->snapshot();
+  std::printf("\nengine latency histograms (ascend_request_latency_usec, <=3.2%% bucket error):\n");
+  std::printf("  %-14s %-12s %9s %9s %9s %9s %8s\n", "variant", "priority", "p50 ms", "p95 ms",
+              "p99 ms", "p99.9 ms", "count");
+  for (const auto& id : registry->variant_ids()) {
+    for (int p = 0; p < runtime::kNumPriorities; ++p) {
+      const auto* h = snap.histogram(
+          "ascend_request_latency_usec",
+          {{"variant", id}, {"priority", runtime::priority_name(static_cast<runtime::Priority>(p))}});
+      if (!h || h->count == 0) continue;
+      std::printf("  %-14s %-12s %9.2f %9.2f %9.2f %9.2f %8llu\n", id.c_str(),
+                  runtime::priority_name(static_cast<runtime::Priority>(p)),
+                  h->quantile(0.50) / 1e3, h->quantile(0.95) / 1e3, h->quantile(0.99) / 1e3,
+                  h->quantile(0.999) / 1e3, static_cast<unsigned long long>(h->count));
+    }
+  }
+
+  std::printf("\n-- Prometheus scrape (final) --\n%s",
+              engine.metrics()->render_prometheus().c_str());
+
+  if (eng_opts.trace.enabled) {
+    const auto slowest = engine.tracer().slowest();
+    if (!slowest.empty()) {
+      std::printf("\n-- slowest request on record (of %zu retained) --\n%s", slowest.size(),
+                  runtime::trace::format_trace(slowest.front()).c_str());
+    }
+  } else {
+    std::printf("\n(request tracing disabled via ASCEND_TRACE=0)\n");
+  }
   return 0;
 }

@@ -49,6 +49,7 @@ std::future<Prediction> Batcher::enqueue(std::vector<float> image, RequestOption
   Request req;
   req.image = std::move(image);
   req.enqueued = Clock::now();
+  req.trace.enqueue = req.enqueued;
   req.variant = std::move(opts.variant);
   req.priority = opts.priority;
   if (opts.deadline.count() != 0) {
@@ -143,7 +144,11 @@ std::vector<Request> Batcher::next_batch() {
     if (full || closed_ || now >= close_at) {
       std::vector<Request> batch;
       batch.reserve(members.size());
-      for (std::size_t i : members) batch.push_back(std::move(queue_[i]));
+      const auto close_stamp = Clock::now();
+      for (std::size_t i : members) {
+        queue_[i].trace.batch_close = close_stamp;
+        batch.push_back(std::move(queue_[i]));
+      }
       // Erase the taken slots back-to-front so earlier indices stay valid.
       std::vector<std::size_t> sorted = members;
       std::sort(sorted.begin(), sorted.end());
@@ -180,6 +185,22 @@ void Batcher::close() {
 std::size_t Batcher::pending() const {
   std::lock_guard<std::mutex> lock(mu_);
   return queue_.size();
+}
+
+std::size_t Batcher::pending(Priority p) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const Request& r : queue_)
+    if (r.priority == p) ++n;
+  return n;
+}
+
+PendingCounts Batcher::pending_counts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  PendingCounts counts;
+  counts.total = queue_.size();
+  for (const Request& r : queue_) ++counts.by_priority[static_cast<std::size_t>(r.priority)];
+  return counts;
 }
 
 }  // namespace ascend::runtime

@@ -40,6 +40,8 @@
 #include <string>
 #include <vector>
 
+#include "runtime/metrics/trace.h"
+
 namespace ascend::runtime {
 
 /// What enqueue() does when the bounded queue is full.
@@ -96,10 +98,20 @@ struct Request {
   bool has_deadline = false;
   std::chrono::steady_clock::time_point deadline{};  ///< absolute; valid if has_deadline
   std::uint64_t seq = 0;     ///< arrival order within the batcher
+  /// Lifecycle stamps for tracing/metrics: the batcher fills enqueue and
+  /// batch_close; the engine stamps the forward and completion phases.
+  trace::TraceContext trace;
 
   bool expired(std::chrono::steady_clock::time_point now) const {
     return has_deadline && now > deadline;
   }
+};
+
+/// Live queue-depth snapshot (one pass under the queue lock).
+struct PendingCounts {
+  std::size_t total = 0;
+  std::array<std::size_t, kNumPriorities> by_priority{};
+  std::size_t priority(Priority p) const { return by_priority[static_cast<std::size_t>(p)]; }
 };
 
 class Batcher {
@@ -134,6 +146,11 @@ class Batcher {
   int max_pending() const { return max_pending_; }
   OverflowPolicy overflow_policy() const { return overflow_; }
   std::size_t pending() const;
+  /// Queued requests of one scheduling class.
+  std::size_t pending(Priority p) const;
+  /// Total and per-priority queue depth in one consistent snapshot — the
+  /// source for the engine's queue-depth gauges.
+  PendingCounts pending_counts() const;
 
  private:
   /// Fail and remove every expired queued request. Drops the lock while

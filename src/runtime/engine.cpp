@@ -26,8 +26,17 @@ int argmax_row(const Tensor& logits, int r) {
   return best;
 }
 
-PriorityStats& prio(std::array<PriorityStats, kNumPriorities>& a, Priority p) {
-  return a[static_cast<std::size_t>(p)];
+void atomic_max(std::atomic<int>& target, int v) {
+  int cur = target.load();
+  while (v > cur && !target.compare_exchange_weak(cur, v)) {
+  }
+}
+
+std::uint64_t usec_between(std::chrono::steady_clock::time_point a,
+                           std::chrono::steady_clock::time_point b) {
+  if (b <= a) return 0;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(b - a).count());
 }
 
 }  // namespace
@@ -35,6 +44,7 @@ PriorityStats& prio(std::array<PriorityStats, kNumPriorities>& a, Priority p) {
 InferenceEngine::InferenceEngine(std::shared_ptr<ModelRegistry> registry, EngineOptions opts)
     : opts_(opts),
       batcher_(opts.max_batch, opts.max_delay, opts.max_pending, opts.overflow),
+      tracer_(opts.trace),
       registry_(std::move(registry)) {
   if (!registry_) throw std::invalid_argument("InferenceEngine: null registry");
   if (opts_.default_variant.empty()) {
@@ -56,7 +66,8 @@ InferenceEngine::InferenceEngine(std::shared_ptr<ModelRegistry> registry, Engine
 InferenceEngine::InferenceEngine(vit::VisionTransformer& model, const vit::ScInferenceConfig& cfg,
                                  EngineOptions opts)
     : opts_(opts),
-      batcher_(opts.max_batch, opts.max_delay, opts.max_pending, opts.overflow) {
+      batcher_(opts.max_batch, opts.max_delay, opts.max_pending, opts.overflow),
+      tracer_(opts.trace) {
   // The pre-registry engine, reproduced: one SC servable driving the
   // caller's model in place (hooks installed here, restored on destruction),
   // the engine's worker pool running the per-activation SC work.
@@ -72,22 +83,87 @@ InferenceEngine::InferenceEngine(vit::VisionTransformer& model, const vit::ScInf
 
 void InferenceEngine::start() {
   if (opts_.concurrent_forwards < 1) opts_.concurrent_forwards = 1;
+  metrics_ = opts_.metrics ? opts_.metrics : std::make_shared<metrics::MetricsRegistry>();
+  register_metric_series();
   batcher_.set_drop_observer([this](Priority p) { count_drop(p); });
   forward_pool_ = std::make_unique<ThreadPool>(opts_.concurrent_forwards);
   dispatcher_ = std::thread([this] { dispatch_loop(); });
+}
+
+void InferenceEngine::register_metric_series() {
+  using metrics::Labels;
+  using metrics::SeriesKind;
+  for (int p = 0; p < kNumPriorities; ++p) {
+    const auto pr = static_cast<Priority>(p);
+    const Labels labels{{"priority", priority_name(pr)}};
+    AtomicPriorityStats& ps = pstats_[static_cast<std::size_t>(p)];
+    metric_callbacks_.push_back(metrics_->register_callback(
+        "ascend_requests_queued_total", labels, SeriesKind::kCounter,
+        [&ps] { return static_cast<double>(ps.queued.load()); },
+        "Requests accepted into the scheduler queue"));
+    metric_callbacks_.push_back(metrics_->register_callback(
+        "ascend_requests_served_total", labels, SeriesKind::kCounter,
+        [&ps] { return static_cast<double>(ps.served.load()); },
+        "Requests resolved with a Prediction"));
+    metric_callbacks_.push_back(metrics_->register_callback(
+        "ascend_requests_deadline_dropped_total", labels, SeriesKind::kCounter,
+        [&ps] { return static_cast<double>(ps.deadline_dropped.load()); },
+        "Requests failed fast with DeadlineExceededError"));
+    metric_callbacks_.push_back(metrics_->register_callback(
+        "ascend_requests_rejected_total", labels, SeriesKind::kCounter,
+        [&ps] { return static_cast<double>(ps.rejected.load()); },
+        "Requests rejected at submit (queue full / unknown variant)"));
+    metric_callbacks_.push_back(metrics_->register_callback(
+        "ascend_queue_depth", labels, SeriesKind::kGauge,
+        [this, pr] { return static_cast<double>(batcher_.pending(pr)); },
+        "Live scheduler queue depth"));
+    queue_wait_hist_[static_cast<std::size_t>(p)] =
+        &metrics_->histogram("ascend_queue_wait_usec", labels, {},
+                             "Enqueue to batch-close wait per served request");
+  }
+  metric_callbacks_.push_back(metrics_->register_callback(
+      "ascend_queue_depth_total", {}, SeriesKind::kGauge,
+      [this] { return static_cast<double>(batcher_.pending()); },
+      "Live scheduler queue depth across all priorities"));
+  metric_callbacks_.push_back(metrics_->register_callback(
+      "ascend_in_flight_forwards", {}, SeriesKind::kGauge,
+      [this] { return static_cast<double>(in_flight_.load()); },
+      "Batch forwards running right now"));
+  metric_callbacks_.push_back(metrics_->register_callback(
+      "ascend_peak_in_flight_forwards", {}, SeriesKind::kGauge,
+      [this] { return static_cast<double>(max_in_flight_.load()); },
+      "Peak concurrent batch forwards observed"));
+  metric_callbacks_.push_back(metrics_->register_callback(
+      "ascend_images_served_total", {}, SeriesKind::kCounter,
+      [this] { return static_cast<double>(images_.load()); }, "Images served via submit()"));
+  metric_callbacks_.push_back(metrics_->register_callback(
+      "ascend_batches_total", {}, SeriesKind::kCounter,
+      [this] { return static_cast<double>(batches_.load()); }, "Batches dispatched"));
+  metric_callbacks_.push_back(metrics_->register_callback(
+      "ascend_full_batches_total", {}, SeriesKind::kCounter,
+      [this] { return static_cast<double>(full_batches_.load()); },
+      "Batches closed by the size cutoff"));
+  // Batch sizes are small integers: every fill level is an exact bucket.
+  metrics::HistogramOptions fill_opts;
+  fill_opts.sub_bits = 7;
+  fill_opts.max_exp = 16;
+  batch_fill_hist_ = &metrics_->histogram("ascend_batch_fill", {}, fill_opts,
+                                          "Requests coalesced per dispatched batch");
 }
 
 InferenceEngine::~InferenceEngine() {
   batcher_.close();
   dispatcher_.join();
   forward_pool_.reset();  // drains the in-flight batch forwards
+  // A shared metrics registry outlives the engine: drop the callback series
+  // that capture `this` before the members they read are destroyed.
+  for (const metrics::CallbackId id : metric_callbacks_) metrics_->remove_callback(id);
   // registry_ (and with it any in-place SC servable, which restores the
   // model's hooks) is released by member destruction, before pool_.
 }
 
 void InferenceEngine::count_drop(Priority p) {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  prio(stats_.by_priority, p).deadline_dropped += 1;
+  pstats_[static_cast<std::size_t>(p)].deadline_dropped.fetch_add(1);
 }
 
 const std::string& InferenceEngine::resolve_variant(const std::string& requested) const {
@@ -95,34 +171,27 @@ const std::string& InferenceEngine::resolve_variant(const std::string& requested
 }
 
 std::future<Prediction> InferenceEngine::submit(std::vector<float> image, RequestOptions ropts) {
-  const Priority p = ropts.priority;
+  AtomicPriorityStats& ps = pstats_[static_cast<std::size_t>(ropts.priority)];
   std::string variant = resolve_variant(ropts.variant);
   if (!registry_->contains(variant)) {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    prio(stats_.by_priority, p).rejected += 1;
+    ps.rejected.fetch_add(1);
     throw UnknownVariantError(variant);
   }
   ropts.variant = std::move(variant);
   // Count `queued` before handing the request to the batcher: once enqueued
-  // it can be served (and counted) immediately, and a stats() reader must
-  // never observe served > queued. A rejected enqueue rolls the count back.
+  // it can be served (and counted) immediately, and a stats() or scrape
+  // reader must never observe served > queued (seq_cst atomics keep the
+  // program order visible). A rejected enqueue rolls the count back.
   const bool counted = ropts.deadline.count() >= 0;  // expired-on-arrival never queues
-  if (counted) {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    prio(stats_.by_priority, p).queued += 1;
-  }
+  if (counted) ps.queued.fetch_add(1);
   try {
     return batcher_.enqueue(std::move(image), std::move(ropts));
   } catch (const QueueFullError&) {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    if (counted) prio(stats_.by_priority, p).queued -= 1;
-    prio(stats_.by_priority, p).rejected += 1;
+    if (counted) ps.queued.fetch_sub(1);
+    ps.rejected.fetch_add(1);
     throw;
   } catch (...) {
-    if (counted) {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      prio(stats_.by_priority, p).queued -= 1;
-    }
+    if (counted) ps.queued.fetch_sub(1);
     throw;
   }
 }
@@ -141,12 +210,9 @@ void InferenceEngine::dispatch_loop() {
     int cur;
     {
       std::lock_guard<std::mutex> lock(flight_mu_);
-      cur = ++in_flight_;
+      cur = in_flight_.fetch_add(1) + 1;
     }
-    {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      stats_.max_in_flight = std::max(stats_.max_in_flight, cur);
-    }
+    atomic_max(max_in_flight_, cur);
     forward_pool_->submit([this, b = std::move(batch)]() mutable {
       try {
         process_batch(b);
@@ -155,7 +221,7 @@ void InferenceEngine::dispatch_loop() {
       }
       {
         std::lock_guard<std::mutex> lock(flight_mu_);
-        --in_flight_;
+        in_flight_.fetch_sub(1);
       }
       flight_cv_.notify_all();
     });
@@ -179,14 +245,13 @@ void InferenceEngine::process_batch(std::vector<Request>& batch) {
   const int pixels = servable->input_dim();
   Tensor images({b, pixels});
   std::vector<bool> rejected(static_cast<std::size_t>(b), false);
-  std::array<std::uint64_t, kNumPriorities> dropped{};
   for (int r = 0; r < b; ++r) {
     Request& req = batch[static_cast<std::size_t>(r)];
     if (req.expired(closed_at)) {
       // Last line of deadline defence: expired while the batch sat in the
       // forward queue. Fail fast; the forward never sees this row.
       rejected[static_cast<std::size_t>(r)] = true;
-      dropped[static_cast<std::size_t>(req.priority)] += 1;
+      pstats_[static_cast<std::size_t>(req.priority)].deadline_dropped.fetch_add(1);
       req.promise.set_exception(std::make_exception_ptr(DeadlineExceededError{}));
       continue;
     }
@@ -208,16 +273,20 @@ void InferenceEngine::process_batch(std::vector<Request>& batch) {
   if (!any_live) {
     // Every row was dropped — never spend a model forward on a dead batch
     // (this is exactly the overloaded case where a forward hurts most).
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    stats_.batches += 1;
-    stats_.max_batch_seen = std::max(stats_.max_batch_seen, b);
-    for (std::size_t p = 0; p < kNumPriorities; ++p)
-      stats_.by_priority[p].deadline_dropped += dropped[p];
+    batches_.fetch_add(1);
+    atomic_max(max_batch_seen_, b);
     return;
   }
 
+  // Forward phase: when tracing is on, a SpanCollector rides the forward
+  // thread (thread-local), so the per-layer-group ScopedSpans inside the
+  // model attach to this batch without the servable knowing about tracing.
+  const bool traced = tracer_.enabled();
+  trace::SpanCollector collector;
+  const auto forward_start = std::chrono::steady_clock::now();
   Tensor logits;
   try {
+    trace::CollectorScope scope(traced ? &collector : nullptr);
     logits = servable->infer(images);
   } catch (...) {
     const auto err = std::current_exception();
@@ -226,39 +295,74 @@ void InferenceEngine::process_batch(std::vector<Request>& batch) {
         batch[static_cast<std::size_t>(r)].promise.set_exception(err);
     return;
   }
+  const auto forward_end = std::chrono::steady_clock::now();
 
-  double queue_ms_sum = 0.0;
   int served = 0;
-  std::array<std::uint64_t, kNumPriorities> served_by_prio{};
+  std::uint64_t queue_ns_sum = 0;
   std::vector<Prediction> preds(static_cast<std::size_t>(b));
   for (int r = 0; r < b; ++r) {
     if (rejected[static_cast<std::size_t>(r)]) continue;
     ++served;
-    served_by_prio[static_cast<std::size_t>(batch[static_cast<std::size_t>(r)].priority)] += 1;
+    const Request& req = batch[static_cast<std::size_t>(r)];
     Prediction& pred = preds[static_cast<std::size_t>(r)];
     pred.label = argmax_row(logits, r);
     pred.variant = variant;
     pred.logits.resize(static_cast<std::size_t>(logits.dim(1)));
     for (int c = 0; c < logits.dim(1); ++c)
       pred.logits[static_cast<std::size_t>(c)] = logits.at(r, c);
-    pred.queue_ms = std::chrono::duration<double, std::milli>(
-                        closed_at - batch[static_cast<std::size_t>(r)].enqueued)
-                        .count();
-    queue_ms_sum += pred.queue_ms;
+    pred.queue_ms =
+        std::chrono::duration<double, std::milli>(req.trace.batch_close - req.enqueued).count();
+    queue_ns_sum += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(req.trace.batch_close - req.enqueued)
+            .count());
   }
 
-  // Record stats before resolving any future: a client that sees its
-  // result must also see it reflected in stats().
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    stats_.images += static_cast<std::uint64_t>(served);
-    stats_.batches += 1;
-    if (b >= batcher_.max_batch()) stats_.full_batches += 1;
-    stats_.total_queue_ms += queue_ms_sum;
-    stats_.max_batch_seen = std::max(stats_.max_batch_seen, b);
-    for (std::size_t p = 0; p < kNumPriorities; ++p) {
-      stats_.by_priority[p].served += served_by_prio[p];
-      stats_.by_priority[p].deadline_dropped += dropped[p];
+  // One completion stamp for the whole batch: every row resolves within
+  // microseconds of it, and per-row clock reads would cost more than they
+  // would disambiguate.
+  const auto complete = std::chrono::steady_clock::now();
+
+  // Record counters and histograms before resolving any future: a client
+  // that sees its result must also see it reflected in stats() / a scrape.
+  images_.fetch_add(static_cast<std::uint64_t>(served));
+  batches_.fetch_add(1);
+  if (b >= batcher_.max_batch()) full_batches_.fetch_add(1);
+  queue_wait_ns_.fetch_add(queue_ns_sum);
+  atomic_max(max_batch_seen_, b);
+  batch_fill_hist_->record(static_cast<std::uint64_t>(b));
+  metrics::Histogram& forward_hist = metrics_->histogram(
+      "ascend_forward_usec", {{"variant", variant}}, {}, "Servable::infer wall time per batch");
+  forward_hist.record(usec_between(forward_start, forward_end));
+  // Per-(variant, priority) latency series resolved at most once per batch
+  // and priority — the registry lookup takes its mutex, the record does not.
+  std::array<metrics::Histogram*, kNumPriorities> latency_hist{};
+  for (int r = 0; r < b; ++r) {
+    if (rejected[static_cast<std::size_t>(r)]) continue;
+    const Request& req = batch[static_cast<std::size_t>(r)];
+    const auto pi = static_cast<std::size_t>(req.priority);
+    pstats_[pi].served.fetch_add(1);
+    queue_wait_hist_[pi]->record(usec_between(req.enqueued, req.trace.batch_close));
+    if (!latency_hist[pi])
+      latency_hist[pi] = &metrics_->histogram(
+          "ascend_request_latency_usec",
+          {{"variant", variant}, {"priority", priority_name(req.priority)}}, {},
+          "End-to-end request latency (enqueue to completion)");
+    latency_hist[pi]->record(usec_between(req.enqueued, complete));
+    if (traced) {
+      trace::RequestTrace t;
+      t.seq = req.seq;
+      t.set_variant(variant);
+      t.priority = static_cast<int>(req.priority);
+      t.batch_size = b;
+      t.enqueue = req.trace.enqueue;
+      t.batch_close = req.trace.batch_close;
+      t.forward_start = forward_start;
+      t.forward_end = forward_end;
+      t.complete = complete;
+      t.num_spans = collector.count();
+      t.spans_dropped = collector.dropped();
+      std::copy(collector.spans(), collector.spans() + collector.count(), t.spans.begin());
+      tracer_.record(t);
     }
   }
 
@@ -293,8 +397,25 @@ double InferenceEngine::evaluate(const vit::Dataset& data, int batch_size,
 }
 
 EngineStats InferenceEngine::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  return stats_;
+  EngineStats st;
+  st.images = images_.load();
+  st.batches = batches_.load();
+  st.full_batches = full_batches_.load();
+  st.total_queue_ms = static_cast<double>(queue_wait_ns_.load()) / 1e6;
+  st.max_batch_seen = max_batch_seen_.load();
+  st.max_in_flight = max_in_flight_.load();
+  for (int p = 0; p < kNumPriorities; ++p) {
+    const AtomicPriorityStats& ps = pstats_[static_cast<std::size_t>(p)];
+    PriorityStats& out = st.by_priority[static_cast<std::size_t>(p)];
+    // Read queued last: each request increments queued strictly before
+    // served/deadline_dropped, so this order can only over-report queued —
+    // never served > queued (the invariant test_metrics pins).
+    out.served = ps.served.load();
+    out.deadline_dropped = ps.deadline_dropped.load();
+    out.rejected = ps.rejected.load();
+    out.queued = ps.queued.load();
+  }
+  return st;
 }
 
 }  // namespace ascend::runtime

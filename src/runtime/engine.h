@@ -21,11 +21,15 @@
 // delegates here.
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <thread>
+#include <vector>
 
 #include "runtime/batcher.h"
+#include "runtime/metrics/registry.h"
+#include "runtime/metrics/trace.h"
 #include "runtime/registry.h"
 #include "runtime/thread_pool.h"
 #include "vit/dataset.h"
@@ -49,6 +53,16 @@ struct EngineOptions {
   /// registry's sole variant (construction throws if it holds several —
   /// a multi-variant engine must name its default).
   std::string default_variant;
+  /// Metrics registry the engine publishes into (queue-wait / forward-time /
+  /// end-to-end latency histograms per variant and priority, queue-depth and
+  /// in-flight gauges, the EngineStats counters). Null: the engine creates a
+  /// private registry, reachable via metrics(). A shared registry must
+  /// outlive the engine; the engine unregisters its callback series on
+  /// destruction.
+  std::shared_ptr<metrics::MetricsRegistry> metrics;
+  /// Per-request span tracing (off by default). When disabled the only
+  /// per-span cost left in the forward path is a thread-local read.
+  trace::TracerOptions trace;
 };
 
 /// Per-scheduling-class serving counters.
@@ -108,7 +122,22 @@ class InferenceEngine {
   double evaluate(const vit::Dataset& data, int batch_size = 128,
                   const std::string& variant = {});
 
+  /// Consistent snapshot of the serving counters. Since the observability
+  /// layer landed this is a *view* assembled from the same atomics that back
+  /// the metrics registry — one code path, so a scrape and stats() can never
+  /// disagree, and `served <= queued` holds per priority at any instant
+  /// (each counter pair is updated in program order on seq_cst atomics).
   EngineStats stats() const;
+  /// Metrics registry this engine publishes into (EngineOptions::metrics or
+  /// the engine-private one).
+  const std::shared_ptr<metrics::MetricsRegistry>& metrics() const { return metrics_; }
+  /// Per-request trace retention (rings + slowest-N); enabled per
+  /// EngineOptions::trace.
+  const trace::Tracer& tracer() const { return tracer_; }
+  /// Batch forwards running right now (live twin of EngineStats::max_in_flight).
+  int in_flight() const { return in_flight_.load(); }
+  /// Live queue depth, total and per priority (also exported as gauges).
+  PendingCounts pending() const { return batcher_.pending_counts(); }
   const std::shared_ptr<ModelRegistry>& registry() const { return registry_; }
   const std::string& default_variant() const { return default_variant_; }
   /// Size of the SC shim's per-activation worker pool; 0 for a registry
@@ -123,6 +152,7 @@ class InferenceEngine {
   void process_batch(std::vector<Request>& batch);
   const std::string& resolve_variant(const std::string& requested) const;
   void count_drop(Priority p);
+  void register_metric_series();
 
   EngineOptions opts_;
   /// Per-activation worker pool handed to the SC shim servable; null on the
@@ -130,15 +160,44 @@ class InferenceEngine {
   std::unique_ptr<ThreadPool> pool_;
   Batcher batcher_;
 
-  mutable std::mutex stats_mu_;
-  EngineStats stats_;
+  // Serving counters. Plain seq_cst atomics, updated in program order per
+  // request (queued strictly before served/deadline_dropped), so any reader
+  // — stats() or a metrics scrape, which both read these — observes
+  // `served + deadline_dropped <= queued` per priority. This replaces the
+  // old stats_mu_/flight_mu_ split, where max_in_flight could be paired
+  // with counters from a different instant.
+  struct AtomicPriorityStats {
+    std::atomic<std::uint64_t> queued{0};
+    std::atomic<std::uint64_t> served{0};
+    std::atomic<std::uint64_t> deadline_dropped{0};
+    std::atomic<std::uint64_t> rejected{0};
+  };
+  std::array<AtomicPriorityStats, kNumPriorities> pstats_;
+  std::atomic<std::uint64_t> images_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> full_batches_{0};
+  std::atomic<std::uint64_t> queue_wait_ns_{0};
+  std::atomic<int> max_batch_seen_{0};
+  std::atomic<int> max_in_flight_{0};
+
+  // Observability: the registry the series live in, cached hot-path handles
+  // (per-priority queue-wait histograms, batch fill), and the trace store.
+  // Per-variant histograms are resolved lazily per batch (registration is
+  // idempotent and amortised over the whole batch).
+  std::shared_ptr<metrics::MetricsRegistry> metrics_;
+  std::array<metrics::Histogram*, kNumPriorities> queue_wait_hist_{};
+  metrics::Histogram* batch_fill_hist_ = nullptr;
+  std::vector<metrics::CallbackId> metric_callbacks_;
+  trace::Tracer tracer_;
 
   // In-flight forward accounting: the dispatcher stops pulling batches while
   // `concurrent_forwards` are already running, so overload queues in the
-  // batcher (where max_pending applies) instead of in the forward pool.
+  // batcher (where max_pending applies) instead of in the forward pool. The
+  // counter is atomic for lock-free reads (in_flight gauge); updates stay
+  // under flight_mu_ for the condition variable.
   std::mutex flight_mu_;
   std::condition_variable flight_cv_;
-  int in_flight_ = 0;
+  std::atomic<int> in_flight_{0};
 
   // Declared after pool_ so servables (which may parallelise over pool_) are
   // destroyed before it.

@@ -1,0 +1,223 @@
+#include "runtime/metrics/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+namespace ascend::runtime::trace {
+
+namespace {
+
+thread_local SpanCollector* g_collector = nullptr;
+
+/// Mirrors runtime::priority_name without depending on batcher.h — the trace
+/// layer sits below the scheduler and must stay includable from model code.
+const char* trace_priority_name(int p) {
+  switch (p) {
+    case 0: return "interactive";
+    case 1: return "normal";
+    case 2: return "batch";
+  }
+  return "?";
+}
+
+double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SpanCollector
+// ---------------------------------------------------------------------------
+
+void SpanCollector::begin(const char* name, int index) {
+  if (depth_ >= kMaxSpanDepth || count_ >= kMaxSpans) {
+    // Too deep or full: count the drop but keep begin/end balanced via the
+    // depth counter (ends for dropped spans must not pop a stored span).
+    ++dropped_;
+    if (depth_ < kMaxSpanDepth) open_[static_cast<std::size_t>(depth_)] = -1;
+    ++depth_;
+    return;
+  }
+  Span& s = spans_[static_cast<std::size_t>(count_)];
+  s.name = name;
+  s.index = index;
+  s.depth = static_cast<std::int16_t>(depth_);
+  s.begin = Clock::now();
+  s.end = s.begin;
+  open_[static_cast<std::size_t>(depth_)] = count_;
+  ++count_;
+  ++depth_;
+}
+
+void SpanCollector::end() {
+  if (depth_ <= 0) return;  // unbalanced end: ignore
+  --depth_;
+  if (depth_ < kMaxSpanDepth) {
+    const int idx = open_[static_cast<std::size_t>(depth_)];
+    if (idx >= 0) spans_[static_cast<std::size_t>(idx)].end = Clock::now();
+  }
+}
+
+void SpanCollector::reset() {
+  count_ = 0;
+  depth_ = 0;
+  dropped_ = 0;
+}
+
+SpanCollector* current_collector() { return g_collector; }
+
+CollectorScope::CollectorScope(SpanCollector* c) : prev_(g_collector) { g_collector = c; }
+
+CollectorScope::~CollectorScope() { g_collector = prev_; }
+
+// ---------------------------------------------------------------------------
+// Tracer
+// ---------------------------------------------------------------------------
+
+void RequestTrace::set_variant(const std::string& v) {
+  const std::size_t n = std::min(v.size(), sizeof(variant) - 1);
+  std::memcpy(variant, v.data(), n);
+  variant[n] = '\0';
+}
+
+Tracer::Tracer(TracerOptions opts) : opts_(opts) {
+  if (opts_.ring_size < 1) opts_.ring_size = 1;
+  if (opts_.slowest < 0) opts_.slowest = 0;
+}
+
+namespace {
+/// Stable per-thread ring shard (same striping idea as the metric shards).
+int tls_ring_shard(int mask) {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned idx = next.fetch_add(1, std::memory_order_relaxed);
+  return static_cast<int>(idx) & mask;
+}
+}  // namespace
+
+void Tracer::record(const RequestTrace& t) {
+  Ring& ring = rings_[static_cast<std::size_t>(tls_ring_shard(kShards - 1))];
+  {
+    std::lock_guard<std::mutex> lock(ring.mu);
+    if (ring.slots.size() < static_cast<std::size_t>(opts_.ring_size) &&
+        ring.head < static_cast<std::uint64_t>(opts_.ring_size)) {
+      ring.slots.push_back(t);
+    } else {
+      ring.slots[static_cast<std::size_t>(ring.head % static_cast<std::uint64_t>(
+                                              opts_.ring_size))] = t;
+    }
+    ++ring.head;
+  }
+
+  if (opts_.slowest == 0) return;
+  const auto total_us = static_cast<std::int64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(t.complete - t.enqueue).count());
+  // Fast path: the set is full and this trace is not slower than its floor.
+  const std::int64_t floor = slow_floor_us_.load(std::memory_order_relaxed);
+  if (floor >= 0 && total_us <= floor) return;
+  std::lock_guard<std::mutex> lock(slow_mu_);
+  const auto slower = [](const RequestTrace& a, const RequestTrace& b) {
+    return a.complete - a.enqueue > b.complete - b.enqueue;
+  };
+  slow_.insert(std::upper_bound(slow_.begin(), slow_.end(), t, slower), t);
+  if (slow_.size() > static_cast<std::size_t>(opts_.slowest)) slow_.pop_back();
+  if (slow_.size() == static_cast<std::size_t>(opts_.slowest)) {
+    const RequestTrace& floor_trace = slow_.back();
+    slow_floor_us_.store(
+        static_cast<std::int64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                      floor_trace.complete - floor_trace.enqueue)
+                                      .count()),
+        std::memory_order_relaxed);
+  }
+}
+
+std::vector<RequestTrace> Tracer::recent() const {
+  std::vector<RequestTrace> out;
+  for (const Ring& ring : rings_) {
+    std::lock_guard<std::mutex> lock(ring.mu);
+    const std::size_t n = ring.slots.size();
+    if (n == 0) continue;
+    // Oldest slot is head % size once the ring has wrapped, else slot 0.
+    const std::size_t start =
+        ring.head > n ? static_cast<std::size_t>(ring.head % static_cast<std::uint64_t>(n)) : 0;
+    for (std::size_t i = 0; i < n; ++i) out.push_back(ring.slots[(start + i) % n]);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const RequestTrace& a, const RequestTrace& b) { return a.complete < b.complete; });
+  return out;
+}
+
+std::vector<RequestTrace> Tracer::slowest() const {
+  std::lock_guard<std::mutex> lock(slow_mu_);
+  return slow_;
+}
+
+// ---------------------------------------------------------------------------
+// format_trace
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void append_row(std::string& out, const std::string& prefix, bool last, const char* name,
+                int index, double ms, const char* note) {
+  char label[64];
+  if (index >= 0)
+    std::snprintf(label, sizeof(label), "%s[%d]", name, index);
+  else
+    std::snprintf(label, sizeof(label), "%s", name);
+  char line[192];
+  std::snprintf(line, sizeof(line), "%s%s %-14s %8.2f ms%s%s\n", prefix.c_str(),
+                last ? "└─" : "├─", label, ms, note && note[0] ? "   " : "", note ? note : "");
+  out += line;
+}
+
+/// Render the span forest (children of the "forward" row) recursively.
+/// `i` indexes the first candidate; returns the index after the subtree.
+int render_spans(std::string& out, const RequestTrace& t, int i, int depth,
+                 const std::string& prefix) {
+  while (i < t.num_spans && t.spans[static_cast<std::size_t>(i)].depth == depth) {
+    // Last sibling: no later span at this depth before the forest pops.
+    bool last = true;
+    for (int j = i + 1; j < t.num_spans; ++j) {
+      const int dj = t.spans[static_cast<std::size_t>(j)].depth;
+      if (dj < depth) break;
+      if (dj == depth) {
+        last = false;
+        break;
+      }
+    }
+    const Span& s = t.spans[static_cast<std::size_t>(i)];
+    append_row(out, prefix, last, s.name, s.index, ms_between(s.begin, s.end), nullptr);
+    i = render_spans(out, t, i + 1, depth + 1, prefix + (last ? "   " : "│  "));
+  }
+  return i;
+}
+
+}  // namespace
+
+std::string format_trace(const RequestTrace& t) {
+  std::string out;
+  char head[192];
+  std::snprintf(head, sizeof(head),
+                "request #%llu  variant=%s  priority=%s  batch=%d  total=%.2f ms\n",
+                static_cast<unsigned long long>(t.seq), t.variant,
+                trace_priority_name(t.priority), t.batch_size, t.total_ms());
+  out += head;
+  append_row(out, "", false, "queue wait", -1, ms_between(t.enqueue, t.batch_close),
+             "enqueue -> batch-close");
+  append_row(out, "", false, "dispatch", -1, ms_between(t.batch_close, t.forward_start),
+             "batch-close -> forward-start");
+  append_row(out, "", false, "forward", -1, ms_between(t.forward_start, t.forward_end), "");
+  render_spans(out, t, 0, 0, "│  ");
+  if (t.spans_dropped > 0) {
+    char note[64];
+    std::snprintf(note, sizeof(note), "│  (+%d spans dropped)\n", t.spans_dropped);
+    out += note;
+  }
+  append_row(out, "", true, "resolve", -1, ms_between(t.forward_end, t.complete),
+             "forward-end -> complete");
+  return out;
+}
+
+}  // namespace ascend::runtime::trace

@@ -1,0 +1,182 @@
+#pragma once
+// metrics/trace.h — per-request span tracing for the serving runtime.
+//
+// Three pieces:
+//   * ScopedSpan — a lightweight phase marker dropped into model code
+//     (`trace::ScopedSpan s("msa");`). It reads one thread-local collector
+//     pointer; when no collector is installed (tracing off, or a thread
+//     outside a traced forward) the constructor and destructor are a single
+//     TLS load + branch — no clock read, no allocation. The engine installs
+//     a SpanCollector around each traced batch forward (CollectorScope), so
+//     the per-layer-group spans inside VisionTransformer::infer attach to
+//     the right batch without the model knowing about the engine.
+//   * RequestTrace — the five request lifecycle stamps (enqueue,
+//     batch-close, forward-start, forward-end, complete) plus the batch
+//     forward's phase spans, fixed-size and copyable without allocation.
+//   * Tracer — retention: completed traces land in fixed-size per-thread
+//     ring buffers (recent()), and a small "slowest N" set survives ring
+//     wraparound so a p99.9 outlier can be explained long after the burst
+//     that caused it (slowest()).
+//
+// format_trace renders one RequestTrace as an indented tree with per-phase
+// durations — the straggler dump.
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ascend::runtime::trace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Spans per batch forward; overflow is counted, not stored.
+inline constexpr int kMaxSpans = 48;
+inline constexpr int kMaxSpanDepth = 8;
+
+/// One phase inside a batch forward. `name` must point at static storage
+/// (string literals in model code); `index` >= 0 renders as "name[index]".
+struct Span {
+  const char* name = nullptr;
+  int index = -1;
+  std::int16_t depth = 0;
+  Clock::time_point begin{};
+  Clock::time_point end{};
+};
+
+/// Collects the phase spans of one batch forward. Single-threaded by
+/// contract: spans are emitted from the thread running the forward (layer
+/// groups run sequentially; intra-op parallelism lives below the span
+/// granularity).
+class SpanCollector {
+ public:
+  void begin(const char* name, int index = -1);
+  void end();
+  void reset();
+
+  const Span* spans() const { return spans_.data(); }
+  int count() const { return count_; }
+  int dropped() const { return dropped_; }
+
+ private:
+  std::array<Span, kMaxSpans> spans_;
+  std::array<int, kMaxSpanDepth> open_;  ///< indices of open spans (stack)
+  int count_ = 0;
+  int depth_ = 0;
+  int dropped_ = 0;
+};
+
+/// The collector the current thread's ScopedSpans write to; null when the
+/// thread is not inside a traced forward.
+SpanCollector* current_collector();
+
+/// Installs `c` as the current thread's collector for the scope's lifetime;
+/// restores the previous collector on exit.
+class CollectorScope {
+ public:
+  explicit CollectorScope(SpanCollector* c);
+  ~CollectorScope();
+  CollectorScope(const CollectorScope&) = delete;
+  CollectorScope& operator=(const CollectorScope&) = delete;
+
+ private:
+  SpanCollector* prev_;
+};
+
+/// Phase marker: no-op (one TLS load + branch) without a collector.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name, int index = -1) : c_(current_collector()) {
+    if (c_) c_->begin(name, index);
+  }
+  ~ScopedSpan() {
+    if (c_) c_->end();
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  SpanCollector* c_;
+};
+
+/// Request lifecycle stamps carried by a runtime::Request. The batcher fills
+/// enqueue (at accept) and batch_close (when the request's batch is popped);
+/// the engine fills the rest.
+struct TraceContext {
+  Clock::time_point enqueue{};
+  Clock::time_point batch_close{};
+};
+
+/// One served request's full story: lifecycle stamps + the phase spans of
+/// the batch forward that carried it. Fixed-size, allocation-free to copy.
+struct RequestTrace {
+  std::uint64_t seq = 0;  ///< batcher arrival sequence number (request id)
+  char variant[32] = {0};
+  int priority = 1;  ///< runtime::Priority as int (trace stays engine-agnostic)
+  int batch_size = 0;
+
+  Clock::time_point enqueue{};
+  Clock::time_point batch_close{};
+  Clock::time_point forward_start{};
+  Clock::time_point forward_end{};
+  Clock::time_point complete{};
+
+  int num_spans = 0;
+  int spans_dropped = 0;
+  std::array<Span, kMaxSpans> spans;
+
+  double total_ms() const {
+    return std::chrono::duration<double, std::milli>(complete - enqueue).count();
+  }
+  void set_variant(const std::string& v);
+};
+
+struct TracerOptions {
+  bool enabled = false;
+  int ring_size = 128;  ///< recent traces kept per thread shard
+  int slowest = 8;      ///< slowest-request retention across the whole run
+};
+
+/// Trace retention. record() is called once per served request from the
+/// forward-pool thread that completed it: the trace lands in that thread's
+/// ring buffer (per-thread shard, uncontended mutex), and enters the
+/// slowest-N set only when it beats the current floor (checked against an
+/// atomic threshold first, so the common case takes no lock).
+class Tracer {
+ public:
+  explicit Tracer(TracerOptions opts = {});
+
+  bool enabled() const { return opts_.enabled; }
+  const TracerOptions& options() const { return opts_; }
+
+  void record(const RequestTrace& t);
+
+  /// Merged ring contents, oldest first (by completion stamp).
+  std::vector<RequestTrace> recent() const;
+  /// Slowest retained traces, slowest first.
+  std::vector<RequestTrace> slowest() const;
+
+ private:
+  static constexpr int kShards = 8;
+  struct Ring {
+    mutable std::mutex mu;  ///< per-thread shard: writers never contend
+    std::vector<RequestTrace> slots;
+    std::uint64_t head = 0;  ///< total records; slot = (head-1) % size
+  };
+
+  TracerOptions opts_;
+  std::array<Ring, kShards> rings_;
+
+  mutable std::mutex slow_mu_;
+  std::vector<RequestTrace> slow_;            ///< sorted slowest-first
+  std::atomic<std::int64_t> slow_floor_us_{-1};  ///< admission threshold (-1: not full)
+};
+
+/// Tree-shaped straggler dump of one request.
+std::string format_trace(const RequestTrace& t);
+
+}  // namespace ascend::runtime::trace

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "runtime/metrics/trace.h"
+
 namespace ascend::vit {
 
 using nn::Tensor;
@@ -87,9 +89,16 @@ Tensor EncoderBlock::forward(const Tensor& x, int batch, int tokens, bool traini
 }
 
 Tensor EncoderBlock::infer(const Tensor& x, int batch, int tokens) const {
-  Tensor a = norm1_.infer(x);
-  a = msa_.infer(a, batch, tokens);
-  Tensor x1 = rq1_.infer(nn::add(x, a));
+  // Layer-group phase spans: no-ops (one thread-local read each) unless the
+  // engine traces this forward — see runtime/metrics/trace.h.
+  Tensor x1;
+  {
+    runtime::trace::ScopedSpan span("msa");
+    Tensor a = norm1_.infer(x);
+    a = msa_.infer(a, batch, tokens);
+    x1 = rq1_.infer(nn::add(x, a));
+  }
+  runtime::trace::ScopedSpan span("mlp");
   Tensor b = norm2_.infer(x1);
   b = mlp_.infer(b);
   return rq2_.infer(nn::add(x1, b));
@@ -190,14 +199,23 @@ Tensor VisionTransformer::infer(const Tensor& images) const {
   const int batch = images.dim(0);
   const int tokens = cfg_.tokens();
 
-  Tensor x = patch_embed_.infer(patchify(images));  // [B*T, dim]
-  for (int b = 0; b < batch; ++b)
-    for (int t = 0; t < tokens; ++t)
-      for (int d = 0; d < cfg_.dim; ++d)
-        x[(static_cast<std::size_t>(b) * tokens + t) * cfg_.dim + d] +=
-            pos_embed_.value[static_cast<std::size_t>(t) * cfg_.dim + d];
+  Tensor x;
+  {
+    runtime::trace::ScopedSpan span("embed");
+    x = patch_embed_.infer(patchify(images));  // [B*T, dim]
+    for (int b = 0; b < batch; ++b)
+      for (int t = 0; t < tokens; ++t)
+        for (int d = 0; d < cfg_.dim; ++d)
+          x[(static_cast<std::size_t>(b) * tokens + t) * cfg_.dim + d] +=
+              pos_embed_.value[static_cast<std::size_t>(t) * cfg_.dim + d];
+  }
 
-  for (const auto& blk : blocks_) x = blk.infer(x, batch, tokens);
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    runtime::trace::ScopedSpan span("block", static_cast<int>(i));
+    x = blocks_[i].infer(x, batch, tokens);
+  }
+
+  runtime::trace::ScopedSpan span("head");
   x = final_norm_.infer(x);
 
   // Mean pool over tokens.
