@@ -12,11 +12,16 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <thread>
 #include <vector>
 
 #include "bench_util.h"
 #include "core/ascend.h"
+#include "nn/gemm.h"
+#include "runtime/alloc_count.h"
+#include "runtime/arena.h"
+#include "runtime/loader.h"
 
 using namespace ascend;
 using namespace ascend::vit;
@@ -168,6 +173,216 @@ void mixed_priority_table(VisionTransformer& model, const Dataset& data,
               static_cast<unsigned long long>(st.batches), st.avg_batch(), st.max_in_flight);
 }
 
+// Micro-kernel tier ladder (base / avx2 / avx512 / avx512bf16) on a ViT-ish
+// MLP GEMM, then the row-band GemmOptions scaling curve at the auto tier.
+// The f32 tiers are bit-identical to each other (asserted in test_gemm), so
+// this table is pure throughput; bf16 is the opt-in accuracy trade.
+void gemm_tier_table(bench::JsonWriter* json) {
+  using nn::gemm::Kernel;
+  const Kernel saved = nn::gemm::kernel();
+  const int n = 768, k = 192;
+  const int reps = bench::fast_mode() ? 8 : 48;
+  std::vector<float> a(512 * static_cast<std::size_t>(k));
+  std::vector<float> b(static_cast<std::size_t>(k) * n);
+  std::vector<float> c(512 * static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] = static_cast<float>((i * 37 % 113) - 56) / 64.0f;
+  for (std::size_t i = 0; i < b.size(); ++i) b[i] = static_cast<float>((i * 53 % 127) - 63) / 64.0f;
+
+  auto gflops = [&](int m, const nn::gemm::GemmOptions& o) {
+    const std::size_t cn = static_cast<std::size_t>(m) * n;
+    std::memset(c.data(), 0, cn * sizeof(float));
+    nn::gemm::gemm_nn(m, n, k, a.data(), k, b.data(), n, c.data(), n, o);  // warm
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int r = 0; r < reps; ++r) {
+      std::memset(c.data(), 0, cn * sizeof(float));
+      nn::gemm::gemm_nn(m, n, k, a.data(), k, b.data(), n, c.data(), n, o);
+    }
+    const double s = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    return 2.0 * m * n * k * reps / s / 1e9;
+  };
+
+  std::printf("  %-12s %12s   (m=128, n=%d, k=%d, serial)\n", "tier", "GFLOP/s", n, k);
+  struct TierRow {
+    Kernel kernel;
+    const char* name;
+  };
+  for (const TierRow row : {TierRow{Kernel::kBase, "base"}, TierRow{Kernel::kAvx2, "avx2"},
+                            TierRow{Kernel::kAvx512, "avx512"},
+                            TierRow{Kernel::kAvx512Bf16, "avx512bf16"}}) {
+    if (!nn::gemm::kernel_supported(row.kernel)) {
+      std::printf("  %-12s %12s\n", row.name, "n/a (cpu)");
+      continue;
+    }
+    nn::gemm::set_kernel(row.kernel);
+    const double g = gflops(128, {});
+    std::printf("  %-12s %12.2f\n", row.name, g);
+    if (json) json->add(std::string("gemm_") + row.name + "_gflops", g);
+  }
+  nn::gemm::set_kernel(saved);
+  if (json) json->add("gemm_kernel", nn::gemm::kernel_name());
+
+  std::printf("  row-band scaling, %s tier, m=512 (host cores: %u)\n", nn::gemm::kernel_name(),
+              std::thread::hardware_concurrency());
+  double band1 = 0.0;
+  for (int threads : {1, 2, 4}) {
+    runtime::ThreadPool band_pool(threads);
+    nn::gemm::GemmOptions o;
+    o.threads = threads;
+    o.pool = &band_pool;
+    const double g = gflops(512, o);
+    if (threads == 1) band1 = g;
+    std::printf("  %-12s %12.2f %9.2fx\n", ("t=" + std::to_string(threads)).c_str(), g,
+                band1 > 0 ? g / band1 : 0.0);
+    if (json) json->add("gemm_rowband_t" + std::to_string(threads) + "_gflops", g);
+  }
+}
+
+// Steady-state heap allocations per forward, heap-backed vs arena-backed, on
+// the two production serving variants. Counts C++ operator new only (the
+// interposer TU linked into this binary); the arena column being 0.0 is the
+// allocation-free contract — asserted hard in test_arena and the CI smoke,
+// reported here so BENCH_runtime.json carries it.
+void allocation_audit(VisionTransformer& model, const Dataset& data,
+                      const ScInferenceConfig& sc_cfg, bench::JsonWriter* json) {
+  if (!runtime::alloc_counting_active()) {
+    std::printf("  (operator-new interposer not linked — section skipped)\n");
+    return;
+  }
+  runtime::ThreadPool sc_pool(2);
+  ScServableOptions sopts;
+  sopts.pool = &sc_pool;
+  std::vector<std::pair<std::string, std::shared_ptr<runtime::Servable>>> variants;
+  variants.emplace_back("sc-lut", make_sc_servable(model, sc_cfg, sopts, "sc-lut"));
+  variants.emplace_back("w2a2-packed", make_packed_ternary_servable(model, "w2a2-packed"));
+
+  std::printf("  %-14s %18s %18s\n", "variant", "heap allocs/fwd", "arena allocs/fwd");
+  runtime::Arena arena;
+  const int iters = 5;
+  for (auto& [name, servable] : variants) {
+    (void)servable->infer(data.images);  // warm: frozen snapshots, LUTs, scratch
+    const std::uint64_t h0 = runtime::alloc_count();
+    for (int i = 0; i < iters; ++i) (void)servable->infer(data.images);
+    const double heap_per = static_cast<double>(runtime::alloc_count() - h0) / iters;
+    for (int i = 0; i < 3; ++i) {  // sizing pass + consolidation cycles
+      runtime::ArenaScope scope(arena);
+      (void)servable->infer(data.images);
+      arena.reset();
+    }
+    const std::uint64_t a0 = runtime::alloc_count();
+    for (int i = 0; i < iters; ++i) {
+      runtime::ArenaScope scope(arena);
+      (void)servable->infer(data.images);
+      arena.reset();
+    }
+    const double arena_per = static_cast<double>(runtime::alloc_count() - a0) / iters;
+    std::printf("  %-14s %18.1f %18.1f\n", name.c_str(), heap_per, arena_per);
+    if (json) {
+      std::string key = name;
+      std::replace(key.begin(), key.end(), '-', '_');
+      json->add("allocs_per_forward_heap_" + key, heap_per);
+      json->add("allocs_per_forward_arena_" + key, arena_per);
+    }
+  }
+}
+
+// Closed-loop submit vs Loader-driven open loop on the SC serving path. The
+// closed-loop driver is the per-request frontend: allocate a fresh image
+// vector, element-copy the row, submit(), and drain the whole batch before
+// decoding the next — the model idles during every decode. The Loader path
+// decodes into a recycled ring on a worker thread while the engine runs the
+// previous batch, and feeds the synchronous predict_batch path through one
+// reused staging tensor. On a single-core host the win is the removed
+// per-request machinery (allocs, copies, futures, batcher wakeups) rather
+// than decode/compute overlap; both are reported as measured.
+void ingest_comparison(VisionTransformer& model, const Dataset& data,
+                       const ScInferenceConfig& sc_cfg, bench::JsonWriter* json) {
+  runtime::EngineOptions opts;
+  opts.threads = 2;
+  opts.max_batch = 16;
+  opts.max_delay = std::chrono::microseconds(500);
+  opts.concurrent_forwards = 2;
+  runtime::InferenceEngine engine(model, sc_cfg, opts);
+
+  const int pixels = data.images.dim(1);
+  const int batch = 16;
+  const int batches = bench::fast_mode() ? 6 : 24;
+  auto p50 = [](std::vector<double> v) {
+    std::sort(v.begin(), v.end());
+    return v[v.size() / 2];
+  };
+
+  auto closed_batch = [&](int b0) {
+    std::vector<std::future<runtime::Prediction>> futs;
+    futs.reserve(batch);
+    for (int i = 0; i < batch; ++i) {
+      const int r = (b0 * batch + i) % data.size();
+      std::vector<float> img(static_cast<std::size_t>(pixels));
+      for (int p = 0; p < pixels; ++p) img[static_cast<std::size_t>(p)] = data.images.at(r, p);
+      futs.push_back(engine.submit(std::move(img)));
+    }
+    for (auto& f : futs) (void)f.get();
+  };
+  for (int b = 0; b < 2; ++b) closed_batch(b);  // warm-up
+  std::vector<double> closed_lat;
+  closed_lat.reserve(static_cast<std::size_t>(batches));
+  const auto c0 = std::chrono::steady_clock::now();
+  for (int b = 0; b < batches; ++b) {
+    const auto t0 = std::chrono::steady_clock::now();
+    closed_batch(b);
+    closed_lat.push_back(
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0).count());
+  }
+  const double closed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - c0).count();
+  const double closed_ips = batches * batch / closed_s;
+
+  runtime::LoaderOptions lopts;
+  lopts.workers = 1;
+  lopts.prefetch_batches = 3;
+  lopts.batch_size = batch;
+  lopts.loop = true;
+  runtime::Loader loader(
+      [&](int index, float* dst) {
+        const int r = index % data.size();
+        std::memcpy(dst, data.images.data() + static_cast<std::size_t>(r) * pixels,
+                    sizeof(float) * static_cast<std::size_t>(pixels));
+      },
+      data.size(), pixels, lopts);
+  nn::Tensor staging = nn::Tensor::uninitialized({batch, pixels});
+  auto loader_batch = [&] {
+    const runtime::Loader::Batch b = loader.next();
+    std::memcpy(staging.data(), b.data,
+                sizeof(float) * static_cast<std::size_t>(b.size) * pixels);
+    (void)engine.predict_batch(staging);
+    loader.recycle(b);
+  };
+  for (int b = 0; b < 2; ++b) loader_batch();  // warm-up (also fills the ring)
+  std::vector<double> loader_lat;
+  loader_lat.reserve(static_cast<std::size_t>(batches));
+  const auto l0 = std::chrono::steady_clock::now();
+  for (int b = 0; b < batches; ++b) {
+    const auto t0 = std::chrono::steady_clock::now();
+    loader_batch();
+    loader_lat.push_back(
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0).count());
+  }
+  const double loader_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - l0).count();
+  const double loader_ips = batches * batch / loader_s;
+
+  std::printf("  %-24s %12s %12s\n", "driver", "images/s", "p50 ms/b");
+  std::printf("  %-24s %12.2f %12.2f\n", "closed-loop submit", closed_ips, p50(closed_lat));
+  std::printf("  %-24s %12.2f %12.2f\n", "prefetching loader", loader_ips, p50(loader_lat));
+  std::printf("  %-24s %11.2fx\n", "loader speedup", loader_ips / closed_ips);
+  if (json) {
+    json->add("ingest_closed_loop_images_per_sec", closed_ips);
+    json->add("ingest_loader_images_per_sec", loader_ips);
+    json->add("ingest_loader_speedup", loader_ips / closed_ips);
+    json->add("ingest_closed_loop_p50_ms", p50(closed_lat));
+    json->add("ingest_loader_p50_ms", p50(loader_lat));
+  }
+}
+
 // Single-row kernels for google-benchmark: the softmax nonlinear block served
 // from the LUT cache vs per-call circuit emulation.
 sc::SoftmaxIterConfig row_config() {
@@ -317,6 +532,15 @@ int main(int argc, char** argv) {
 
   std::printf("\n-- mixed-priority / multi-variant serving under saturation --\n");
   mixed_priority_table(model, data, sc_cfg, &json);
+
+  std::printf("\n-- GEMM micro-kernel tiers & row-band scaling --\n");
+  gemm_tier_table(&json);
+
+  std::printf("\n-- steady-state allocations per forward (heap vs arena) --\n");
+  allocation_audit(model, data, sc_cfg, &json);
+
+  std::printf("\n-- ingest: closed-loop submit vs prefetching loader --\n");
+  ingest_comparison(model, data, sc_cfg, &json);
 
   if (!json_path.empty()) json.write(json_path);
   bench::run_timing_kernels(argc, argv);

@@ -32,6 +32,7 @@
 #include "nn/tensor.h"
 #include "runtime/batcher.h"
 #include "runtime/engine.h"
+#include "runtime/loader.h"
 #include "runtime/registry.h"
 #include "runtime/servable.h"
 #include "runtime/tf_cache.h"

@@ -4,6 +4,7 @@
 #include <bit>
 #include <cmath>
 #include <cstdlib>
+#include <stdexcept>
 #include <string_view>
 #include <vector>
 
@@ -90,6 +91,12 @@ using MicroKernelFn = void (*)(int, const float*, const float*, float*, int, int
 #define ASCEND_GEMM_X86 1
 #endif
 
+// The bf16 kernel needs the AVX512-BF16 intrinsics (GCC 10+ / Clang 9+).
+#if defined(ASCEND_GEMM_X86) && \
+    (defined(__clang__) ? (__clang_major__ >= 9) : (defined(__GNUC__) && __GNUC__ >= 10))
+#define ASCEND_GEMM_BF16 1
+#endif
+
 #ifdef ASCEND_GEMM_X86
 
 // 4 x 8 SSE kernel (eight xmm accumulators; SSE2 is baseline on x86-64).
@@ -121,6 +128,12 @@ void micro_kernel_base(int kc, const float* ap, const float* bp, float* c, int l
 // 6 x 16 AVX2+FMA kernel (twelve ymm accumulators), compiled for AVX2 via
 // the target attribute and selected at startup only when the CPU supports
 // it — the binary stays runnable on any x86-64.
+//
+// Determinism note shared by the FMA tiers (avx2 and avx512 below): every
+// output element accumulates through exactly one register lane, fmadd per
+// k step in ascending order. Widening the vector only adds more independent
+// lanes — it never reassociates a chain — so the two tiers are bit-identical
+// on the blocked path and test_gemm asserts that.
 __attribute__((target("avx2,fma"))) void micro_kernel_avx2(int kc, const float* ap,
                                                            const float* bp, float* c, int ldc,
                                                            int mr, int nr) {
@@ -168,6 +181,117 @@ __attribute__((target("avx2,fma"))) void micro_kernel_avx2(int kc, const float* 
   }
 }
 
+// 8 x 32 AVX-512F kernel (sixteen zmm accumulators out of the 32-register
+// file). Same structure as the AVX2 kernel — two-step unrolled k loop, one
+// fmadd chain per output element — so results are bit-identical to it.
+__attribute__((target("avx512f"))) void micro_kernel_avx512(int kc, const float* ap,
+                                                            const float* bp, float* c, int ldc,
+                                                            int mr, int nr) {
+  constexpr int MRv = 8, NRv = 32;
+  __m512 acc[MRv][2];
+  for (auto& row : acc) row[0] = row[1] = _mm512_setzero_ps();
+  int p = 0;
+  for (; p + 2 <= kc; p += 2) {
+    const float* brow = bp + static_cast<std::size_t>(p) * NRv;
+    const float* arow = ap + static_cast<std::size_t>(p) * MRv;
+    _mm_prefetch(reinterpret_cast<const char*>(brow + 8 * NRv), _MM_HINT_T0);
+    const __m512 b0 = _mm512_loadu_ps(brow);
+    const __m512 b1 = _mm512_loadu_ps(brow + 16);
+    const __m512 b2 = _mm512_loadu_ps(brow + NRv);
+    const __m512 b3 = _mm512_loadu_ps(brow + NRv + 16);
+    for (int r = 0; r < MRv; ++r) {
+      const __m512 ar0 = _mm512_set1_ps(arow[r]);
+      acc[r][0] = _mm512_fmadd_ps(ar0, b0, acc[r][0]);
+      acc[r][1] = _mm512_fmadd_ps(ar0, b1, acc[r][1]);
+      const __m512 ar1 = _mm512_set1_ps(arow[MRv + r]);
+      acc[r][0] = _mm512_fmadd_ps(ar1, b2, acc[r][0]);
+      acc[r][1] = _mm512_fmadd_ps(ar1, b3, acc[r][1]);
+    }
+  }
+  for (; p < kc; ++p) {
+    const float* brow = bp + static_cast<std::size_t>(p) * NRv;
+    const float* arow = ap + static_cast<std::size_t>(p) * MRv;
+    const __m512 b0 = _mm512_loadu_ps(brow);
+    const __m512 b1 = _mm512_loadu_ps(brow + 16);
+    for (int r = 0; r < MRv; ++r) {
+      const __m512 ar = _mm512_set1_ps(arow[r]);
+      acc[r][0] = _mm512_fmadd_ps(ar, b0, acc[r][0]);
+      acc[r][1] = _mm512_fmadd_ps(ar, b1, acc[r][1]);
+    }
+  }
+  for (int r = 0; r < mr; ++r) {
+    alignas(64) float tmp[NRv];
+    _mm512_store_ps(tmp, acc[r][0]);
+    _mm512_store_ps(tmp + 16, acc[r][1]);
+    float* crow = c + static_cast<std::size_t>(r) * ldc;
+    for (int j = 0; j < nr; ++j) crow[j] += tmp[j];
+  }
+}
+
+#ifdef ASCEND_GEMM_BF16
+
+/// Scalar round-to-nearest-even f32 -> bf16, matching VCVTNE2PS2BF16 so the
+/// broadcast A pairs round exactly like the vector-converted B strips.
+inline std::uint16_t f32_to_bf16_rne(float f) {
+  std::uint32_t u = std::bit_cast<std::uint32_t>(f);
+  if ((u & 0x7fffffffu) > 0x7f800000u) return static_cast<std::uint16_t>((u >> 16) | 0x0040u);
+  u += 0x7fffu + ((u >> 16) & 1u);
+  return static_cast<std::uint16_t>(u >> 16);
+}
+
+// 8 x 32 AVX512-BF16 kernel: VDPBF16PS contracts k *pairs* — both operands
+// round to bf16 and the pair partial-sums before folding into the f32
+// accumulator — so this tier is NOT bit-compatible with the f32 tiers and is
+// never auto-selected (opt-in via ASCEND_GEMM_KERNEL=avx512bf16 or
+// set_kernel). B pairs are built in-register: a two-source lane interleave
+// of consecutive k rows feeds VCVTNE2PS2BF16, so the f32 packed panels are
+// shared with every other tier and no bf16 repack pass exists.
+__attribute__((target("avx512f,avx512bw,avx512bf16"))) void micro_kernel_avx512bf16(
+    int kc, const float* ap, const float* bp, float* c, int ldc, int mr, int nr) {
+  constexpr int MRv = 8, NRv = 32;
+  __m512 acc[MRv][2];
+  for (auto& row : acc) row[0] = row[1] = _mm512_setzero_ps();
+  // Interleave maps: lane 2i <- src1 lane i, lane 2i+1 <- src2 lane i, for
+  // the low (lanes 0..7) and high (8..15) halves of a 16-float strip chunk.
+  const __m512i idx_lo =
+      _mm512_setr_epi32(0, 16, 1, 17, 2, 18, 3, 19, 4, 20, 5, 21, 6, 22, 7, 23);
+  const __m512i idx_hi =
+      _mm512_setr_epi32(8, 24, 9, 25, 10, 26, 11, 27, 12, 28, 13, 29, 14, 30, 15, 31);
+  const __m512 zero = _mm512_setzero_ps();
+  for (int p = 0; p < kc; p += 2) {
+    const float* brow = bp + static_cast<std::size_t>(p) * NRv;
+    const float* arow = ap + static_cast<std::size_t>(p) * MRv;
+    const bool pair = p + 1 < kc;  // odd tail: second row of the pair is zero
+    const __m512 b0 = _mm512_loadu_ps(brow);
+    const __m512 b1 = _mm512_loadu_ps(brow + 16);
+    const __m512 b2 = pair ? _mm512_loadu_ps(brow + NRv) : zero;
+    const __m512 b3 = pair ? _mm512_loadu_ps(brow + NRv + 16) : zero;
+    // bf16 pair strips: element 2i/2i+1 of the bh vector are rows p/p+1 of
+    // column (base + i).
+    const __m512bh bp0 = _mm512_cvtne2ps_pbh(_mm512_permutex2var_ps(b0, idx_hi, b2),
+                                             _mm512_permutex2var_ps(b0, idx_lo, b2));
+    const __m512bh bp1 = _mm512_cvtne2ps_pbh(_mm512_permutex2var_ps(b1, idx_hi, b3),
+                                             _mm512_permutex2var_ps(b1, idx_lo, b3));
+    for (int r = 0; r < MRv; ++r) {
+      const std::uint32_t a0 = f32_to_bf16_rne(arow[r]);
+      const std::uint32_t a1 = pair ? f32_to_bf16_rne(arow[MRv + r]) : 0u;
+      const __m512bh apair =
+          std::bit_cast<__m512bh>(_mm512_set1_epi32(static_cast<int>(a0 | (a1 << 16))));
+      acc[r][0] = _mm512_dpbf16_ps(acc[r][0], apair, bp0);
+      acc[r][1] = _mm512_dpbf16_ps(acc[r][1], apair, bp1);
+    }
+  }
+  for (int r = 0; r < mr; ++r) {
+    alignas(64) float tmp[NRv];
+    _mm512_store_ps(tmp, acc[r][0]);
+    _mm512_store_ps(tmp + 16, acc[r][1]);
+    float* crow = c + static_cast<std::size_t>(r) * ldc;
+    for (int j = 0; j < nr; ++j) crow[j] += tmp[j];
+  }
+}
+
+#endif  // ASCEND_GEMM_BF16
+
 #else  // !ASCEND_GEMM_X86
 
 // Portable scalar fallback: a 4 x 8 accumulator tile the compiler
@@ -196,20 +320,63 @@ struct Tile {
   int mr;
   int nr;
   MicroKernelFn kernel;
+  Kernel id;         ///< resolved tier (never kAuto)
+  const char* name;  ///< bench/metrics label
 };
 
-Tile select_tile() {
+/// Widest bit-exact f32 tier the CPU supports (bf16 is never auto-picked;
+/// see the Kernel enum doc).
+Kernel auto_kernel() {
 #ifdef ASCEND_GEMM_X86
-  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma"))
-    return Tile{6, 16, &micro_kernel_avx2};
+  if (__builtin_cpu_supports("avx512f")) return Kernel::kAvx512;
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) return Kernel::kAvx2;
 #endif
-  return Tile{4, 8, &micro_kernel_base};
+  return Kernel::kBase;
 }
 
-const Tile& tile() {
-  static const Tile t = select_tile();
+Tile make_tile(Kernel k) {
+  if (k == Kernel::kAuto) k = auto_kernel();
+#ifdef ASCEND_GEMM_X86
+  switch (k) {
+#ifdef ASCEND_GEMM_BF16
+    case Kernel::kAvx512Bf16:
+      return Tile{8, 32, &micro_kernel_avx512bf16, Kernel::kAvx512Bf16, "avx512bf16"};
+#endif
+    case Kernel::kAvx512:
+      return Tile{8, 32, &micro_kernel_avx512, Kernel::kAvx512, "avx512"};
+    case Kernel::kAvx2:
+      return Tile{6, 16, &micro_kernel_avx2, Kernel::kAvx2, "avx2"};
+    default:
+      break;
+  }
+#endif
+  return Tile{4, 8, &micro_kernel_base, Kernel::kBase, "base"};
+}
+
+Kernel init_kernel() {
+  const char* v = std::getenv("ASCEND_GEMM_KERNEL");
+  if (v == nullptr) return Kernel::kAuto;
+  const std::string_view s(v);
+  Kernel want = Kernel::kAuto;
+  if (s == "base")
+    want = Kernel::kBase;
+  else if (s == "avx2")
+    want = Kernel::kAvx2;
+  else if (s == "avx512")
+    want = Kernel::kAvx512;
+  else if (s == "avx512bf16")
+    want = Kernel::kAvx512Bf16;
+  // Unknown or unsupported pins fall back to auto so a config written on a
+  // newer host stays runnable here.
+  return kernel_supported(want) ? want : Kernel::kAuto;
+}
+
+Tile& tile_ref() {
+  static Tile t = make_tile(init_kernel());
   return t;
 }
+
+const Tile& tile() { return tile_ref(); }
 
 /// Pack an up-to-mr-row panel of the A block into mr_stride-interleaved
 /// layout (dst[p * mr_stride + r]); rows beyond mr are zero so the
@@ -339,6 +506,38 @@ void gemm_dispatch(int m, int n, int k, const float* a, int lda, const float* b,
 
 Backend backend() { return backend_ref(); }
 void set_backend(Backend b) { backend_ref() = b; }
+
+bool kernel_supported(Kernel k) {
+  switch (k) {
+    case Kernel::kAuto:
+    case Kernel::kBase:
+      return true;
+#ifdef ASCEND_GEMM_X86
+    case Kernel::kAvx2:
+      return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+    case Kernel::kAvx512:
+      return __builtin_cpu_supports("avx512f") != 0;
+    case Kernel::kAvx512Bf16:
+#ifdef ASCEND_GEMM_BF16
+      return __builtin_cpu_supports("avx512f") && __builtin_cpu_supports("avx512bf16");
+#else
+      return false;
+#endif
+#endif
+    default:
+      return false;
+  }
+}
+
+Kernel kernel() { return tile_ref().id; }
+
+void set_kernel(Kernel k) {
+  if (!kernel_supported(k))
+    throw std::invalid_argument("gemm::set_kernel: kernel tier unsupported on this CPU");
+  tile_ref() = make_tile(k);
+}
+
+const char* kernel_name() { return tile_ref().name; }
 
 void gemm_nn(int m, int n, int k, const float* a, int lda, const float* b, int ldb, float* c,
              int ldc, const GemmOptions& opts) {

@@ -39,6 +39,30 @@ Backend backend();
 /// Override the backend for this process (tests/benches only).
 void set_backend(Backend b);
 
+/// Micro-kernel tier of the blocked backend. kAuto resolves at startup to
+/// the widest *bit-exact* tier the CPU supports: base (SSE 4x8) -> avx2
+/// (6x16 FMA) -> avx512 (8x32 FMA). The f32 FMA tiers chain every output
+/// element through one accumulator in k-ascending order, so avx2 and avx512
+/// produce bit-identical results (vector width only changes how many
+/// *independent* chains run side by side). kAvx512Bf16 is opt-in only and
+/// never auto-selected: VDPBF16PS rounds both operands to bf16 and sums
+/// k-pairs before folding, so its results differ from the f32 tiers — use it
+/// for throughput experiments, not for accuracy-sensitive serving.
+enum class Kernel { kAuto, kBase, kAvx2, kAvx512, kAvx512Bf16 };
+
+/// True when the host CPU can execute tier `k` (kAuto and kBase: always).
+bool kernel_supported(Kernel k);
+/// Active micro-kernel tier (env-initialised from ASCEND_GEMM_KERNEL =
+/// auto|base|avx2|avx512|avx512bf16; unsupported or unknown values fall back
+/// to auto so a pinned config stays runnable on older hosts).
+Kernel kernel();
+/// Override the tier for this process. Throws std::invalid_argument when the
+/// CPU lacks it (tests/benches only; not thread-safe against in-flight GEMMs).
+void set_kernel(Kernel k);
+/// Resolved tier name ("base", "avx2", "avx512", "avx512bf16") for bench
+/// metadata — kAuto reports the tier it resolved to.
+const char* kernel_name();
+
 /// Row-band parallelism knobs for one GEMM call. Default is serial. When
 /// `pool` is set, row bands run on it via ThreadPool::parallel_for (do not
 /// call from inside a task of the same pool — caller-waits would deadlock).

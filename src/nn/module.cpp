@@ -63,9 +63,16 @@ Tensor Linear::infer(const Tensor& x) const {
     }
   } else {
     // Weights are immutable while serving: quantize once, serve the snapshot.
-    const Tensor xq = input_quant_.infer(x);
+    // A disabled input quantizer is the identity — use x directly instead of
+    // paying a whole-tensor copy through LsqQuantizer::infer.
+    Tensor xq_store;
+    const Tensor* xq = &x;
+    if (input_quant_.enabled()) {
+      xq_store = input_quant_.infer(x);
+      xq = &xq_store;
+    }
     const Tensor& wq = weight_quant_.frozen_infer(w_.value);
-    y = matmul(xq, wq);
+    y = matmul(*xq, wq);
   }
   if (has_bias_) {
     const int n = y.dim(0);
@@ -141,7 +148,7 @@ Tensor LayerNorm::infer(const Tensor& x) const {
   if (x.rank() != 2 || x.dim(1) != features_)
     throw std::invalid_argument("LayerNorm::infer: bad input");
   const int rows = x.dim(0);
-  Tensor y(x.shape());
+  Tensor y = Tensor::uninitialized(x.shape());
   for (int r = 0; r < rows; ++r) {
     const float* xr = x.data() + static_cast<std::size_t>(r) * features_;
     float mean = 0.0f;
@@ -266,7 +273,7 @@ Tensor BatchNorm::infer(const Tensor& x) const {
   const int rows = x.dim(0);
   const float* scale = snap_scale_.data();
   const float* shift = snap_shift_.data();
-  Tensor y(x.shape());
+  Tensor y = Tensor::uninitialized(x.shape());
   for (int r = 0; r < rows; ++r) {
     const float* xr = x.data() + static_cast<std::size_t>(r) * features_;
     float* yr = y.data() + static_cast<std::size_t>(r) * features_;

@@ -108,28 +108,28 @@ Tensor matmul_nt(const Tensor& a_mxn, const Tensor& b_kxn) {
 
 Tensor add(const Tensor& a, const Tensor& b) {
   check_same_shape(a, b, "add");
-  Tensor c = a;
-  for (std::size_t i = 0; i < c.size(); ++i) c[i] += b[i];
+  Tensor c = Tensor::uninitialized(a.shape());
+  for (std::size_t i = 0; i < c.size(); ++i) c[i] = a[i] + b[i];
   return c;
 }
 
 Tensor sub(const Tensor& a, const Tensor& b) {
   check_same_shape(a, b, "sub");
-  Tensor c = a;
-  for (std::size_t i = 0; i < c.size(); ++i) c[i] -= b[i];
+  Tensor c = Tensor::uninitialized(a.shape());
+  for (std::size_t i = 0; i < c.size(); ++i) c[i] = a[i] - b[i];
   return c;
 }
 
 Tensor mul(const Tensor& a, const Tensor& b) {
   check_same_shape(a, b, "mul");
-  Tensor c = a;
-  for (std::size_t i = 0; i < c.size(); ++i) c[i] *= b[i];
+  Tensor c = Tensor::uninitialized(a.shape());
+  for (std::size_t i = 0; i < c.size(); ++i) c[i] = a[i] * b[i];
   return c;
 }
 
 Tensor scale(const Tensor& a, float s) {
-  Tensor c = a;
-  for (std::size_t i = 0; i < c.size(); ++i) c[i] *= s;
+  Tensor c = Tensor::uninitialized(a.shape());
+  for (std::size_t i = 0; i < c.size(); ++i) c[i] = a[i] * s;
   return c;
 }
 
@@ -139,7 +139,7 @@ void add_inplace(Tensor& a, const Tensor& b) {
 }
 
 Tensor gelu_forward(const Tensor& x) {
-  Tensor y = x;
+  Tensor y = Tensor::uninitialized(x.shape());
   for (std::size_t i = 0; i < y.size(); ++i) {
     const float v = x[i];
     y[i] = 0.5f * v * (1.0f + std::erf(v * kInvSqrt2));
@@ -149,7 +149,7 @@ Tensor gelu_forward(const Tensor& x) {
 
 Tensor gelu_backward(const Tensor& x, const Tensor& grad_y) {
   check_same_shape(x, grad_y, "gelu_backward");
-  Tensor gx = x;
+  Tensor gx = Tensor::uninitialized(x.shape());
   for (std::size_t i = 0; i < gx.size(); ++i) {
     const float v = x[i];
     const float phi = 0.5f * (1.0f + std::erf(v * kInvSqrt2));
@@ -162,15 +162,16 @@ Tensor gelu_backward(const Tensor& x, const Tensor& grad_y) {
 Tensor softmax_rows(const Tensor& x) {
   check_rank2(x, "softmax_rows");
   const int rows = x.dim(0), cols = x.dim(1);
-  Tensor y = x;
+  Tensor y = Tensor::uninitialized(x.shape());
 #pragma omp parallel for schedule(static) if (rows > 16)
   for (int r = 0; r < rows; ++r) {
+    const float* xrow = x.data() + static_cast<std::size_t>(r) * cols;
     float* row = y.data() + static_cast<std::size_t>(r) * cols;
-    float mx = row[0];
-    for (int c = 1; c < cols; ++c) mx = std::max(mx, row[c]);
+    float mx = xrow[0];
+    for (int c = 1; c < cols; ++c) mx = std::max(mx, xrow[c]);
     float sum = 0.0f;
     for (int c = 0; c < cols; ++c) {
-      row[c] = std::exp(row[c] - mx);
+      row[c] = std::exp(xrow[c] - mx);
       sum += row[c];
     }
     for (int c = 0; c < cols; ++c) row[c] /= sum;
@@ -181,7 +182,7 @@ Tensor softmax_rows(const Tensor& x) {
 Tensor softmax_rows_backward(const Tensor& y, const Tensor& grad_y) {
   check_same_shape(y, grad_y, "softmax_rows_backward");
   const int rows = y.dim(0), cols = y.dim(1);
-  Tensor gx = y;
+  Tensor gx = Tensor::uninitialized(y.shape());
 #pragma omp parallel for schedule(static) if (rows > 16)
   for (int r = 0; r < rows; ++r) {
     const float* yr = y.data() + static_cast<std::size_t>(r) * cols;

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "runtime/arena.h"
+
 namespace ascend::nn {
 
 void Param::init_shape(std::vector<int> shape) {
@@ -80,6 +82,9 @@ const Tensor& LsqQuantizer::frozen_infer(const Tensor& x) const {
   if (snap_valid_.load(std::memory_order_acquire)) return snapshot_;
   std::lock_guard<std::mutex> lock(snap_mu_);
   if (!snap_valid_.load(std::memory_order_relaxed)) {
+    // The snapshot outlives every forward: force it onto the heap even when
+    // the caller is running inside an activation-arena scope.
+    runtime::HeapScope heap;
     snapshot_ = infer(x);
     snap_valid_.store(true, std::memory_order_release);
   }
@@ -174,7 +179,7 @@ Tensor LsqQuantizer::infer(const Tensor& x) const {
   if (!spec_.enabled) return x;
   const float step = initialized_ ? step_.value[0] : lsq_init_step(x, spec_.qp);
   const float s = std::max(step, 1e-6f);
-  Tensor out(x.shape());
+  Tensor out = Tensor::uninitialized(x.shape());
   for (std::size_t i = 0; i < x.size(); ++i) {
     const float q = std::clamp(std::round(x[i] / s), static_cast<float>(spec_.qn),
                                static_cast<float>(spec_.qp));

@@ -1,13 +1,18 @@
 #include "nn/tensor.h"
 
-#include <numeric>
+#include <cstring>
+#include <ostream>
 #include <sstream>
 #include <stdexcept>
+
+#include "runtime/arena.h"
 
 namespace ascend::nn {
 namespace {
 
-std::size_t element_count(const std::vector<int>& shape) {
+std::atomic<std::uint64_t> g_copy_count{0};
+
+std::size_t element_count(const Shape& shape) {
   std::size_t n = 1;
   for (int d : shape) {
     if (d <= 0) throw std::invalid_argument("Tensor: non-positive dimension");
@@ -18,38 +23,127 @@ std::size_t element_count(const std::vector<int>& shape) {
 
 }  // namespace
 
-Tensor::Tensor(std::vector<int> shape) : data_(element_count(shape), 0.0f), shape_(std::move(shape)) {}
+Shape::Shape(std::initializer_list<int> dims) {
+  if (dims.size() > kMaxRank) throw std::invalid_argument("Shape: rank > 4");
+  for (int d : dims) d_[rank_++] = d;
+}
 
-Tensor::Tensor(std::vector<int> shape, float fill)
-    : data_(element_count(shape), fill), shape_(std::move(shape)) {}
+Shape::Shape(const std::vector<int>& dims) {
+  if (dims.size() > kMaxRank) throw std::invalid_argument("Shape: rank > 4");
+  for (int d : dims) d_[rank_++] = d;
+}
+
+bool Shape::operator==(const Shape& o) const {
+  if (rank_ != o.rank_) return false;
+  for (std::uint8_t i = 0; i < rank_; ++i)
+    if (d_[i] != o.d_[i]) return false;
+  return true;
+}
+
+std::ostream& operator<<(std::ostream& os, const Shape& s) {
+  os << "[";
+  for (std::size_t i = 0; i < s.size(); ++i) os << (i ? "," : "") << s[i];
+  return os << "]";
+}
+
+void Tensor::allocate(std::size_t n) {
+  size_ = n;
+  if (n == 0) {
+    data_ = nullptr;
+    heap_.reset();
+    return;
+  }
+  if (auto* arena = runtime::Arena::current()) {
+    heap_.reset();
+    data_ = static_cast<float*>(arena->allocate(n * sizeof(float)));
+  } else {
+    heap_.reset(new float[n]);  // deliberately uninitialized; callers fill
+    data_ = heap_.get();
+  }
+}
+
+Tensor::Tensor(Shape shape, Uninit) : shape_(shape) { allocate(element_count(shape)); }
+
+Tensor::Tensor(Shape shape) : Tensor(shape, Uninit{}) {
+  if (size_) std::memset(data_, 0, size_ * sizeof(float));
+}
+
+Tensor::Tensor(Shape shape, float fill) : Tensor(shape, Uninit{}) {
+  for (std::size_t i = 0; i < size_; ++i) data_[i] = fill;
+}
+
+Tensor::Tensor(const Tensor& o) : shape_(o.shape_) {
+  allocate(o.size_);
+  if (size_) {
+    std::memcpy(data_, o.data_, size_ * sizeof(float));
+    g_copy_count.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+Tensor::Tensor(Tensor&& o) noexcept
+    : shape_(o.shape_), size_(o.size_), data_(o.data_), heap_(std::move(o.heap_)) {
+  o.shape_ = Shape{};
+  o.size_ = 0;
+  o.data_ = nullptr;
+}
+
+Tensor& Tensor::operator=(const Tensor& o) {
+  if (this == &o) return *this;
+  // Reuse the existing buffer when the element count matches — steady-state
+  // assignments (e.g. into a preallocated slot) stay allocation-free.
+  if (size_ != o.size_) allocate(o.size_);
+  shape_ = o.shape_;
+  if (size_) {
+    std::memcpy(data_, o.data_, size_ * sizeof(float));
+    g_copy_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  return *this;
+}
+
+Tensor& Tensor::operator=(Tensor&& o) noexcept {
+  if (this == &o) return *this;
+  shape_ = o.shape_;
+  size_ = o.size_;
+  data_ = o.data_;
+  heap_ = std::move(o.heap_);
+  o.shape_ = Shape{};
+  o.size_ = 0;
+  o.data_ = nullptr;
+  return *this;
+}
 
 int Tensor::dim(std::size_t i) const {
   if (i >= shape_.size()) throw std::out_of_range("Tensor::dim");
   return shape_[i];
 }
 
-Tensor Tensor::reshaped(std::vector<int> new_shape) const {
-  if (element_count(new_shape) != data_.size())
+Tensor Tensor::reshaped(Shape new_shape) const {
+  if (element_count(new_shape) != size_)
     throw std::invalid_argument("Tensor::reshaped: element count mismatch");
-  Tensor t;
-  t.data_ = data_;
-  t.shape_ = std::move(new_shape);
+  Tensor t(new_shape, Uninit{});
+  if (size_) std::memcpy(t.data_, data_, size_ * sizeof(float));
   return t;
 }
 
-void Tensor::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+void Tensor::fill(float v) {
+  for (std::size_t i = 0; i < size_; ++i) data_[i] = v;
+}
 
-double Tensor::sum() const { return std::accumulate(data_.begin(), data_.end(), 0.0); }
+double Tensor::sum() const {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < size_; ++i) acc += data_[i];
+  return acc;
+}
 
-double Tensor::mean() const { return data_.empty() ? 0.0 : sum() / static_cast<double>(data_.size()); }
+double Tensor::mean() const { return size_ == 0 ? 0.0 : sum() / static_cast<double>(size_); }
 
 std::string Tensor::shape_str() const {
   std::ostringstream os;
-  os << "[";
-  for (std::size_t i = 0; i < shape_.size(); ++i) os << (i ? "," : "") << shape_[i];
-  os << "]";
+  os << shape_;
   return os.str();
 }
+
+std::uint64_t Tensor::copies() { return g_copy_count.load(std::memory_order_relaxed); }
 
 void check_same_shape(const Tensor& a, const Tensor& b, const char* who) {
   if (a.shape() != b.shape())

@@ -2,32 +2,74 @@
 // tensor.h — minimal dense float tensor (row-major) for the ViT substrate.
 //
 // The network code treats tensors as shaped views over a contiguous float
-// buffer; all layer math lives in ops.h / the layer classes. Shapes are
-// small vectors of ints; rank is 1..4 in practice.
+// buffer; all layer math lives in ops.h / the layer classes. Rank is 1..4,
+// and shapes are stored inline (no heap) so constructing a tensor costs at
+// most one allocation — and zero when a runtime::Arena is installed for the
+// current thread (see runtime/arena.h): the buffer is then bump-allocated
+// from the arena and freed wholesale at Arena::reset(). Tensors never own
+// arena memory; whoever installed the ArenaScope owns the lifetime.
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
 namespace ascend::nn {
 
+/// Inline fixed-capacity shape (rank <= 4): value semantics, no heap.
+class Shape {
+ public:
+  static constexpr std::size_t kMaxRank = 4;
+
+  Shape() = default;
+  Shape(std::initializer_list<int> dims);
+  Shape(const std::vector<int>& dims);  // NOLINT: implicit for call-site compat
+
+  std::size_t size() const { return rank_; }
+  bool empty() const { return rank_ == 0; }
+  int operator[](std::size_t i) const { return d_[i]; }
+  const int* begin() const { return d_; }
+  const int* end() const { return d_ + rank_; }
+
+  bool operator==(const Shape& o) const;
+  bool operator!=(const Shape& o) const { return !(*this == o); }
+
+ private:
+  int d_[kMaxRank] = {0, 0, 0, 0};
+  std::uint8_t rank_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, const Shape& s);
+
 class Tensor {
  public:
   Tensor() = default;
-  explicit Tensor(std::vector<int> shape);
-  Tensor(std::vector<int> shape, float fill);
+  explicit Tensor(Shape shape);
+  Tensor(Shape shape, float fill);
 
-  static Tensor zeros(std::vector<int> shape) { return Tensor(std::move(shape)); }
-  static Tensor full(std::vector<int> shape, float v) { return Tensor(std::move(shape), v); }
+  Tensor(const Tensor& o);
+  Tensor(Tensor&& o) noexcept;
+  Tensor& operator=(const Tensor& o);
+  Tensor& operator=(Tensor&& o) noexcept;
+  ~Tensor() = default;
 
-  const std::vector<int>& shape() const { return shape_; }
+  static Tensor zeros(Shape shape) { return Tensor(shape); }
+  static Tensor full(Shape shape, float v) { return Tensor(shape, v); }
+  /// Allocate without zero-filling — for ops that overwrite every element.
+  static Tensor uninitialized(Shape shape) { return Tensor(shape, Uninit{}); }
+
+  const Shape& shape() const { return shape_; }
   int dim(std::size_t i) const;
   std::size_t rank() const { return shape_.size(); }
-  std::size_t size() const { return data_.size(); }
-  bool empty() const { return data_.empty(); }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
 
-  float* data() { return data_.data(); }
-  const float* data() const { return data_.data(); }
+  float* data() { return data_; }
+  const float* data() const { return data_; }
   float& operator[](std::size_t i) { return data_[i]; }
   float operator[](std::size_t i) const { return data_[i]; }
 
@@ -35,8 +77,12 @@ class Tensor {
   float& at(int r, int c) { return data_[static_cast<std::size_t>(r) * shape_[1] + c]; }
   float at(int r, int c) const { return data_[static_cast<std::size_t>(r) * shape_[1] + c]; }
 
-  /// Reinterpret the buffer with a new shape of identical element count.
-  Tensor reshaped(std::vector<int> new_shape) const;
+  /// Copy the buffer with a new shape of identical element count.
+  Tensor reshaped(Shape new_shape) const;
+
+  /// True when the buffer was carved from the thread's active arena (and is
+  /// therefore only valid until that arena resets).
+  bool arena_backed() const { return data_ != nullptr && heap_ == nullptr; }
 
   void fill(float v);
   /// Sum of all elements / mean of all elements.
@@ -45,9 +91,21 @@ class Tensor {
 
   std::string shape_str() const;
 
+  /// Process-wide count of deep copies (copy-ctor + copy-assign that had to
+  /// duplicate a buffer). Pinned by the copy-audit test to keep avoidable
+  /// copies off the infer path.
+  static std::uint64_t copies();
+
  private:
-  std::vector<float> data_;
-  std::vector<int> shape_;
+  struct Uninit {};  // tag: allocate without zero-fill
+  Tensor(Shape shape, Uninit);
+
+  void allocate(std::size_t n);  // arena if installed, else heap
+
+  Shape shape_;
+  std::size_t size_ = 0;
+  float* data_ = nullptr;
+  std::unique_ptr<float[]> heap_;  // owning iff heap-backed; null for arena
 };
 
 /// Throws unless both tensors have identical shapes.

@@ -1,0 +1,30 @@
+#include "runtime/alloc_count.h"
+
+namespace ascend::runtime {
+namespace detail {
+
+std::atomic<std::uint64_t>& alloc_counter() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter;
+}
+
+namespace {
+std::atomic<bool>& active_flag() {
+  static std::atomic<bool> active{false};
+  return active;
+}
+}  // namespace
+
+void set_alloc_counting_active() { active_flag().store(true, std::memory_order_relaxed); }
+
+}  // namespace detail
+
+std::uint64_t alloc_count() {
+  return detail::alloc_counter().load(std::memory_order_relaxed);
+}
+
+bool alloc_counting_active() {
+  return detail::active_flag().load(std::memory_order_relaxed);
+}
+
+}  // namespace ascend::runtime

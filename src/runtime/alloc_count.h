@@ -1,0 +1,34 @@
+#pragma once
+// alloc_count.h — process-wide heap-allocation counter.
+//
+// The counter itself always lives in the runtime library; it only advances
+// when the interposing operator-new definitions in
+// src/runtime/interpose/alloc_new.cpp are linked into the final binary
+// (test/bench targets opt in via the `alloc_interpose` object library).
+// Production binaries never pay the interposition cost — alloc_count()
+// simply stays at 0 and alloc_counting_active() reports false.
+//
+// This is what backs the zero-allocations-per-forward claim: benches and
+// tests read the counter before/after a steady-state forward and assert the
+// delta, and the engine exports it as a MetricsRegistry callback series.
+
+#include <atomic>
+#include <cstdint>
+
+namespace ascend::runtime {
+
+/// Total operator-new calls observed so far (0 unless the interposer TU is
+/// linked into this binary).
+std::uint64_t alloc_count();
+
+/// True when the interposer is linked in and alloc_count() is meaningful.
+bool alloc_counting_active();
+
+namespace detail {
+/// The counter the interposer bumps. Function-local static so it is safe to
+/// touch from allocation calls during static initialization.
+std::atomic<std::uint64_t>& alloc_counter();
+void set_alloc_counting_active();
+}  // namespace detail
+
+}  // namespace ascend::runtime

@@ -1,0 +1,132 @@
+#include "runtime/arena.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace ascend::runtime {
+namespace {
+
+thread_local Arena* t_current_arena = nullptr;
+
+std::size_t align_up(std::size_t n, std::size_t align) { return (n + align - 1) & ~(align - 1); }
+
+// First slab granularity: big enough that a small model sizes in one block,
+// small enough not to waste memory on tiny test arenas.
+constexpr std::size_t kMinBlockBytes = 64 * 1024;
+
+}  // namespace
+
+Arena::Arena(std::size_t initial_bytes) {
+  if (initial_bytes > 0) {
+    const std::size_t sz = align_up(initial_bytes, kDefaultAlign);
+    blocks_.push_back(Block{std::make_unique<std::byte[]>(sz), sz, 0});
+    capacity_ = sz;
+  }
+  blocks_.reserve(8);
+}
+
+// Bump offset for the next allocation in a block: aligned on the *absolute*
+// address (operator new[] only guarantees 16-byte alignment for the block
+// base, so aligning the offset alone would under-align the pointer).
+std::size_t aligned_offset(const std::byte* data, std::size_t used, std::size_t align) {
+  const std::uintptr_t base = reinterpret_cast<std::uintptr_t>(data);
+  return static_cast<std::size_t>(align_up(base + used, align) - base);
+}
+
+void* Arena::allocate(std::size_t bytes, std::size_t align) {
+  if (bytes == 0) bytes = 1;
+  if (active_ < blocks_.size()) {
+    Block& b = blocks_[active_];
+    const std::size_t at = aligned_offset(b.data.get(), b.used, align);
+    if (at + bytes <= b.size) {
+      void* p = b.data.get() + at;
+      used_ += (at - b.used) + bytes;
+      b.used = at + bytes;
+      return p;
+    }
+  }
+  return allocate_slow(bytes, align);
+}
+
+void* Arena::allocate_slow(std::size_t bytes, std::size_t align) {
+  // Try later blocks left over from a previous growth cycle.
+  for (std::size_t i = active_ + 1; i < blocks_.size(); ++i) {
+    Block& b = blocks_[i];
+    const std::size_t at = aligned_offset(b.data.get(), b.used, align);
+    if (at + bytes <= b.size) {
+      active_ = i;
+      void* p = b.data.get() + at;
+      used_ += (at - b.used) + bytes;
+      b.used = at + bytes;
+      return p;
+    }
+  }
+  // Grow: geometric in total capacity so sizing passes need O(log n) blocks.
+  // `+ align` covers the worst-case base misalignment of the fresh block.
+  const std::size_t want = align_up(bytes + align, kDefaultAlign);
+  const std::size_t sz = std::max({want, kMinBlockBytes, capacity_});
+  blocks_.push_back(Block{std::make_unique<std::byte[]>(sz), sz, 0});
+  capacity_ += sz;
+  active_ = blocks_.size() - 1;
+  Block& b = blocks_.back();
+  const std::size_t at = aligned_offset(b.data.get(), b.used, align);
+  void* p = b.data.get() + at;
+  used_ += (at - b.used) + bytes;
+  b.used = at + bytes;
+  return p;
+}
+
+void Arena::reset() {
+  peak_ = std::max(peak_, used_);
+  if (blocks_.size() > 1) {
+    // Consolidate: one slab covering the peak (padded per-allocation
+    // alignment is already folded into used_, add slack for alignment drift).
+    const std::size_t sz = align_up(peak_ + peak_ / 8 + kDefaultAlign, kDefaultAlign);
+    blocks_.clear();
+    blocks_.push_back(Block{std::make_unique<std::byte[]>(sz), sz, 0});
+    capacity_ = sz;
+    ++consolidations_;
+  } else {
+    for (Block& b : blocks_) b.used = 0;
+  }
+  active_ = 0;
+  used_ = 0;
+}
+
+Arena* Arena::current() { return t_current_arena; }
+
+ArenaScope::ArenaScope(Arena& arena) : prev_(t_current_arena) { t_current_arena = &arena; }
+ArenaScope::~ArenaScope() { t_current_arena = prev_; }
+
+HeapScope::HeapScope() : prev_(t_current_arena) { t_current_arena = nullptr; }
+HeapScope::~HeapScope() { t_current_arena = prev_; }
+
+ArenaPool::ArenaPool(std::size_t prereserve) {
+  all_.reserve(std::max<std::size_t>(prereserve, 1));
+  free_.reserve(std::max<std::size_t>(prereserve, 1));
+}
+
+Arena* ArenaPool::acquire() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!free_.empty()) {
+    Arena* a = free_.back();
+    free_.pop_back();
+    return a;
+  }
+  all_.push_back(std::make_unique<Arena>());
+  return all_.back().get();
+}
+
+void ArenaPool::release(Arena* arena) {
+  if (!arena) return;
+  arena->reset();
+  std::lock_guard<std::mutex> lock(mu_);
+  free_.push_back(arena);
+}
+
+std::size_t ArenaPool::created() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return all_.size();
+}
+
+}  // namespace ascend::runtime

@@ -1,0 +1,151 @@
+#pragma once
+// arena.h — per-forward activation arenas for allocation-free inference.
+//
+// An Arena is a bump allocator sized by its first pass: the sizing forward
+// runs with an empty arena and grows it block by block; reset() then
+// consolidates the block list into a single slab covering the observed peak,
+// so every later forward of the same (variant, batch-shape) is carved from
+// one slab with zero heap traffic. A larger batch simply overflows again and
+// the next reset() re-consolidates — resize is the same mechanism as sizing.
+//
+// Arenas are single-threaded by design: each in-flight forward owns one.
+// The active arena is published through a thread-local (Arena::current()),
+// so the whole const infer() chain — quantizer outputs, attention panels,
+// MLP activations — picks it up without threading a parameter through every
+// layer signature. ArenaScope installs an arena for the current thread;
+// HeapScope suspends it (used around builds of persistent state, e.g. the
+// frozen quantizer snapshots, which must outlive any forward).
+//
+// ArenaPool recycles arenas across forwards in the engine: acquire() pops a
+// warm arena (already consolidated to peak) off a free list, ArenaLease
+// scopes it over one forward and returns it on destruction.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace ascend::runtime {
+
+class Arena {
+ public:
+  explicit Arena(std::size_t initial_bytes = 0);
+  ~Arena() = default;
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Bump-allocate `bytes` aligned to `align` (power of two). Grows the
+  /// block list when the current slab overflows; after the next reset() the
+  /// arena is consolidated so the same demand is served without growth.
+  void* allocate(std::size_t bytes, std::size_t align = kDefaultAlign);
+
+  /// Rewind to empty. If this cycle overflowed into extra blocks, replace
+  /// the block list with one slab covering the peak working set (this is
+  /// the only place an arena touches the heap after sizing).
+  void reset();
+
+  /// Bytes currently bump-allocated this cycle.
+  std::size_t used() const { return used_; }
+  /// Total bytes reserved across blocks.
+  std::size_t capacity() const { return capacity_; }
+  /// High-water mark across all cycles, including the current one (what the
+  /// next reset() consolidates to).
+  std::size_t peak() const { return used_ > peak_ ? used_ : peak_; }
+  /// Number of backing blocks (1 at steady state).
+  std::size_t block_count() const { return blocks_.size(); }
+  /// How many reset() calls had to re-consolidate (i.e. sizing/resize passes).
+  std::uint64_t consolidations() const { return consolidations_; }
+
+  /// The arena installed for this thread, or nullptr (heap allocation).
+  static Arena* current();
+
+  static constexpr std::size_t kDefaultAlign = 64;
+
+ private:
+  friend class ArenaScope;
+  friend class HeapScope;
+
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+
+  void* allocate_slow(std::size_t bytes, std::size_t align);
+
+  std::vector<Block> blocks_;
+  std::size_t active_ = 0;      // block currently being bumped
+  std::size_t used_ = 0;        // sum of per-block used this cycle
+  std::size_t capacity_ = 0;    // sum of block sizes
+  std::size_t peak_ = 0;
+  std::uint64_t consolidations_ = 0;
+};
+
+/// RAII: installs `arena` as the current thread's allocation target.
+class ArenaScope {
+ public:
+  explicit ArenaScope(Arena& arena);
+  ~ArenaScope();
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+ private:
+  Arena* prev_;
+};
+
+/// RAII: suspends the current thread's arena — allocations inside the scope
+/// go to the heap. Wrap builds of state that outlives the forward (frozen
+/// snapshots, caches) so they never point into an arena about to be reset.
+class HeapScope {
+ public:
+  HeapScope();
+  ~HeapScope();
+  HeapScope(const HeapScope&) = delete;
+  HeapScope& operator=(const HeapScope&) = delete;
+
+ private:
+  Arena* prev_;
+};
+
+/// Thread-safe recycler of warm arenas, one per in-flight forward.
+class ArenaPool {
+ public:
+  /// `prereserve` bounds the expected number of concurrent leases; the free
+  /// list reserves capacity up front so acquire/release never reallocate it.
+  explicit ArenaPool(std::size_t prereserve = 16);
+
+  /// Pop a warm arena (or build a fresh one on cold start — the only
+  /// allocating path, never hit at steady state).
+  Arena* acquire();
+  /// Reset `arena` and return it to the free list.
+  void release(Arena* arena);
+
+  std::size_t created() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Arena>> all_;
+  std::vector<Arena*> free_;
+};
+
+/// RAII: acquire from a pool, scope over the current thread, release on
+/// destruction (which resets the arena — keep the lease alive until results
+/// have been copied out of arena-backed tensors).
+class ArenaLease {
+ public:
+  explicit ArenaLease(ArenaPool& pool) : pool_(&pool), arena_(pool.acquire()), scope_(*arena_) {}
+  ~ArenaLease() { pool_->release(arena_); }
+  ArenaLease(const ArenaLease&) = delete;
+  ArenaLease& operator=(const ArenaLease&) = delete;
+
+  Arena& arena() { return *arena_; }
+
+ private:
+  ArenaPool* pool_;
+  Arena* arena_;
+  ArenaScope scope_;
+};
+
+}  // namespace ascend::runtime

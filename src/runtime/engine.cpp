@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <numeric>
+#include <optional>
 #include <stdexcept>
+
+#include "runtime/alloc_count.h"
 
 #include "vit/model.h"
 #include "vit/servable.h"
@@ -143,6 +146,16 @@ void InferenceEngine::register_metric_series() {
       "ascend_full_batches_total", {}, SeriesKind::kCounter,
       [this] { return static_cast<double>(full_batches_.load()); },
       "Batches closed by the size cutoff"));
+  metric_callbacks_.push_back(metrics_->register_callback(
+      "ascend_process_allocations_total", {}, SeriesKind::kCounter,
+      [] { return static_cast<double>(alloc_count()); },
+      "Heap allocations seen by the interposed operator new (stays 0 unless "
+      "the alloc_interpose library is linked into this binary)"));
+  metric_callbacks_.push_back(metrics_->register_callback(
+      "ascend_arena_pool_created", {}, SeriesKind::kGauge,
+      [this] { return static_cast<double>(arena_pool_.created()); },
+      "Activation arenas created by this engine's pool (bounded by peak "
+      "concurrent forwards)"));
   // Batch sizes are small integers: every fill level is an exact bucket.
   metrics::HistogramOptions fill_opts;
   fill_opts.sub_bits = 7;
@@ -241,6 +254,13 @@ void InferenceEngine::process_batch(std::vector<Request>& batch) {
     for (auto& req : batch) req.promise.set_exception(err);
     return;
   }
+
+  // Lease a warm arena for this forward: the batch tensor, every
+  // intermediate in the infer chain, and the logits all bump-allocate from
+  // one slab. The lease outlives the last read of `logits` below — its
+  // destructor resets the arena and returns it to the pool.
+  std::optional<ArenaLease> lease;
+  if (opts_.use_arena) lease.emplace(arena_pool_);
 
   const int pixels = servable->input_dim();
   Tensor images({b, pixels});
@@ -374,9 +394,15 @@ void InferenceEngine::process_batch(std::vector<Request>& batch) {
 
 std::vector<int> InferenceEngine::predict_batch(const Tensor& images, const std::string& variant) {
   const std::shared_ptr<const Servable> servable = registry_->get(resolve_variant(variant));
-  const Tensor logits = servable->infer(images);
-  std::vector<int> labels(static_cast<std::size_t>(logits.dim(0)));
-  for (int r = 0; r < logits.dim(0); ++r) labels[static_cast<std::size_t>(r)] = argmax_row(logits, r);
+  std::vector<int> labels;
+  {
+    std::optional<ArenaLease> lease;
+    if (opts_.use_arena) lease.emplace(arena_pool_);
+    const Tensor logits = servable->infer(images);
+    labels.resize(static_cast<std::size_t>(logits.dim(0)));
+    for (int r = 0; r < logits.dim(0); ++r)
+      labels[static_cast<std::size_t>(r)] = argmax_row(logits, r);
+  }
   return labels;
 }
 

@@ -27,6 +27,7 @@
 #include <thread>
 #include <vector>
 
+#include "runtime/arena.h"
 #include "runtime/batcher.h"
 #include "runtime/metrics/registry.h"
 #include "runtime/metrics/trace.h"
@@ -63,6 +64,11 @@ struct EngineOptions {
   /// Per-request span tracing (off by default). When disabled the only
   /// per-span cost left in the forward path is a thread-local read.
   trace::TracerOptions trace;
+  /// Run every Servable::infer under a pooled activation arena: intermediate
+  /// tensors bump-allocate from a per-forward slab instead of the heap
+  /// (zero allocations per forward at steady state). One warm arena is kept
+  /// per in-flight forward. Off: the pre-arena heap behaviour, bit-exact.
+  bool use_arena = true;
 };
 
 /// Per-scheduling-class serving counters.
@@ -203,6 +209,10 @@ class InferenceEngine {
   // destroyed before it.
   std::shared_ptr<ModelRegistry> registry_;
   std::string default_variant_;
+
+  /// Warm per-forward activation arenas (EngineOptions::use_arena); leased
+  /// around each Servable::infer by process_batch / predict_batch.
+  ArenaPool arena_pool_;
 
   std::unique_ptr<ThreadPool> forward_pool_;  ///< runs the in-flight batch forwards
   std::thread dispatcher_;

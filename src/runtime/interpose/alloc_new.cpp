@@ -1,0 +1,77 @@
+// alloc_new.cpp — counting replacements for the global allocation functions.
+//
+// Linked ONLY into targets that opt in (the `alloc_interpose` CMake object
+// library: allocation tests and benches). Replacing operator new is sanctioned
+// by [replacement.functions]; every variant below forwards to malloc /
+// posix_memalign and bumps the runtime counter, so alloc_count() measures
+// real heap traffic including everything the standard library does.
+//
+// This TU deliberately lives outside the src/runtime/*.cpp glob: pulling it
+// into libruntime would interpose every binary in the build.
+
+#include <cstdlib>
+#include <new>
+
+#include "runtime/alloc_count.h"
+
+namespace {
+
+struct ActivateCounting {
+  ActivateCounting() { ascend::runtime::detail::set_alloc_counting_active(); }
+} activate_counting;
+
+void* counted_malloc(std::size_t n) {
+  ascend::runtime::detail::alloc_counter().fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n ? n : 1);
+}
+
+void* counted_aligned(std::size_t n, std::size_t align) {
+  ascend::runtime::detail::alloc_counter().fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (align < sizeof(void*)) align = sizeof(void*);
+  if (posix_memalign(&p, align, n ? n : align) != 0) return nullptr;
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t n) {
+  void* p = counted_malloc(n);
+  if (!p) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t n) { return ::operator new(n); }
+
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept { return counted_malloc(n); }
+
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept { return counted_malloc(n); }
+
+void* operator new(std::size_t n, std::align_val_t align) {
+  void* p = counted_aligned(n, static_cast<std::size_t>(align));
+  if (!p) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t n, std::align_val_t align) { return ::operator new(n, align); }
+
+void* operator new(std::size_t n, std::align_val_t align, const std::nothrow_t&) noexcept {
+  return counted_aligned(n, static_cast<std::size_t>(align));
+}
+
+void* operator new[](std::size_t n, std::align_val_t align, const std::nothrow_t&) noexcept {
+  return counted_aligned(n, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t, const std::nothrow_t&) noexcept { std::free(p); }

@@ -1,0 +1,110 @@
+#include "runtime/loader.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ascend::runtime {
+
+Loader::Loader(DecodeFn decode, int num_samples, int sample_dim, LoaderOptions opts)
+    : decode_(std::move(decode)), num_samples_(num_samples), sample_dim_(sample_dim),
+      opts_(opts) {
+  if (!decode_) throw std::invalid_argument("Loader: decode callback is empty");
+  if (num_samples_ < 1) throw std::invalid_argument("Loader: num_samples must be >= 1");
+  if (sample_dim_ < 1) throw std::invalid_argument("Loader: sample_dim must be >= 1");
+  opts_.workers = std::max(1, opts_.workers);
+  opts_.prefetch_batches = std::max(2, opts_.prefetch_batches);
+  opts_.batch_size = std::max(1, opts_.batch_size);
+  total_batches_ =
+      (static_cast<long long>(num_samples_) + opts_.batch_size - 1) / opts_.batch_size;
+  // The whole ring is allocated up front; nothing below ever resizes it.
+  slots_.resize(static_cast<std::size_t>(opts_.prefetch_batches));
+  for (Slot& s : slots_)
+    s.buf.resize(static_cast<std::size_t>(opts_.batch_size) * sample_dim_);
+  workers_.reserve(static_cast<std::size_t>(opts_.workers));
+  for (int i = 0; i < opts_.workers; ++i) workers_.emplace_back([this] { worker_loop(); });
+}
+
+Loader::~Loader() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  slot_cv_.notify_all();
+  ready_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void Loader::worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    slot_cv_.wait(lock, [this] {
+      if (closed_ || error_) return true;
+      if (!opts_.loop && next_fill_ >= total_batches_) return true;  // stream drained
+      return std::any_of(slots_.begin(), slots_.end(), [](const Slot& s) { return s.free; });
+    });
+    if (closed_ || error_) return;
+    if (!opts_.loop && next_fill_ >= total_batches_) return;
+    auto it = std::find_if(slots_.begin(), slots_.end(), [](const Slot& s) { return s.free; });
+    Slot& slot = *it;
+    const long long seq = next_fill_++;
+    slot.free = false;
+    slot.ready = false;
+    slot.seq = seq;
+    const long long first = seq * opts_.batch_size;
+    slot.size = opts_.loop ? opts_.batch_size
+                           : static_cast<int>(std::min<long long>(opts_.batch_size,
+                                                                  num_samples_ - first));
+    lock.unlock();
+    try {
+      for (int r = 0; r < slot.size; ++r) {
+        const long long idx = first + r;
+        decode_(static_cast<int>(opts_.loop ? idx % num_samples_ : idx),
+                slot.buf.data() + static_cast<std::size_t>(r) * sample_dim_);
+      }
+      lock.lock();
+      slot.ready = true;
+    } catch (...) {
+      lock.lock();
+      if (!error_) error_ = std::current_exception();
+      slot.free = true;  // never handed over
+    }
+    ready_cv_.notify_all();
+  }
+}
+
+int Loader::find_ready(long long seq) const {
+  for (std::size_t i = 0; i < slots_.size(); ++i)
+    if (slots_[i].ready && slots_[i].seq == seq) return static_cast<int>(i);
+  return -1;
+}
+
+Loader::Batch Loader::next() {
+  std::unique_lock<std::mutex> lock(mu_);
+  const long long seq = next_out_;
+  if (!opts_.loop && seq >= total_batches_) return Batch{};
+  ready_cv_.wait(lock, [&] { return error_ || closed_ || find_ready(seq) >= 0; });
+  if (const int i = find_ready(seq); i >= 0) {
+    Slot& slot = slots_[static_cast<std::size_t>(i)];
+    slot.ready = false;  // owned by the consumer until recycle()
+    ++next_out_;
+    return Batch{slot.buf.data(), slot.size, sample_dim_, seq};
+  }
+  if (error_) std::rethrow_exception(error_);
+  throw std::runtime_error("Loader::next called during shutdown");
+}
+
+void Loader::recycle(const Batch& b) {
+  if (b.end()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = std::find_if(slots_.begin(), slots_.end(),
+                           [&](const Slot& s) { return s.buf.data() == b.data; });
+    if (it == slots_.end())
+      throw std::invalid_argument("Loader::recycle: batch does not belong to this loader");
+    it->free = true;
+    it->seq = -1;
+  }
+  slot_cv_.notify_one();
+}
+
+}  // namespace ascend::runtime

@@ -1,0 +1,111 @@
+#pragma once
+// loader.h — prefetching ingest pipeline for open-loop serving and benches.
+//
+// The engine-side allocation work (arena.h) makes a forward cheap enough
+// that a closed-loop driver — decode a batch, run it, decode the next —
+// leaves the model idle for the whole decode. Loader overlaps the two: N
+// worker threads decode/normalize/patchify samples into a fixed ring of
+// recycled batch buffers while the consumer runs the previous batch, and
+// next() hands batches over strictly in sequence order (the double-buffered
+// handoff). At steady state the pipeline performs zero heap allocations:
+// every buffer is carved once at construction and recycled forever.
+//
+// The decode callback owns the actual sample production — file reads,
+// synthetic generators, dataset shards — so the pipeline is agnostic to
+// where pixels come from. It is called concurrently from multiple workers
+// (for different samples) and must be re-entrant.
+//
+// Lifecycle: next() → consume the batch → recycle() it → next() ... In
+// non-loop mode the batch after the last returns end() == true; in loop
+// mode the sample index wraps modulo num_samples and next() never ends.
+// Failing to recycle() enough batches stalls the workers once the ring is
+// exhausted (that is the backpressure mechanism, not a deadlock: recycle
+// any outstanding batch to resume).
+
+#include <exception>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include <condition_variable>
+#include <mutex>
+
+namespace ascend::runtime {
+
+struct LoaderOptions {
+  int workers = 2;           ///< decode threads (clamped to >= 1)
+  int prefetch_batches = 4;  ///< ring depth (clamped to >= 2): batches decoded ahead
+  int batch_size = 8;        ///< samples per batch (>= 1)
+  bool loop = false;         ///< wrap sample indices forever (open-loop serving)
+};
+
+class Loader {
+ public:
+  /// Decode sample `index` into `dst[0 .. sample_dim)`. Called concurrently
+  /// from worker threads for distinct indices; must be re-entrant.
+  using DecodeFn = std::function<void(int index, float* dst)>;
+
+  /// One handed-over batch: `size` rows of `dim` floats at `data` (row-major,
+  /// batch-contiguous — exactly the layout InferenceEngine::process_batch and
+  /// VisionTransformer::infer consume). The buffer belongs to the consumer
+  /// until recycle()d back.
+  struct Batch {
+    const float* data = nullptr;
+    int size = 0;
+    int dim = 0;
+    long long seq = -1;
+    /// True once the (non-loop) stream is exhausted.
+    bool end() const { return data == nullptr; }
+  };
+
+  Loader(DecodeFn decode, int num_samples, int sample_dim, LoaderOptions opts = {});
+  /// Stops the workers and joins; outstanding Batch views dangle after this.
+  ~Loader();
+
+  Loader(const Loader&) = delete;
+  Loader& operator=(const Loader&) = delete;
+
+  /// Block until the next in-sequence batch is decoded and return it. After
+  /// the final batch of a non-loop stream, returns a Batch with end() true.
+  /// Rethrows the first decode exception (the pipeline stops on error).
+  Batch next();
+
+  /// Return a consumed batch's buffer to the ring so a worker can refill it.
+  void recycle(const Batch& b);
+
+  int batch_size() const { return opts_.batch_size; }
+  int sample_dim() const { return sample_dim_; }
+  /// Total batches of a non-loop stream (ceil division); -1 when looping.
+  long long total_batches() const { return opts_.loop ? -1 : total_batches_; }
+
+ private:
+  struct Slot {
+    std::vector<float> buf;  ///< batch_size * sample_dim floats, allocated once
+    long long seq = -1;
+    int size = 0;
+    bool ready = false;  ///< decoded and awaiting hand-over (guarded by mu_)
+    bool free = true;    ///< available for a worker to claim (guarded by mu_)
+  };
+
+  void worker_loop();
+  /// Slot index holding `seq`, or -1. Caller holds mu_.
+  int find_ready(long long seq) const;
+
+  DecodeFn decode_;
+  int num_samples_;
+  int sample_dim_;
+  LoaderOptions opts_;
+  long long total_batches_ = 0;
+
+  std::vector<Slot> slots_;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable slot_cv_;   ///< a slot became free (workers wait)
+  std::condition_variable ready_cv_;  ///< a batch became ready (consumer waits)
+  long long next_fill_ = 0;           ///< next seq a worker will claim
+  long long next_out_ = 0;            ///< next seq the consumer will receive
+  std::exception_ptr error_;          ///< first decode failure
+  bool closed_ = false;
+};
+
+}  // namespace ascend::runtime

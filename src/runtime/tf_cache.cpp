@@ -84,22 +84,36 @@ SoftmaxLut::SoftmaxLut(sc::SoftmaxIterConfig cfg) : cfg_(cfg) {
 }
 
 std::vector<double> SoftmaxLut::operator()(const std::vector<double>& x) const {
-  using sc::ThermValue;
   if (static_cast<int>(x.size()) != cfg_.m)
     throw std::invalid_argument("SoftmaxLut: input size != m");
+  std::vector<double> out(x.size());
+  (*this)(x.data(), out.data());
+  return out;
+}
 
-  std::vector<ThermValue> xs;
-  xs.reserve(x.size());
-  for (double v : x) xs.push_back(ThermValue::encode(v, cfg_.bx, cfg_.alpha_x));
-  std::vector<int> y(x.size(), y0_ones_);
-  std::vector<ThermValue> zs(x.size());
+void SoftmaxLut::operator()(const double* x, double* out) const {
+  using sc::ThermValue;
+  const std::size_t m = static_cast<std::size_t>(cfg_.m);
+  // Grow-only per-thread scratch: the hot serving path calls this once per
+  // attention row and must not touch the heap at steady state.
+  thread_local std::vector<ThermValue> xs;
+  thread_local std::vector<int> y;
+  thread_local std::vector<ThermValue> zs;
+  if (xs.size() < m) {
+    xs.resize(m);
+    zs.resize(m);
+    y.resize(m);
+  }
+  for (std::size_t i = 0; i < m; ++i) xs[i] = ThermValue::encode(x[i], cfg_.bx, cfg_.alpha_x);
+  for (std::size_t i = 0; i < m; ++i) y[i] = y0_ones_;
 
   for (int j = 0; j < cfg_.k; ++j) {
     // MUL-1 / BSN-1 / sub-sample: exact O(1) count maps via the emulator ops.
-    for (std::size_t i = 0; i < xs.size(); ++i)
+    for (std::size_t i = 0; i < m; ++i)
       zs[i] = sc::mult(xs[i], ThermValue{y[i], cfg_.by, cfg_.alpha_y});
-    const ThermValue ssum = sc::subsample(sc::add(zs), cfg_.s1, cfg_.centered_subsample);
-    for (std::size_t i = 0; i < xs.size(); ++i) {
+    const ThermValue ssum =
+        sc::subsample(sc::add(zs.data(), m), cfg_.s1, cfg_.centered_subsample);
+    for (std::size_t i = 0; i < m; ++i) {
       const ThermValue yi{y[i], cfg_.by, cfg_.alpha_y};
       const ThermValue w =
           sc::negate(sc::subsample(sc::mult(yi, ssum), cfg_.s2, cfg_.centered_subsample));
@@ -112,9 +126,7 @@ std::vector<double> SoftmaxLut::operator()(const std::vector<double>& x) const {
     }
   }
 
-  std::vector<double> out(x.size());
-  for (std::size_t i = 0; i < out.size(); ++i) out[i] = y_value_[static_cast<std::size_t>(y[i])];
-  return out;
+  for (std::size_t i = 0; i < m; ++i) out[i] = y_value_[static_cast<std::size_t>(y[i])];
 }
 
 // ---------------------------------------------------------------------------

@@ -76,6 +76,12 @@ class SoftmaxLut {
   /// Bit-exact with sc::softmax_iterative_sc(x, config()).
   std::vector<double> operator()(const std::vector<double>& x) const;
 
+  /// Buffer-reuse twin: reads config().m values from `x`, writes config().m
+  /// values to `out` (may alias `x`). Uses thread-local grow-only scratch —
+  /// allocation-free at steady state, which is what the serving softmax hook
+  /// calls per attention row.
+  void operator()(const double* x, double* out) const;
+
   const sc::SoftmaxIterConfig& config() const { return cfg_; }
   const sc::SoftmaxIterLayout& layout() const { return lay_; }
 

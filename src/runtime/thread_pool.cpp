@@ -19,56 +19,96 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+bool ThreadPool::claimable() const {
+  for (const ParallelJob* j = jobs_; j; j = j->next_job)
+    if (j->next < j->chunks) return true;
+  return false;
+}
+
+bool ThreadPool::run_one_chunk(std::unique_lock<std::mutex>& lock) {
+  ParallelJob* j = jobs_;
+  while (j && j->next >= j->chunks) j = j->next_job;
+  if (!j) return false;
+  const int c = j->next++;
+  ++j->running;
+  lock.unlock();
+  const int lo = j->begin + c * j->step;
+  const int hi = std::min(j->end, lo + j->step);
+  std::exception_ptr err;
+  try {
+    j->invoke(j->ctx, lo, hi);
+  } catch (...) {
+    err = std::current_exception();
+  }
+  lock.lock();
+  if (err && !j->error) j->error = err;
+  --j->running;
+  if (j->next >= j->chunks && j->running == 0) done_cv_.notify_all();
+  return true;
+}
+
 void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return closed_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // closed and drained
-      task = std::move(queue_.front());
+    cv_.wait(lock, [this] { return closed_ || !queue_.empty() || claimable(); });
+    if (run_one_chunk(lock)) continue;
+    if (!queue_.empty()) {
+      std::function<void()> task = std::move(queue_.front());
       queue_.pop();
+      lock.unlock();
+      task();
+      lock.lock();
+      continue;
     }
-    task();
+    if (closed_) return;  // drained: no queued tasks, no claimable chunks
   }
 }
 
-void ThreadPool::parallel_for(int begin, int end, const std::function<void(int, int)>& body,
-                              int max_chunk) {
+void ThreadPool::parallel_for_impl(int begin, int end, ChunkFn invoke, void* ctx, int max_chunk) {
   const int n = end - begin;
   if (n <= 0) return;
   int step = (n + std::min(n, size()) - 1) / std::min(n, size());
   if (max_chunk > 0) step = std::min(step, max_chunk);
   const int chunks = (n + step - 1) / step;
   if (chunks <= 1) {
-    body(begin, end);
+    invoke(ctx, begin, end);
     return;
   }
-  std::vector<std::future<void>> futs;
-  futs.reserve(static_cast<std::size_t>(chunks - 1));
-  // Hand chunks 1..k-1 to the workers; run chunk 0 on the calling thread.
-  for (int c = 1; c < chunks; ++c) {
-    const int lo = begin + c * step;
-    const int hi = std::min(end, lo + step);
-    if (lo >= hi) break;
-    futs.push_back(submit([&body, lo, hi] { body(lo, hi); }));
+
+  ParallelJob job;
+  job.invoke = invoke;
+  job.ctx = ctx;
+  job.begin = begin;
+  job.end = end;
+  job.step = step;
+  job.chunks = chunks;
+
+  std::unique_lock<std::mutex> lock(mu_);
+  // Append at the tail: workers drain oldest jobs first, so concurrent
+  // parallel_for callers share the pool roughly fairly.
+  ParallelJob** tail = &jobs_;
+  while (*tail) tail = &(*tail)->next_job;
+  *tail = &job;
+  cv_.notify_all();
+
+  // The caller claims chunks alongside the workers (any live job's — helping
+  // an older job still drains the pool toward ours), then waits out the
+  // stragglers.
+  while (job.next < job.chunks) {
+    if (!run_one_chunk(lock)) break;
   }
-  // Every chunk must finish before we return (or rethrow): an early unwind
-  // would leave workers running a `body` that points into the caller's frame.
-  std::exception_ptr first_error;
-  try {
-    body(begin, std::min(end, begin + step));
-  } catch (...) {
-    first_error = std::current_exception();
+  done_cv_.wait(lock, [&job] { return job.next >= job.chunks && job.running == 0; });
+
+  // Unlink before returning: the job frame dies with this call.
+  ParallelJob** p = &jobs_;
+  while (*p != &job) p = &(*p)->next_job;
+  *p = job.next_job;
+
+  if (job.error) {
+    std::exception_ptr err = job.error;
+    lock.unlock();
+    std::rethrow_exception(err);
   }
-  for (auto& f : futs) {
-    try {
-      f.get();
-    } catch (...) {
-      if (!first_error) first_error = std::current_exception();
-    }
-  }
-  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace ascend::runtime

@@ -7,8 +7,19 @@
 // `parallel_for` for blocking chunked loops. Tasks submitted from one thread
 // run FIFO per worker; the destructor drains the queue before joining so no
 // accepted task is ever dropped.
+//
+// parallel_for is allocation-free at steady state: the per-call job state
+// lives on the caller's stack in an intrusive list the workers poll, chunks
+// are claimed under the pool mutex (no per-chunk task objects, futures, or
+// type-erased closures), and the body is passed by reference through a
+// function-pointer trampoline instead of a std::function. This is what keeps
+// the SC LUT hooks — which fan every attention softmax over the pool — off
+// the heap during serving (see runtime/arena.h for the tensor half of that
+// story). Concurrent parallel_for calls from different threads interleave:
+// workers drain whichever jobs are live, oldest first.
 
 #include <condition_variable>
+#include <exception>
 #include <functional>
 #include <future>
 #include <mutex>
@@ -49,20 +60,51 @@ class ThreadPool {
   /// Run body(begin, end) over [begin, end) split into chunks and block
   /// until all complete. By default the range splits into ~size() chunks;
   /// `max_chunk > 0` caps the chunk size instead — submit many small chunks
-  /// when per-index cost varies wildly (the DSE sweep), so the FIFO queue
-  /// load-balances dynamically. The caller executes one chunk itself, so the
-  /// loop makes progress even on a single-core pool. Must not be called from
-  /// inside a pool task (the caller-waits pattern would deadlock).
-  void parallel_for(int begin, int end, const std::function<void(int, int)>& body,
-                    int max_chunk = 0);
+  /// when per-index cost varies wildly (the DSE sweep), so chunk claiming
+  /// load-balances dynamically. The caller claims chunks alongside the
+  /// workers, so the loop makes progress even on a single-core pool. Must
+  /// not be called from inside a pool task (the caller-waits pattern would
+  /// deadlock). Rethrows the first chunk exception after all chunks finish.
+  template <typename Body>
+  void parallel_for(int begin, int end, const Body& body, int max_chunk = 0) {
+    parallel_for_impl(
+        begin, end,
+        [](void* ctx, int lo, int hi) { (*static_cast<const Body*>(ctx))(lo, hi); },
+        const_cast<void*>(static_cast<const void*>(&body)), max_chunk);
+  }
 
  private:
+  using ChunkFn = void (*)(void* ctx, int lo, int hi);
+
+  /// One in-flight parallel_for: lives on the caller's stack, linked into
+  /// jobs_. All fields are guarded by mu_ except during body execution.
+  struct ParallelJob {
+    ChunkFn invoke = nullptr;
+    void* ctx = nullptr;
+    int begin = 0;
+    int end = 0;
+    int step = 1;
+    int chunks = 0;
+    int next = 0;     ///< next chunk index to claim (under mu_)
+    int running = 0;  ///< chunks claimed but not yet finished (under mu_)
+    std::exception_ptr error;  ///< first failure (under mu_)
+    ParallelJob* next_job = nullptr;
+  };
+
+  void parallel_for_impl(int begin, int end, ChunkFn invoke, void* ctx, int max_chunk);
+  /// Any live job with an unclaimed chunk? (under mu_)
+  bool claimable() const;
+  /// Claim and run one chunk of the oldest live job. Caller holds `lock`;
+  /// returns false when no job has unclaimed chunks.
+  bool run_one_chunk(std::unique_lock<std::mutex>& lock);
   void worker_loop();
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> queue_;
+  ParallelJob* jobs_ = nullptr;  ///< newest-first intrusive list (under mu_)
   std::mutex mu_;
   std::condition_variable cv_;
+  std::condition_variable done_cv_;  ///< signalled when a job's last chunk retires
   bool closed_ = false;
 };
 

@@ -116,16 +116,18 @@ ThermValue mult(const ThermValue& a, const ThermValue& b) {
   return ThermValue{static_cast<int>(n), static_cast<int>(lout), a.alpha * b.alpha};
 }
 
-ThermValue add(const std::vector<ThermValue>& xs) {
-  if (xs.empty()) throw std::invalid_argument("add: no operands");
+ThermValue add(const ThermValue* xs, std::size_t n) {
+  if (n == 0) throw std::invalid_argument("add: no operands");
   ThermValue out{0, 0, xs[0].alpha};
-  for (const auto& x : xs) {
-    check_same_alpha(x.alpha, out.alpha, "add");
-    out.ones += x.ones;
-    out.length += x.length;
+  for (std::size_t i = 0; i < n; ++i) {
+    check_same_alpha(xs[i].alpha, out.alpha, "add");
+    out.ones += xs[i].ones;
+    out.length += xs[i].length;
   }
   return out;
 }
+
+ThermValue add(const std::vector<ThermValue>& xs) { return add(xs.data(), xs.size()); }
 
 ThermValue negate(const ThermValue& a) { return ThermValue{a.length - a.ones, a.length, a.alpha}; }
 

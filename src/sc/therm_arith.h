@@ -35,6 +35,7 @@ ThermValue mult(const ThermValue& a, const ThermValue& b);
 
 /// BSN addition of same-scale numbers: counts and lengths add.
 ThermValue add(const std::vector<ThermValue>& xs);
+ThermValue add(const ThermValue* xs, std::size_t n);
 
 /// q -> -q (bitwise NOT).
 ThermValue negate(const ThermValue& a);

@@ -45,12 +45,26 @@ class VitServable final : public runtime::Servable {
         const runtime::SoftmaxLut* lut = opts.use_tf_cache ? &cache->softmax(sm) : nullptr;
         model_->set_softmax_hook([sm, lut, pool](const Tensor& scores) {
           const int rows = scores.dim(0), m = scores.dim(1);
-          Tensor out({rows, m});
+          // `out` is carved from the forward's arena when one is installed;
+          // the row scratch is per-thread and grow-only — at steady state
+          // this hook performs zero heap allocations (the emulated
+          // softmax_iterative_sc fallback still allocates internally).
+          Tensor out = Tensor::uninitialized({rows, m});
           pool->parallel_for(0, rows, [&](int lo, int hi) {
-            std::vector<double> row(static_cast<std::size_t>(m));
+            thread_local std::vector<double> row, y;
+            if (row.size() < static_cast<std::size_t>(m)) {
+              row.resize(static_cast<std::size_t>(m));
+              y.resize(static_cast<std::size_t>(m));
+            }
             for (int r = lo; r < hi; ++r) {
               for (int c = 0; c < m; ++c) row[static_cast<std::size_t>(c)] = scores.at(r, c);
-              const auto y = lut ? (*lut)(row) : sc::softmax_iterative_sc(row, sm);
+              if (lut) {
+                (*lut)(row.data(), y.data());
+              } else {
+                row.resize(static_cast<std::size_t>(m));
+                const auto yv = sc::softmax_iterative_sc(row, sm);
+                std::copy(yv.begin(), yv.end(), y.begin());
+              }
               for (int c = 0; c < m; ++c)
                 out.at(r, c) = static_cast<float>(y[static_cast<std::size_t>(c)]);
             }
@@ -71,7 +85,7 @@ class VitServable final : public runtime::Servable {
           // (reads within the call are const, so the chunks may share it).
           std::unique_ptr<const sc::GateAssistedSI> block;
           if (!lut) block = std::make_unique<const sc::GateAssistedSI>(*proto);
-          Tensor y(x.shape());
+          Tensor y = Tensor::uninitialized(x.shape());
           pool->parallel_for(0, static_cast<int>(x.size()), [&](int lo, int hi) {
             for (int i = lo; i < hi; ++i) {
               const std::size_t s = static_cast<std::size_t>(i);

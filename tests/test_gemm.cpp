@@ -120,6 +120,107 @@ TEST(GemmBlocked, AttentionInferMatchesReferenceBackend) {
 }
 
 // ---------------------------------------------------------------------------
+// Micro-kernel tiers (base / avx2 / avx512 / avx512bf16)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Restores the process-wide micro-kernel tier on scope exit.
+struct KernelGuard {
+  gemm::Kernel saved = gemm::kernel();  // resolved tier, never kAuto
+  ~KernelGuard() { gemm::set_kernel(saved); }
+};
+
+}  // namespace
+
+TEST(KernelTiers, NameAndQueryAgree) {
+  KernelGuard guard;
+  EXPECT_NE(gemm::kernel(), gemm::Kernel::kAuto);  // kernel() reports resolved
+  EXPECT_TRUE(gemm::kernel_supported(gemm::Kernel::kAuto));
+  EXPECT_TRUE(gemm::kernel_supported(gemm::Kernel::kBase));
+  gemm::set_kernel(gemm::Kernel::kBase);
+  EXPECT_EQ(gemm::kernel(), gemm::Kernel::kBase);
+  EXPECT_STREQ(gemm::kernel_name(), "base");
+  if (gemm::kernel_supported(gemm::Kernel::kAvx512)) {
+    gemm::set_kernel(gemm::Kernel::kAvx512);
+    EXPECT_STREQ(gemm::kernel_name(), "avx512");
+  }
+}
+
+TEST(KernelTiers, Avx512BitIdenticalToAvx2) {
+  // The determinism contract of the f32 FMA tiers: widening the vector adds
+  // independent accumulator lanes but never reassociates a chain. Shapes keep
+  // m >= 8 so both tiers route the blocked path (below its MR a tier falls
+  // back to the shared seed-order loop, which is tier-independent anyway).
+  if (!gemm::kernel_supported(gemm::Kernel::kAvx512))
+    GTEST_SKIP() << "host lacks AVX-512F";
+  KernelGuard guard;
+  BackendGuard bguard;
+  gemm::set_backend(gemm::Backend::kBlocked);
+  Rng rng(19);
+  for (const auto& [m, k, n] : {std::array<int, 3>{8, 64, 32},
+                                {65, 67, 63},
+                                {96, 96, 96},
+                                {13, 280, 31},
+                                {33, 16, 48}}) {
+    const Tensor a = random_tensor({m, k}, rng);
+    const Tensor b = random_tensor({k, n}, rng);
+    const Tensor at = random_tensor({k, m}, rng);
+    const Tensor bt = random_tensor({n, k}, rng);
+    gemm::set_kernel(gemm::Kernel::kAvx2);
+    const Tensor nn2 = matmul(a, b);
+    const Tensor tn2 = matmul_tn(at, b);
+    const Tensor nt2 = matmul_nt(a, bt);
+    gemm::set_kernel(gemm::Kernel::kAvx512);
+    expect_bitwise_equal(matmul(a, b), nn2, "avx512 vs avx2 nn");
+    expect_bitwise_equal(matmul_tn(at, b), tn2, "avx512 vs avx2 tn");
+    expect_bitwise_equal(matmul_nt(a, bt), nt2, "avx512 vs avx2 nt");
+  }
+}
+
+TEST(KernelTiers, Avx512MatchesReferenceAcrossAwkwardShapes) {
+  if (!gemm::kernel_supported(gemm::Kernel::kAvx512))
+    GTEST_SKIP() << "host lacks AVX-512F";
+  KernelGuard guard;
+  BackendGuard bguard;
+  gemm::set_kernel(gemm::Kernel::kAvx512);
+  Rng rng(20);
+  for (const auto& [m, k, n] : kAwkwardShapes) {
+    const Tensor a = random_tensor({m, k}, rng);
+    const Tensor b = random_tensor({k, n}, rng);
+    gemm::set_backend(gemm::Backend::kReference);
+    const Tensor ref = matmul(a, b);
+    gemm::set_backend(gemm::Backend::kBlocked);
+    const Tensor got = matmul(a, b);
+    EXPECT_LE(max_abs_diff(ref, got), k <= 128 ? 1e-5f : 1e-4f) << m << "x" << k << "x" << n;
+  }
+}
+
+TEST(KernelTiers, Bf16WithinTolerance) {
+  // The opt-in tier rounds both operands to bf16 (8 mantissa bits) and
+  // pair-sums, so agreement with f32 is approximate: error grows like
+  // sqrt(k) * 2^-8 for unit-normal data.
+  if (!gemm::kernel_supported(gemm::Kernel::kAvx512Bf16))
+    GTEST_SKIP() << "host lacks AVX512-BF16";
+  KernelGuard guard;
+  BackendGuard bguard;
+  gemm::set_backend(gemm::Backend::kBlocked);
+  Rng rng(21);
+  for (const auto& [m, k, n] :
+       {std::array<int, 3>{8, 64, 32}, {65, 67, 63}, {13, 280, 31}, {96, 96, 96}}) {
+    const Tensor a = random_tensor({m, k}, rng);
+    const Tensor b = random_tensor({k, n}, rng);
+    gemm::set_kernel(gemm::Kernel::kAvx512);
+    const Tensor f32 = matmul(a, b);
+    gemm::set_kernel(gemm::Kernel::kAvx512Bf16);
+    const Tensor bf16 = matmul(a, b);
+    EXPECT_LE(max_abs_diff(f32, bf16), 0.05f * std::sqrt(static_cast<float>(k)))
+        << m << "x" << k << "x" << n;
+    expect_bitwise_equal(matmul(a, b), bf16, "bf16 run-to-run");
+  }
+}
+
+// ---------------------------------------------------------------------------
 // ASCEND_GEMM=reference bit-exactness vs the seed loops
 // ---------------------------------------------------------------------------
 
