@@ -12,6 +12,8 @@
 //                  pipeline, and SC-emulated inference.
 //   ascend::runtime — batched inference serving: thread pool, dynamic
 //                  request batcher, transfer-function LUT cache, engine.
+//   ascend::serialize — versioned mmap-able checkpoint container and the
+//                  model save/load + registry cold-start wiring.
 //   ascend::core — accelerator-level composition and design-space
 //                  exploration.
 
@@ -50,6 +52,8 @@
 #include "sc/stoch_stream.h"
 #include "sc/therm_arith.h"
 #include "sc/therm_stream.h"
+#include "serialize/checkpoint.h"
+#include "serialize/model_io.h"
 #include "vit/config.h"
 #include "vit/dataset.h"
 #include "vit/model.h"

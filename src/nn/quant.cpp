@@ -211,4 +211,25 @@ void LsqQuantizer::collect_params(std::vector<Param*>& out) {
   if (spec_.enabled && initialized_) out.push_back(&step_);
 }
 
+void LsqQuantizer::restore_calibration(QuantSpec spec, bool calibrated, float step) {
+  spec_ = spec;
+  thaw();
+  if (calibrated) {
+    step_.init_shape({1});
+    step_.value[0] = step;
+    step_.no_weight_decay = true;
+    initialized_ = true;
+  } else {
+    initialized_ = false;
+  }
+}
+
+void LsqQuantizer::adopt_packed(PackedTernary pt) {
+  if (!spec_.enabled || spec_.qn != -1 || spec_.qp != 1)
+    throw std::logic_error("LsqQuantizer::adopt_packed: ternary spec required");
+  std::lock_guard<std::mutex> lock(snap_mu_);
+  packed_ = std::move(pt);
+  packed_valid_.store(true, std::memory_order_release);
+}
+
 }  // namespace ascend::nn

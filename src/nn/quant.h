@@ -140,6 +140,18 @@ class LsqQuantizer {
   bool calibrated() const { return initialized_; }
   void collect_params(std::vector<Param*>& out);
 
+  /// Restore deserialized calibration state (see serialize/model_io.h):
+  /// installs `spec` and, when `calibrated`, the learned step — equivalent to
+  /// the state after reset_spec(spec) plus a training forward that latched
+  /// `step`. Thaws any frozen snapshot, like every other spec change.
+  void restore_calibration(QuantSpec spec, bool calibrated, float step);
+
+  /// Adopt a deserialized packed-ternary snapshot as if frozen_packed_ternary
+  /// had just built it. The caller guarantees `pt` was packed from this
+  /// quantizer's (immutable-while-serving) weight matrix under the current
+  /// spec and step; the usual thaw events invalidate it as normal.
+  void adopt_packed(PackedTernary pt);
+
  private:
   QuantSpec spec_;
   Param step_;

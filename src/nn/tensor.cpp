@@ -48,6 +48,7 @@ std::ostream& operator<<(std::ostream& os, const Shape& s) {
 
 void Tensor::allocate(std::size_t n) {
   size_ = n;
+  borrowed_ = false;
   if (n == 0) {
     data_ = nullptr;
     heap_.reset();
@@ -72,6 +73,17 @@ Tensor::Tensor(Shape shape, float fill) : Tensor(shape, Uninit{}) {
   for (std::size_t i = 0; i < size_; ++i) data_[i] = fill;
 }
 
+Tensor Tensor::borrow(Shape shape, const float* data) {
+  Tensor t;
+  t.shape_ = shape;
+  t.size_ = element_count(shape);
+  // Read-only by contract (see header): the const_cast keeps one data_
+  // member for all three backing modes; mutating a borrowed view is UB.
+  t.data_ = const_cast<float*>(data);
+  t.borrowed_ = t.size_ != 0;
+  return t;
+}
+
 Tensor::Tensor(const Tensor& o) : shape_(o.shape_) {
   allocate(o.size_);
   if (size_) {
@@ -81,17 +93,23 @@ Tensor::Tensor(const Tensor& o) : shape_(o.shape_) {
 }
 
 Tensor::Tensor(Tensor&& o) noexcept
-    : shape_(o.shape_), size_(o.size_), data_(o.data_), heap_(std::move(o.heap_)) {
+    : shape_(o.shape_),
+      size_(o.size_),
+      data_(o.data_),
+      heap_(std::move(o.heap_)),
+      borrowed_(o.borrowed_) {
   o.shape_ = Shape{};
   o.size_ = 0;
   o.data_ = nullptr;
+  o.borrowed_ = false;
 }
 
 Tensor& Tensor::operator=(const Tensor& o) {
   if (this == &o) return *this;
   // Reuse the existing buffer when the element count matches — steady-state
-  // assignments (e.g. into a preallocated slot) stay allocation-free.
-  if (size_ != o.size_) allocate(o.size_);
+  // assignments (e.g. into a preallocated slot) stay allocation-free. A
+  // borrowed destination is read-only, so it must re-allocate instead.
+  if (size_ != o.size_ || borrowed_) allocate(o.size_);
   shape_ = o.shape_;
   if (size_) {
     std::memcpy(data_, o.data_, size_ * sizeof(float));
@@ -106,9 +124,11 @@ Tensor& Tensor::operator=(Tensor&& o) noexcept {
   size_ = o.size_;
   data_ = o.data_;
   heap_ = std::move(o.heap_);
+  borrowed_ = o.borrowed_;
   o.shape_ = Shape{};
   o.size_ = 0;
   o.data_ = nullptr;
+  o.borrowed_ = false;
   return *this;
 }
 

@@ -61,6 +61,15 @@ class Tensor {
   static Tensor full(Shape shape, float v) { return Tensor(shape, v); }
   /// Allocate without zero-filling — for ops that overwrite every element.
   static Tensor uninitialized(Shape shape) { return Tensor(shape, Uninit{}); }
+  /// Non-owning, read-only view over caller-managed memory (e.g. a weight
+  /// blob inside an mmap'd checkpoint — see serialize/checkpoint.h). The
+  /// memory must stay mapped for the view's lifetime, and must never be
+  /// written through the view: checkpoint mappings are PROT_READ, so any
+  /// mutating access (fill, non-const operator[], a training step) faults.
+  /// Copying a borrowed tensor deep-copies into owned storage; moving keeps
+  /// the borrow. Borrowed views are neither heap- nor arena-backed, so they
+  /// survive every Arena::reset().
+  static Tensor borrow(Shape shape, const float* data);
 
   const Shape& shape() const { return shape_; }
   int dim(std::size_t i) const;
@@ -82,7 +91,11 @@ class Tensor {
 
   /// True when the buffer was carved from the thread's active arena (and is
   /// therefore only valid until that arena resets).
-  bool arena_backed() const { return data_ != nullptr && heap_ == nullptr; }
+  bool arena_backed() const { return data_ != nullptr && heap_ == nullptr && !borrowed_; }
+
+  /// True for a non-owning view created by Tensor::borrow (read-only;
+  /// lifetime owned by whoever owns the underlying mapping/buffer).
+  bool borrowed() const { return borrowed_; }
 
   void fill(float v);
   /// Sum of all elements / mean of all elements.
@@ -105,7 +118,8 @@ class Tensor {
   Shape shape_;
   std::size_t size_ = 0;
   float* data_ = nullptr;
-  std::unique_ptr<float[]> heap_;  // owning iff heap-backed; null for arena
+  std::unique_ptr<float[]> heap_;  // owning iff heap-backed; null for arena/borrow
+  bool borrowed_ = false;          // non-owning read-only view (Tensor::borrow)
 };
 
 /// Throws unless both tensors have identical shapes.

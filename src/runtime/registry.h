@@ -19,7 +19,34 @@
 
 #include "runtime/servable.h"
 
+namespace ascend::vit {
+struct ScInferenceConfig;
+struct ScServableOptions;
+}  // namespace ascend::vit
+
 namespace ascend::runtime {
+
+/// Serving personality applied to a model cold-started from a checkpoint by
+/// ModelRegistry::register_from_file. Mirrors the vit::make_*_servable
+/// family: the checkpoint supplies weights + calibration, the kind picks the
+/// precision/hook policy of the published variant.
+enum class VariantKind {
+  kFp32,           ///< fake-quantization stripped, dense GEMM (fidelity ceiling)
+  kPackedTernary,  ///< W2A2 served multiply-free off packed sign planes
+  kScLut,          ///< SC softmax/GELU from the transfer-function LUT cache
+  kScEmulated,     ///< SC nonlinearities per-activation circuit emulation
+};
+
+struct RegisterFromFileOptions {
+  /// Serve weights zero-copy out of a read-only mmap of the checkpoint (the
+  /// servable keeps the mapping alive across hot-swaps until the last
+  /// in-flight forward drops it). false: eager heap copies.
+  bool use_mmap = true;
+  /// SC variant knobs (kScLut / kScEmulated only); null = defaults. The
+  /// pointees are only read during the register_from_file call.
+  const vit::ScInferenceConfig* sc_config = nullptr;
+  const vit::ScServableOptions* sc_options = nullptr;
+};
 
 class ModelRegistry {
  public:
@@ -27,6 +54,15 @@ class ModelRegistry {
   /// live servable of that id (hot-swap). Returns the variant's generation
   /// after the publish: 1 on first registration, incremented per swap.
   std::uint64_t publish(std::shared_ptr<const Servable> servable);
+
+  /// Cold-start a variant from a checkpoint file: load the model (zero-copy
+  /// mmap by default), shape it per `kind`, and publish() it under
+  /// `variant_id` — including atomically hot-swapping a live variant to the
+  /// fresh mapping. Throws serialize::CheckpointError on a bad file.
+  /// Defined in the serialize library (src/serialize/model_io.cpp), which
+  /// layers above this header — link `serialize` (or `core`) to use it.
+  std::uint64_t register_from_file(const std::string& variant_id, const std::string& path,
+                                   VariantKind kind, const RegisterFromFileOptions& opts = {});
 
   /// Snapshot of the live servable for `variant`. The returned pointer stays
   /// valid (and the servable alive) across any later publish.

@@ -13,6 +13,7 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "nn/attention.h"
@@ -115,6 +116,22 @@ class VisionTransformer {
   /// Copy structural parameters from a same-topology model.
   void copy_weights_from(VisionTransformer& other);
 
+  /// Write a versioned binary checkpoint: topology + precision config,
+  /// every trainable parameter, LSQ calibration state, BN running stats
+  /// (see docs/checkpoint.md for the format). Defined in the serialize
+  /// library (src/serialize/model_io.cpp) — link `serialize` (or `core`) to
+  /// use it; thin wrapper over serialize::save_model.
+  void save(const std::string& path);
+  /// Reconstruct a model from a checkpoint written by save(): topology and
+  /// precision come from the file's config block, weights/calibration/stats
+  /// are restored eagerly (heap-owned; composes with HeapScope so nothing
+  /// lands in an activation arena). `loaded->infer(x)` is bit-exact with the
+  /// saved model's infer. Throws serialize::CheckpointError on a bad file.
+  /// Defined in the serialize library; wrapper over serialize::load_model.
+  /// For zero-copy serving straight off a read-only mapping, see
+  /// serialize::load_model_mmap.
+  static std::unique_ptr<VisionTransformer> load(const std::string& path);
+
   /// Deep serving copy: a fresh model with this model's topology, weights,
   /// precision spec, quantizer calibration (specs + learned steps), BN
   /// running statistics and softmax kind — `clone->infer(x)` is bit-exact
@@ -136,6 +153,12 @@ class VisionTransformer {
   void clear_hooks();
 
   std::vector<EncoderBlock>& blocks() { return blocks_; }
+  /// Structural sub-layers, exposed for the checkpoint walker
+  /// (serialize/model_io.cpp) and serving-state copies.
+  nn::Linear& patch_embed() { return patch_embed_; }
+  nn::Param& pos_embed() { return pos_embed_; }
+  NormLayer& final_norm() { return final_norm_; }
+  nn::Linear& head() { return head_; }
 
  private:
   nn::Tensor patchify(const nn::Tensor& images) const;

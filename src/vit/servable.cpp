@@ -21,8 +21,11 @@ using nn::Tensor;
 class VitServable final : public runtime::Servable {
  public:
   VitServable(VisionTransformer* model, std::unique_ptr<VisionTransformer> owned,
-              std::string variant_id)
-      : model_(model), owned_(std::move(owned)), variant_id_(std::move(variant_id)) {
+              std::string variant_id, std::shared_ptr<const void> retain = nullptr)
+      : retain_(std::move(retain)),
+        model_(model),
+        owned_(std::move(owned)),
+        variant_id_(std::move(variant_id)) {
     const VitConfig& cfg = model_->config();
     input_dim_ = cfg.channels * cfg.image_size * cfg.image_size;
     output_dim_ = cfg.classes;
@@ -120,6 +123,10 @@ class VitServable final : public runtime::Servable {
     return hc > 0 ? static_cast<int>(hc) : 1;
   }
 
+  // Declared before owned_ so it is destroyed *after* the model: when the
+  // model's weights are borrowed views into an mmap'd checkpoint, the anchor
+  // (the MmapCheckpoint) must outlive every tensor pointing into it.
+  std::shared_ptr<const void> retain_;
   VisionTransformer* model_;
   std::unique_ptr<VisionTransformer> owned_;
   std::unique_ptr<runtime::ThreadPool> owned_pool_;
@@ -166,6 +173,26 @@ std::shared_ptr<runtime::Servable> make_sc_servable_in_place(VisionTransformer& 
                                                              ScServableOptions opts,
                                                              std::string variant_id) {
   auto servable = std::make_shared<VitServable>(&model, nullptr, std::move(variant_id));
+  servable->install_sc_hooks(cfg, opts);
+  return servable;
+}
+
+std::shared_ptr<runtime::Servable> make_servable_over(std::unique_ptr<VisionTransformer> model,
+                                                      std::string variant_id,
+                                                      std::shared_ptr<const void> retain) {
+  VisionTransformer* raw = model.get();
+  return std::make_shared<VitServable>(raw, std::move(model), std::move(variant_id),
+                                       std::move(retain));
+}
+
+std::shared_ptr<runtime::Servable> make_sc_servable_over(std::unique_ptr<VisionTransformer> model,
+                                                         const ScInferenceConfig& cfg,
+                                                         ScServableOptions opts,
+                                                         std::string variant_id,
+                                                         std::shared_ptr<const void> retain) {
+  VisionTransformer* raw = model.get();
+  auto servable = std::make_shared<VitServable>(raw, std::move(model), std::move(variant_id),
+                                                std::move(retain));
   servable->install_sc_hooks(cfg, opts);
   return servable;
 }

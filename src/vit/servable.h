@@ -72,4 +72,21 @@ std::shared_ptr<runtime::Servable> make_sc_servable_in_place(VisionTransformer& 
                                                              ScServableOptions opts = {},
                                                              std::string variant_id = "sc");
 
+/// Servable taking ownership of an already-prepared serving model — no
+/// clone, no precision change. Built for checkpoint cold-start
+/// (serialize::load_model / load_model_mmap): `retain` is an opaque lifetime
+/// anchor destroyed strictly after the model, so passing the MmapCheckpoint
+/// keeps mapped weight views valid for every in-flight forward, including
+/// across a ModelRegistry hot-swap to a newer mapping.
+std::shared_ptr<runtime::Servable> make_servable_over(std::unique_ptr<VisionTransformer> model,
+                                                      std::string variant_id,
+                                                      std::shared_ptr<const void> retain = nullptr);
+
+/// make_servable_over with the SC nonlinear-block hooks from `cfg` installed
+/// on the adopted model (LUT-cached or circuit-emulated per `opts`).
+std::shared_ptr<runtime::Servable> make_sc_servable_over(
+    std::unique_ptr<VisionTransformer> model, const ScInferenceConfig& cfg,
+    ScServableOptions opts, std::string variant_id,
+    std::shared_ptr<const void> retain = nullptr);
+
 }  // namespace ascend::vit

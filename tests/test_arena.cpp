@@ -20,6 +20,7 @@
 #include "runtime/engine.h"
 #include "runtime/loader.h"
 #include "runtime/registry.h"
+#include "serialize/model_io.h"
 #include "vit/model.h"
 #include "vit/servable.h"
 #include "vit/train.h"
@@ -323,6 +324,24 @@ TEST(AllocFree, HeapBackedForwardAllocatesForContrast) {
   const std::uint64_t before = alloc_count();
   (void)servable->infer(rig.images);
   EXPECT_GT(alloc_count() - before, 0u);
+}
+
+TEST(AllocFree, MmapBackedWeightsStayZeroAllocAtSteadyState) {
+  // Checkpoint cold start must not regress the zero-alloc acceptance claim:
+  // weights served as borrowed views into the read-only mapping behave like
+  // heap weights on the steady-state path — no per-forward heap traffic.
+  ASSERT_TRUE(alloc_counting_active());
+  VariantRig rig;
+  const std::string path = testing::TempDir() + "alloc_mmap.ckpt";
+  rig.model.save(path);
+  ModelRegistry registry;
+  registry.register_from_file("w2a2", path, VariantKind::kPackedTernary);
+  const auto servable = registry.get("w2a2");
+  expect_bitwise_equal(servable->infer(rig.images), rig.variants[0].second->infer(rig.images),
+                       "mmap cold start vs in-memory servable");
+  Arena arena;
+  EXPECT_EQ(steady_state_allocs(*servable, rig.images, arena), 0u)
+      << "mmap-backed forwards must not touch the heap at steady state";
 }
 
 TEST(AllocFree, LoaderSteadyStateDoesNotAllocate) {

@@ -18,6 +18,7 @@
 #include "runtime/engine.h"
 #include "runtime/registry.h"
 #include "runtime/thread_pool.h"
+#include "serialize/model_io.h"
 #include "vit/dataset.h"
 #include "vit/model.h"
 #include "vit/servable.h"
@@ -270,6 +271,62 @@ TEST(RegistryConcurrency, HotSwapMidTrafficIsBitExactWithQuiescedServing) {
   EXPECT_EQ(mismatches.load(), 0);
   EXPECT_EQ(reg->generation("m"), 9u);  // 1 initial + 8 swaps
   // Post-swap sync path still matches the quiesced reference.
+  EXPECT_EQ(engine.predict_batch(all.images), ref);
+}
+
+TEST(RegistryConcurrency, HotSwapToFreshMmapCheckpointMidTrafficIsBitExact) {
+  // Same shape as HotSwapMidTrafficIsBitExactWithQuiescedServing, but every
+  // swap cold-starts a NEW read-only mapping of the checkpoint file
+  // (register_from_file): in-flight forwards keep the OLD mapping alive
+  // through the servable's retained MmapCheckpoint until their snapshot
+  // drops, so serving stays bit-exact while mappings churn underneath.
+  const vit::VitConfig top = tiny_topology();
+  vit::VisionTransformer model(top, /*seed=*/49);
+  model.apply_precision(vit::PrecisionSpec::w2a2r16());
+  const vit::Dataset data = vit::make_synthetic_vision(24, top.classes, 58, top.image_size);
+  std::vector<int> idx(static_cast<std::size_t>(data.size()));
+  std::iota(idx.begin(), idx.end(), 0);
+  const vit::Batch all = vit::take_batch(data, idx);
+  (void)model.forward(all.images, /*training=*/false);  // latch the LSQ steps
+
+  const std::string path = testing::TempDir() + "hotswap.ckpt";
+  model.save(path);
+
+  auto reg = std::make_shared<ModelRegistry>();
+  reg->register_from_file("m", path, VariantKind::kPackedTernary);
+  EngineOptions opts;
+  opts.threads = 2;
+  opts.max_batch = 4;
+  opts.max_delay = std::chrono::microseconds(1000);
+  opts.concurrent_forwards = 2;
+  InferenceEngine engine(reg, opts);
+
+  const std::vector<int> ref = engine.predict_batch(all.images);
+  const int pixels = all.images.dim(1);
+
+  constexpr int kClients = 3;
+  const int per_client = data.size() / kClients;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int rep = 0; rep < 3; ++rep)
+        for (int i = 0; i < per_client; ++i) {
+          const int r = c * per_client + i;
+          std::vector<float> img(static_cast<std::size_t>(pixels));
+          for (int p = 0; p < pixels; ++p) img[static_cast<std::size_t>(p)] = all.images.at(r, p);
+          const Prediction pred = engine.submit(std::move(img)).get();
+          if (pred.label != ref[static_cast<std::size_t>(r)]) mismatches.fetch_add(1);
+        }
+    });
+  }
+  for (int swap = 0; swap < 8; ++swap) {
+    reg->register_from_file("m", path, VariantKind::kPackedTernary);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  for (auto& th : clients) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(reg->generation("m"), 9u);  // 1 cold start + 8 swaps
   EXPECT_EQ(engine.predict_batch(all.images), ref);
 }
 
