@@ -55,6 +55,7 @@ struct ClientRecord {
   std::string variant;
   bool correct = false;
   bool deadline_dropped = false;
+  bool failed = false;  ///< resolved with a typed error other than a deadline drop
 };
 
 }  // namespace
@@ -142,7 +143,10 @@ int main() {
 
   // Traffic mix: 2 interactive clients with 50 ms deadlines on the serving
   // default, 2 batch-priority bulk clients on the cheap packed variant, and
-  // 4 normal clients spread across all four variants.
+  // 4 normal clients spread across all four variants. Every client carries a
+  // retry budget with a fallback variant, so a transient forward fault (e.g.
+  // an armed ASCEND_FAILPOINTS schedule) degrades service instead of
+  // erroring it.
   const auto client_opts = [&](int c) {
     runtime::RequestOptions ropts;
     if (c < 2) {
@@ -157,6 +161,9 @@ int main() {
       const std::vector<std::string> ids = registry->variant_ids();
       ropts.variant = ids[static_cast<std::size_t>(c) % ids.size()];
     }
+    ropts.retry.max_attempts = 2;
+    ropts.retry.backoff = std::chrono::microseconds(200);
+    ropts.retry.fallback_variant = ropts.variant == "fp32" ? "w2a2-packed" : "fp32";
     return ropts;
   };
 
@@ -204,20 +211,84 @@ int main() {
           rec.latency_ms =
               std::chrono::duration<double, std::milli>(Clock::now() - sent).count();
           rec.deadline_dropped = true;
+        } catch (const std::exception&) {
+          // Any other typed failure (queue overflow, watchdog trip, injected
+          // fault from an ASCEND_FAILPOINTS schedule): the request is over,
+          // the client moves on. No failure mode escapes the future.
+          rec.latency_ms =
+              std::chrono::duration<double, std::milli>(Clock::now() - sent).count();
+          rec.failed = true;
         }
         records[static_cast<std::size_t>(c)].push_back(std::move(rec));
         std::this_thread::sleep_for(std::chrono::microseconds(jitter_us(rng)));
       }
     });
   }
+  // Operator thread: a checkpoint push lands mid-traffic. First a corrupted
+  // file (a few payload bytes flipped — the CRC battery refuses it), then a
+  // canary-validated push of the pristine checkpoint. The broken push rolls
+  // back — the incumbent keeps serving on its old generation and the
+  // rollback counter ticks — while the good push hot-swaps underneath the
+  // running clients without dropping a request.
+  std::thread operator_thread([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    const std::string corrupt_path = ckpt_path + ".corrupt";
+    {
+      FILE* in = std::fopen(ckpt_path.c_str(), "rb");
+      FILE* out = std::fopen(corrupt_path.c_str(), "wb");
+      if (!in || !out) return;
+      std::fseek(in, 0, SEEK_END);
+      const long size = std::ftell(in);
+      std::fseek(in, 0, SEEK_SET);
+      std::vector<unsigned char> bytes(static_cast<std::size_t>(size));
+      if (std::fread(bytes.data(), 1, bytes.size(), in) != bytes.size()) return;
+      for (long off = size / 2; off < size / 2 + 8 && off < size; ++off)
+        bytes[static_cast<std::size_t>(off)] ^= 0xFF;
+      std::fwrite(bytes.data(), 1, bytes.size(), out);
+      std::fclose(in);
+      std::fclose(out);
+    }
+    nn::Tensor golden = nn::Tensor::uninitialized({4, pixels});
+    for (int r = 0; r < 4; ++r)
+      for (int p = 0; p < pixels; ++p) golden.at(r, p) = test.images.at(r, p);
+    runtime::CanaryOptions canary;
+    canary.golden_input = golden;
+    canary.require_label_match = true;
+    runtime::RegisterFromFileOptions push = from_file;
+    push.canary = &canary;
+    const std::uint64_t gen_before = registry->generation("sc-lut");
+    const std::uint64_t rb_before = registry->rollbacks();
+    try {
+      registry->register_from_file("sc-lut", corrupt_path, runtime::VariantKind::kScLut, push);
+      std::printf("  [operator] ERROR: corrupt checkpoint push was accepted\n");
+    } catch (const std::exception& e) {
+      std::printf("  [operator] corrupt push rejected (%s); generation %llu -> %llu, "
+                  "rollbacks %llu -> %llu\n",
+                  e.what(), static_cast<unsigned long long>(gen_before),
+                  static_cast<unsigned long long>(registry->generation("sc-lut")),
+                  static_cast<unsigned long long>(rb_before),
+                  static_cast<unsigned long long>(registry->rollbacks()));
+    }
+    try {
+      const std::uint64_t gen =
+          registry->register_from_file("sc-lut", ckpt_path, runtime::VariantKind::kScLut, push);
+      std::printf("  [operator] canary-validated hot-swap published generation %llu mid-traffic\n",
+                  static_cast<unsigned long long>(gen));
+    } catch (const std::exception& e) {
+      std::printf("  [operator] ERROR: pristine push rejected: %s\n", e.what());
+    }
+    ::unlink(corrupt_path.c_str());
+  });
+
   for (auto& t : clients) t.join();
+  operator_thread.join();
   const double wall_s = std::chrono::duration<double>(Clock::now() - t0).count();
   serving.store(false);
   scraper.join();
 
   std::vector<ClientRecord> all;
   for (auto& r : records) all.insert(all.end(), r.begin(), r.end());
-  int served = 0, correct = 0, dropped = 0;
+  int served = 0, correct = 0, dropped = 0, failed = 0;
   std::vector<double> all_lat;
   std::map<runtime::Priority, std::vector<double>> by_prio;
   std::map<std::string, std::vector<double>> by_variant;
@@ -225,6 +296,10 @@ int main() {
   for (const ClientRecord& rec : all) {
     if (rec.deadline_dropped) {
       ++dropped;
+      continue;
+    }
+    if (rec.failed) {
+      ++failed;
       continue;
     }
     ++served;
@@ -236,8 +311,9 @@ int main() {
     if (rec.correct) variant_correct[rec.variant] += 1;
   }
 
-  std::printf("\nserved %d images (+%d deadline-dropped) in %.2f s  ->  %.1f images/s\n", served,
-              dropped, wall_s, served / wall_s);
+  std::printf("\nserved %d images (+%d deadline-dropped, +%d failed typed) in %.2f s  ->  "
+              "%.1f images/s\n",
+              served, dropped, failed, wall_s, served / wall_s);
   std::printf("client latency (aggregate): p50 %.2f ms, p95 %.2f ms, max %.2f ms\n",
               percentile(all_lat, 0.50), percentile(all_lat, 0.95), percentile(all_lat, 1.0));
 
@@ -270,6 +346,23 @@ int main() {
   }
   std::printf("overall served accuracy: %.2f%%\n", 100.0 * correct / std::max(served, 1));
 
+  // Resilience counters: what the self-healing layers did during the run
+  // (nonzero retries/fires only under an ASCEND_FAILPOINTS schedule; the
+  // operator thread always lands one rollback and one extra publish).
+  std::uint64_t retries = 0, fallback_served = 0;
+  for (int p = 0; p < runtime::kNumPriorities; ++p) {
+    retries += st.by_priority[static_cast<std::size_t>(p)].retries;
+    fallback_served += st.by_priority[static_cast<std::size_t>(p)].fallback_served;
+  }
+  std::printf("resilience: %llu retries, %llu fallback-served, %llu watchdog trips, "
+              "%llu publishes, %llu rollbacks, %llu failpoint fires\n",
+              static_cast<unsigned long long>(retries),
+              static_cast<unsigned long long>(fallback_served),
+              static_cast<unsigned long long>(st.watchdog_trips),
+              static_cast<unsigned long long>(registry->publishes()),
+              static_cast<unsigned long long>(registry->rollbacks()),
+              static_cast<unsigned long long>(runtime::failpoint::total_fires()));
+
   // Phase 2: bulk ingest of the whole test set through the serving default —
   // the closed-loop frontend (decode a batch of fresh per-request vectors,
   // submit, drain, repeat; the model idles during every decode) vs a
@@ -294,7 +387,13 @@ int main() {
           img[static_cast<std::size_t>(p)] = test.images.at(r, p);
         futs.push_back(engine.submit(std::move(img)));
       }
-      for (auto& f : futs) (void)f.get();
+      for (auto& f : futs) {
+        try {
+          (void)f.get();
+        } catch (const std::exception&) {
+          // Tolerated: an armed fault schedule may fail bulk rows too.
+        }
+      }
       closed_lat.push_back(std::chrono::duration<double, std::milli>(Clock::now() - tb).count());
     }
     const double closed_s = std::chrono::duration<double>(Clock::now() - c0).count();
@@ -317,7 +416,11 @@ int main() {
       if (b.end()) break;
       std::memcpy(staging.data(), b.data,
                   sizeof(float) * static_cast<std::size_t>(b.size) * pixels);
-      (void)engine.predict_batch(staging);
+      try {
+        (void)engine.predict_batch(staging);
+      } catch (const std::exception&) {
+        // Tolerated under an armed fault schedule; the loader just moves on.
+      }
       loader.recycle(b);
       loader_lat.push_back(std::chrono::duration<double, std::milli>(Clock::now() - tb).count());
     }

@@ -34,6 +34,7 @@
 #include "nn/tensor.h"
 #include "runtime/batcher.h"
 #include "runtime/engine.h"
+#include "runtime/failpoint.h"
 #include "runtime/loader.h"
 #include "runtime/registry.h"
 #include "runtime/servable.h"

@@ -3,11 +3,15 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "runtime/failpoint.h"
+
 namespace ascend::runtime {
 
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+failpoint::Site fp_enqueue{"batcher.enqueue"};
 
 /// How far ahead of a member's deadline its batch is closed, so the timed
 /// wait's wake-up jitter (easily a few ms on a loaded host) still lands
@@ -46,12 +50,14 @@ void Batcher::set_drop_observer(std::function<void(Priority)> observer) {
 }
 
 std::future<Prediction> Batcher::enqueue(std::vector<float> image, RequestOptions opts) {
+  ASCEND_FAILPOINT(fp_enqueue);
   Request req;
   req.image = std::move(image);
   req.enqueued = Clock::now();
   req.trace.enqueue = req.enqueued;
   req.variant = std::move(opts.variant);
   req.priority = opts.priority;
+  req.retry = std::move(opts.retry);
   if (opts.deadline.count() != 0) {
     req.has_deadline = true;
     req.deadline = req.enqueued + opts.deadline;
@@ -59,7 +65,7 @@ std::future<Prediction> Batcher::enqueue(std::vector<float> image, RequestOption
   std::future<Prediction> fut = req.promise.get_future();
   {
     std::unique_lock<std::mutex> lock(mu_);
-    if (closed_) throw std::runtime_error("Batcher::enqueue after close");
+    if (closed_) throw EngineShutdownError{};
     if (req.expired(req.enqueued)) {
       // Negative budget: fail through the future without touching the queue,
       // so an expired-on-arrival request can never displace live work.
@@ -73,7 +79,7 @@ std::future<Prediction> Batcher::enqueue(std::vector<float> image, RequestOption
       space_cv_.wait(lock, [this] {
         return closed_ || static_cast<int>(queue_.size()) < max_pending_;
       });
-      if (closed_) throw std::runtime_error("Batcher::enqueue after close");
+      if (closed_) throw EngineShutdownError{};
     }
     req.seq = next_seq_++;
     queue_.push_back(std::move(req));
@@ -180,6 +186,20 @@ void Batcher::close() {
   }
   cv_.notify_all();
   space_cv_.notify_all();
+}
+
+void Batcher::close_now() {
+  std::vector<Request> orphaned;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    orphaned = std::move(queue_);
+    queue_.clear();
+  }
+  cv_.notify_all();
+  space_cv_.notify_all();
+  const auto err = std::make_exception_ptr(EngineShutdownError{});
+  for (Request& req : orphaned) req.promise.set_exception(err);
 }
 
 std::size_t Batcher::pending() const {

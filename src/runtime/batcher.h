@@ -61,6 +61,14 @@ struct DeadlineExceededError : std::runtime_error {
   DeadlineExceededError() : std::runtime_error("request deadline exceeded before forward") {}
 };
 
+/// Thrown by enqueue() once the batcher is closed, and delivered through the
+/// future of every request still queued when the engine shuts down: queued
+/// work is failed promptly at destruction, never served late or dropped
+/// silently. Derives std::runtime_error so pre-existing catch sites hold.
+struct EngineShutdownError : std::runtime_error {
+  EngineShutdownError() : std::runtime_error("engine shut down before request was served") {}
+};
+
 /// Scheduling class of a request. Lower value = served first.
 enum class Priority : int {
   kInteractive = 0,  ///< latency-sensitive; always scheduled before the rest
@@ -69,6 +77,23 @@ enum class Priority : int {
 };
 inline constexpr int kNumPriorities = 3;
 const char* priority_name(Priority p);
+
+/// What the engine does when a forward fails with an exception (including an
+/// injected fault): retry the same variant with exponential backoff, then —
+/// once attempts are exhausted — degrade to a named fallback variant rather
+/// than failing the client. See docs/robustness.md.
+struct RetryPolicy {
+  /// Total attempts on the request's primary variant (1 = no retry).
+  int max_attempts = 1;
+  /// Backoff before attempt k+1: `backoff << (k-1)` (1ms, 2ms, 4ms, ...).
+  /// The sleep runs on the forward worker, so it occupies a concurrent-
+  /// forwards slot — bounded by max_attempts, and deliberate: a failing
+  /// variant should shed throughput, not amplify it.
+  std::chrono::microseconds backoff{1000};
+  /// Variant to reroute to after the last failed attempt; empty = fail the
+  /// request with the final error. The fallback forward is not retried.
+  std::string fallback_variant;
+};
 
 /// Per-request routing and scheduling options for InferenceEngine::submit.
 struct RequestOptions {
@@ -79,6 +104,9 @@ struct RequestOptions {
   /// DeadlineExceededError instead of being served late. 0 = no deadline;
   /// negative = already expired (the future fails without queueing).
   std::chrono::microseconds deadline{0};
+  /// Failure handling for this request's forward (default: fail on first
+  /// error, no fallback).
+  RetryPolicy retry;
 };
 
 /// Result delivered to a client for one payload.
@@ -86,7 +114,9 @@ struct Prediction {
   int label = -1;              ///< argmax class
   std::vector<float> logits;   ///< raw head outputs
   double queue_ms = 0.0;       ///< enqueue -> batch-close wait
-  std::string variant;         ///< variant that served the request
+  std::string variant;         ///< variant that actually served the request
+  int attempts = 1;            ///< forward attempts spent (1 = first try)
+  bool degraded = false;       ///< served by RetryPolicy::fallback_variant
 };
 
 struct Request {
@@ -98,6 +128,7 @@ struct Request {
   bool has_deadline = false;
   std::chrono::steady_clock::time_point deadline{};  ///< absolute; valid if has_deadline
   std::uint64_t seq = 0;     ///< arrival order within the batcher
+  RetryPolicy retry;         ///< failure handling for this request's forward
   /// Lifecycle stamps for tracing/metrics: the batcher fills enqueue and
   /// batch_close; the engine stamps the forward and completion phases.
   trace::TraceContext trace;
@@ -120,10 +151,10 @@ class Batcher {
   Batcher(int max_batch, std::chrono::microseconds max_delay, int max_pending = 0,
           OverflowPolicy overflow = OverflowPolicy::kBlock);
 
-  /// Thread-safe producer side. Throws after close(); on a full bounded
-  /// queue, blocks or throws QueueFullError per the overflow policy. A
-  /// request with a negative deadline budget is failed immediately through
-  /// its future (DeadlineExceededError) without queueing.
+  /// Thread-safe producer side. Throws EngineShutdownError after close(); on
+  /// a full bounded queue, blocks or throws QueueFullError per the overflow
+  /// policy. A request with a negative deadline budget is failed immediately
+  /// through its future (DeadlineExceededError) without queueing.
   std::future<Prediction> enqueue(std::vector<float> image, RequestOptions opts = {});
 
   /// Consumer side (single dispatcher thread): blocks until a batch is ready
@@ -134,6 +165,11 @@ class Batcher {
 
   /// Stop accepting work and wake the dispatcher; queued requests still drain.
   void close();
+
+  /// Shutdown close: stop accepting work AND fail every queued request
+  /// promptly with EngineShutdownError through its future. The engine
+  /// destructor uses this so queued work never waits on destructor ordering.
+  void close_now();
 
   /// Observer for deadline-expired drops (stats); called outside the queue
   /// lock, from the thread that dropped the request (the dispatcher inside

@@ -1,11 +1,13 @@
 #include "runtime/engine.h"
 
 #include <algorithm>
+#include <map>
 #include <numeric>
 #include <optional>
 #include <stdexcept>
 
 #include "runtime/alloc_count.h"
+#include "runtime/failpoint.h"
 
 #include "vit/model.h"
 #include "vit/servable.h"
@@ -15,6 +17,8 @@ namespace ascend::runtime {
 using nn::Tensor;
 
 namespace {
+
+failpoint::Site fp_infer{"engine.infer"};
 
 int resolve_threads(int requested) {
   if (requested > 0) return requested;
@@ -90,6 +94,7 @@ void InferenceEngine::start() {
   register_metric_series();
   batcher_.set_drop_observer([this](Priority p) { count_drop(p); });
   forward_pool_ = std::make_unique<ThreadPool>(opts_.concurrent_forwards);
+  if (opts_.forward_timeout.count() > 0) watchdog_ = std::thread([this] { watchdog_loop(); });
   dispatcher_ = std::thread([this] { dispatch_loop(); });
 }
 
@@ -116,6 +121,14 @@ void InferenceEngine::register_metric_series() {
         "ascend_requests_rejected_total", labels, SeriesKind::kCounter,
         [&ps] { return static_cast<double>(ps.rejected.load()); },
         "Requests rejected at submit (queue full / unknown variant)"));
+    metric_callbacks_.push_back(metrics_->register_callback(
+        "ascend_retries_total", labels, SeriesKind::kCounter,
+        [&ps] { return static_cast<double>(ps.retries.load()); },
+        "Extra primary-variant forward attempts spent on failed forwards"));
+    metric_callbacks_.push_back(metrics_->register_callback(
+        "ascend_fallback_reroutes_total", labels, SeriesKind::kCounter,
+        [&ps] { return static_cast<double>(ps.fallback_served.load()); },
+        "Requests degraded to their RetryPolicy fallback variant"));
     metric_callbacks_.push_back(metrics_->register_callback(
         "ascend_queue_depth", labels, SeriesKind::kGauge,
         [this, pr] { return static_cast<double>(batcher_.pending(pr)); },
@@ -156,6 +169,22 @@ void InferenceEngine::register_metric_series() {
       [this] { return static_cast<double>(arena_pool_.created()); },
       "Activation arenas created by this engine's pool (bounded by peak "
       "concurrent forwards)"));
+  metric_callbacks_.push_back(metrics_->register_callback(
+      "ascend_watchdog_trips_total", {}, SeriesKind::kCounter,
+      [this] { return static_cast<double>(watchdog_trips_.load()); },
+      "In-flight forwards abandoned past EngineOptions::forward_timeout"));
+  metric_callbacks_.push_back(metrics_->register_callback(
+      "ascend_registry_publishes_total", {}, SeriesKind::kCounter,
+      [this] { return static_cast<double>(registry_->publishes()); },
+      "Successful variant publishes (plain and canary-checked)"));
+  metric_callbacks_.push_back(metrics_->register_callback(
+      "ascend_registry_rollbacks_total", {}, SeriesKind::kCounter,
+      [this] { return static_cast<double>(registry_->rollbacks()); },
+      "Rejected supervised publishes (incumbent kept serving)"));
+  metric_callbacks_.push_back(metrics_->register_callback(
+      "ascend_failpoint_fires_total", {}, SeriesKind::kCounter,
+      [] { return static_cast<double>(failpoint::total_fires()); },
+      "Faults injected by armed failpoint sites process-wide"));
   // Batch sizes are small integers: every fill level is an exact bucket.
   metrics::HistogramOptions fill_opts;
   fill_opts.sub_bits = 7;
@@ -165,9 +194,21 @@ void InferenceEngine::register_metric_series() {
 }
 
 InferenceEngine::~InferenceEngine() {
-  batcher_.close();
+  // Shutdown close: everything still queued fails promptly with
+  // EngineShutdownError; only in-flight forwards are allowed to drain.
+  batcher_.close_now();
   dispatcher_.join();
   forward_pool_.reset();  // drains the in-flight batch forwards
+  // Stop the watchdog after the pool drain: it stays armed while the last
+  // forwards run, so clients blocked on in-flight futures are failed at the
+  // deadline even during shutdown (the dtor itself still waits out the
+  // slow worker — it cannot cancel a thread, only outlive its clients).
+  {
+    std::lock_guard<std::mutex> lock(watch_mu_);
+    watch_stop_ = true;
+  }
+  watch_cv_.notify_all();
+  if (watchdog_.joinable()) watchdog_.join();
   // A shared metrics registry outlives the engine: drop the callback series
   // that capture `this` before the members they read are destroyed.
   for (const metrics::CallbackId id : metric_callbacks_) metrics_->remove_callback(id);
@@ -209,6 +250,113 @@ std::future<Prediction> InferenceEngine::submit(std::vector<float> image, Reques
   }
 }
 
+InferenceEngine::BatchJob::BatchJob(InferenceEngine* engine, std::vector<Request> b)
+    : eng(engine), batch(std::move(b)), claimed(new std::atomic<bool>[batch.size()]) {
+  for (std::size_t r = 0; r < batch.size(); ++r)
+    claimed[r].store(false, std::memory_order_relaxed);
+}
+
+InferenceEngine::BatchJob::~BatchJob() {
+  // Unresolved rows here mean run() never executed — the pool.task fail
+  // point threw inside the packaged task before the body. The injected
+  // fault becomes the rows' typed error, and the slot is never leaked.
+  bool unresolved = false;
+  for (std::size_t r = 0; r < batch.size(); ++r)
+    if (!claimed[r].load(std::memory_order_relaxed)) unresolved = true;
+  if (unresolved)
+    fail_unresolved(std::make_exception_ptr(failpoint::InjectedFaultError("pool.task")));
+  release_slot();
+}
+
+void InferenceEngine::BatchJob::fail_unresolved(const std::exception_ptr& err) {
+  for (std::size_t r = 0; r < batch.size(); ++r)
+    if (claim(r)) batch[r].promise.set_exception(err);
+}
+
+void InferenceEngine::BatchJob::release_slot() {
+  if (slot_released.exchange(true)) return;
+  {
+    std::lock_guard<std::mutex> lock(eng->flight_mu_);
+    eng->in_flight_.fetch_sub(1);
+  }
+  eng->flight_cv_.notify_all();
+}
+
+void InferenceEngine::BatchJob::run(const std::shared_ptr<BatchJob>& self) {
+  eng->register_flight(self);
+  try {
+    eng->process_batch(*this);
+  } catch (...) {
+    // Any error escaping the forward path fails the whole batch (rows the
+    // watchdog already claimed stay with their WatchdogTimeoutError).
+    fail_unresolved(std::current_exception());
+  }
+  eng->unregister_flight(this);
+  release_slot();
+}
+
+void InferenceEngine::register_flight(const std::shared_ptr<BatchJob>& job) {
+  if (opts_.forward_timeout.count() <= 0) return;
+  job->started = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lock(watch_mu_);
+    flights_.push_back(job);
+  }
+  watch_cv_.notify_all();
+}
+
+void InferenceEngine::unregister_flight(const BatchJob* job) {
+  if (opts_.forward_timeout.count() <= 0) return;
+  std::lock_guard<std::mutex> lock(watch_mu_);
+  for (std::size_t i = 0; i < flights_.size(); ++i) {
+    if (flights_[i].get() == job) {
+      flights_.erase(flights_.begin() + static_cast<long>(i));
+      return;
+    }
+  }
+  // Absent: the watchdog already abandoned this flight.
+}
+
+void InferenceEngine::watchdog_loop() {
+  const auto timeout = opts_.forward_timeout;
+  std::unique_lock<std::mutex> lock(watch_mu_);
+  while (!watch_stop_) {
+    const auto now = std::chrono::steady_clock::now();
+    auto wake = std::chrono::steady_clock::time_point::max();
+    std::vector<std::shared_ptr<BatchJob>> tripped;
+    for (std::size_t i = 0; i < flights_.size();) {
+      const auto deadline = flights_[i]->started + timeout;
+      if (deadline <= now) {
+        tripped.push_back(std::move(flights_[i]));
+        flights_.erase(flights_.begin() + static_cast<long>(i));
+      } else {
+        wake = std::min(wake, deadline);
+        ++i;
+      }
+    }
+    if (!tripped.empty()) {
+      lock.unlock();
+      const auto err = std::make_exception_ptr(WatchdogTimeoutError{});
+      for (const auto& job : tripped) {
+        // Order matters: mark abandoned first so the forward thread stops
+        // touching metrics, then take the promises, then free the slot so
+        // the dispatcher resumes, then replace the wedged pool worker.
+        job->abandoned.store(true);
+        job->fail_unresolved(err);
+        job->release_slot();
+        watchdog_trips_.fetch_add(1);
+        forward_pool_->grow(1);
+      }
+      lock.lock();
+      continue;
+    }
+    if (wake == std::chrono::steady_clock::time_point::max())
+      watch_cv_.wait(lock);
+    else
+      watch_cv_.wait_until(lock, wake);
+  }
+}
+
 void InferenceEngine::dispatch_loop() {
   for (;;) {
     // Throttle before pulling: while `concurrent_forwards` batches are in
@@ -226,22 +374,18 @@ void InferenceEngine::dispatch_loop() {
       cur = in_flight_.fetch_add(1) + 1;
     }
     atomic_max(max_in_flight_, cur);
-    forward_pool_->submit([this, b = std::move(batch)]() mutable {
-      try {
-        process_batch(b);
-      } catch (...) {
-        // process_batch resolves every promise itself; never lose the slot.
-      }
-      {
-        std::lock_guard<std::mutex> lock(flight_mu_);
-        in_flight_.fetch_sub(1);
-      }
-      flight_cv_.notify_all();
-    });
+    auto job = std::make_shared<BatchJob>(this, std::move(batch));
+    try {
+      forward_pool_->submit([job] { job->run(job); });
+    } catch (...) {
+      // submit itself failed (pool shutting down): the job's destructor
+      // fails the rows and releases the slot on scope exit below.
+    }
   }
 }
 
-void InferenceEngine::process_batch(std::vector<Request>& batch) {
+void InferenceEngine::process_batch(BatchJob& job) {
+  std::vector<Request>& batch = job.batch;
   const auto closed_at = std::chrono::steady_clock::now();
   const int b = static_cast<int>(batch.size());
   const std::string& variant = batch[0].variant;  // next_batch groups per variant
@@ -250,47 +394,41 @@ void InferenceEngine::process_batch(std::vector<Request>& batch) {
   // republishing the variant never blocks or invalidates us.
   std::shared_ptr<const Servable> servable = registry_->try_get(variant);
   if (!servable) {
-    const auto err = std::make_exception_ptr(UnknownVariantError(variant));
-    for (auto& req : batch) req.promise.set_exception(err);
+    job.fail_unresolved(std::make_exception_ptr(UnknownVariantError(variant)));
     return;
   }
 
-  // Lease a warm arena for this forward: the batch tensor, every
+  // Lease a warm arena for this forward: the batch tensors, every
   // intermediate in the infer chain, and the logits all bump-allocate from
-  // one slab. The lease outlives the last read of `logits` below — its
-  // destructor resets the arena and returns it to the pool.
+  // one slab (retry/fallback rebuilds bump further into the same slab). The
+  // lease outlives the last logits read — its destructor resets the arena.
   std::optional<ArenaLease> lease;
   if (opts_.use_arena) lease.emplace(arena_pool_);
 
   const int pixels = servable->input_dim();
-  Tensor images({b, pixels});
-  std::vector<bool> rejected(static_cast<std::size_t>(b), false);
+  std::vector<int> rows;  // rows admitted to the forward phase
+  rows.reserve(static_cast<std::size_t>(b));
   for (int r = 0; r < b; ++r) {
     Request& req = batch[static_cast<std::size_t>(r)];
     if (req.expired(closed_at)) {
       // Last line of deadline defence: expired while the batch sat in the
       // forward queue. Fail fast; the forward never sees this row.
-      rejected[static_cast<std::size_t>(r)] = true;
-      pstats_[static_cast<std::size_t>(req.priority)].deadline_dropped.fetch_add(1);
-      req.promise.set_exception(std::make_exception_ptr(DeadlineExceededError{}));
+      if (job.claim(static_cast<std::size_t>(r))) {
+        pstats_[static_cast<std::size_t>(req.priority)].deadline_dropped.fetch_add(1);
+        req.promise.set_exception(std::make_exception_ptr(DeadlineExceededError{}));
+      }
       continue;
     }
     if (static_cast<int>(req.image.size()) != pixels) {
-      // Odd-sized request: fail it alone (its row stays zero) and keep
-      // serving the rest of the batch.
-      rejected[static_cast<std::size_t>(r)] = true;
-      req.promise.set_exception(std::make_exception_ptr(std::invalid_argument(
-          "InferenceEngine: payload size does not match variant input_dim")));
+      // Odd-sized request: fail it alone and keep serving the rest.
+      if (job.claim(static_cast<std::size_t>(r)))
+        req.promise.set_exception(std::make_exception_ptr(std::invalid_argument(
+            "InferenceEngine: payload size does not match variant input_dim")));
       continue;
     }
-    std::copy(req.image.begin(), req.image.end(),
-              images.data() + static_cast<std::size_t>(r) * pixels);
+    rows.push_back(r);
   }
-
-  bool any_live = false;
-  for (int r = 0; r < b; ++r)
-    if (!rejected[static_cast<std::size_t>(r)]) any_live = true;
-  if (!any_live) {
+  if (rows.empty()) {
     // Every row was dropped — never spend a model forward on a dead batch
     // (this is exactly the overloaded case where a forward hurts most).
     batches_.fetch_add(1);
@@ -304,37 +442,175 @@ void InferenceEngine::process_batch(std::vector<Request>& batch) {
   const bool traced = tracer_.enabled();
   trace::SpanCollector collector;
   const auto forward_start = std::chrono::steady_clock::now();
-  Tensor logits;
-  try {
-    trace::CollectorScope scope(traced ? &collector : nullptr);
-    logits = servable->infer(images);
-  } catch (...) {
-    const auto err = std::current_exception();
-    for (int r = 0; r < b; ++r)
-      if (!rejected[static_cast<std::size_t>(r)])
-        batch[static_cast<std::size_t>(r)].promise.set_exception(err);
-    return;
-  }
-  const auto forward_end = std::chrono::steady_clock::now();
 
+  std::vector<Prediction> preds(static_cast<std::size_t>(b));
+  std::vector<bool> done(static_cast<std::size_t>(b), false);
+  std::vector<int> attempts(static_cast<std::size_t>(b), 1);
+  std::vector<bool> degraded(static_cast<std::size_t>(b), false);
+
+  // One infer over a row subset through `sv`; fills preds[r].label/logits
+  // on success. Returns the forward's exception on failure.
+  auto forward_rows = [&](const Servable& sv, const std::vector<int>& subset)
+      -> std::exception_ptr {
+    const int n = static_cast<int>(subset.size());
+    Tensor images({n, sv.input_dim()});
+    for (int i = 0; i < n; ++i) {
+      const Request& req = batch[static_cast<std::size_t>(subset[static_cast<std::size_t>(i)])];
+      std::copy(req.image.begin(), req.image.end(),
+                images.data() + static_cast<std::size_t>(i) * sv.input_dim());
+    }
+    try {
+      trace::CollectorScope scope(traced ? &collector : nullptr);
+      ASCEND_FAILPOINT(fp_infer);
+      const Tensor logits = sv.infer(images);
+      for (int i = 0; i < n; ++i) {
+        Prediction& pred = preds[static_cast<std::size_t>(subset[static_cast<std::size_t>(i)])];
+        pred.label = argmax_row(logits, i);
+        pred.logits.resize(static_cast<std::size_t>(logits.dim(1)));
+        for (int c = 0; c < logits.dim(1); ++c)
+          pred.logits[static_cast<std::size_t>(c)] = logits.at(i, c);
+      }
+      return nullptr;
+    } catch (...) {
+      return std::current_exception();
+    }
+  };
+
+  // Primary phase with per-request retry budgets: the whole live subset is
+  // retried together (one forward per attempt); rows that exhaust
+  // max_attempts move to their fallback variant, rows without one fail with
+  // the final error.
+  std::vector<int> live = rows;
+  std::vector<int> exhausted;
+  // Per-row error captured at exhaustion time: `last_err` goes back to null
+  // when a later attempt of the remaining live rows succeeds, so rows that
+  // exhausted earlier must keep the error of their own final attempt.
+  std::vector<std::exception_ptr> row_err(static_cast<std::size_t>(b));
+  std::exception_ptr last_err;
+  int attempt = 0;
+  while (!live.empty()) {
+    ++attempt;
+    if (job.abandoned.load()) return;  // watchdog already failed the rows
+    last_err = forward_rows(*servable, live);
+    if (!last_err) {
+      for (const int r : live) {
+        attempts[static_cast<std::size_t>(r)] = attempt;
+        done[static_cast<std::size_t>(r)] = true;
+      }
+      break;
+    }
+    std::vector<int> retry_rows;
+    for (const int r : live) {
+      attempts[static_cast<std::size_t>(r)] = attempt;
+      if (batch[static_cast<std::size_t>(r)].retry.max_attempts > attempt) {
+        retry_rows.push_back(r);
+      } else {
+        row_err[static_cast<std::size_t>(r)] = last_err;
+        exhausted.push_back(r);
+      }
+    }
+    live = std::move(retry_rows);
+    if (live.empty()) break;
+    // Exponential backoff on the forward worker: deliberate — a failing
+    // variant sheds throughput instead of hammering itself. Bounded by
+    // max_attempts; the watchdog deadline covers the sleep.
+    std::chrono::microseconds backoff{0};
+    for (const int r : live) {
+      pstats_[static_cast<std::size_t>(batch[static_cast<std::size_t>(r)].priority)]
+          .retries.fetch_add(1);
+      backoff = std::max(backoff, batch[static_cast<std::size_t>(r)].retry.backoff);
+    }
+    if (backoff.count() > 0)
+      std::this_thread::sleep_for(backoff * (1 << std::min(attempt - 1, 10)));
+    if (job.abandoned.load()) return;
+    // Deadlines kept ticking through the backoff.
+    const auto now = std::chrono::steady_clock::now();
+    std::vector<int> still_live;
+    for (const int r : live) {
+      Request& req = batch[static_cast<std::size_t>(r)];
+      if (req.expired(now)) {
+        if (job.claim(static_cast<std::size_t>(r))) {
+          pstats_[static_cast<std::size_t>(req.priority)].deadline_dropped.fetch_add(1);
+          req.promise.set_exception(std::make_exception_ptr(DeadlineExceededError{}));
+        }
+      } else {
+        still_live.push_back(r);
+      }
+    }
+    live = std::move(still_live);
+  }
+
+  // Degradation phase: exhausted rows grouped by fallback variant, one
+  // forward per group, no retry on the fallback itself.
+  if (!exhausted.empty()) {
+    std::map<std::string, std::vector<int>> fallback_groups;
+    for (const int r : exhausted) {
+      const std::string& fb = batch[static_cast<std::size_t>(r)].retry.fallback_variant;
+      if (fb.empty() || fb == variant) {
+        if (job.claim(static_cast<std::size_t>(r)))
+          batch[static_cast<std::size_t>(r)].promise.set_exception(
+              row_err[static_cast<std::size_t>(r)]);
+      } else {
+        fallback_groups[fb].push_back(r);
+      }
+    }
+    for (auto& [fb, frows] : fallback_groups) {
+      if (job.abandoned.load()) return;
+      const std::shared_ptr<const Servable> fsv = registry_->try_get(fb);
+      std::exception_ptr err;
+      if (!fsv)
+        err = std::make_exception_ptr(UnknownVariantError(fb));
+      else if (fsv->input_dim() != pixels)
+        err = std::make_exception_ptr(std::invalid_argument(
+            "InferenceEngine: fallback variant input_dim differs from primary"));
+      else
+        err = forward_rows(*fsv, frows);
+      if (err) {
+        for (const int r : frows)
+          if (job.claim(static_cast<std::size_t>(r)))
+            batch[static_cast<std::size_t>(r)].promise.set_exception(err);
+      } else {
+        for (const int r : frows) {
+          attempts[static_cast<std::size_t>(r)] += 1;
+          done[static_cast<std::size_t>(r)] = true;
+          degraded[static_cast<std::size_t>(r)] = true;
+          preds[static_cast<std::size_t>(r)].variant = fb;
+          pstats_[static_cast<std::size_t>(batch[static_cast<std::size_t>(r)].priority)]
+              .fallback_served.fetch_add(1);
+        }
+      }
+    }
+  }
+
+  const auto forward_end = std::chrono::steady_clock::now();
+  if (job.abandoned.load()) return;  // late results discarded; rows already failed
+
+  // Claim the rows this thread will resolve (a racing watchdog trip keeps
+  // whatever it won) and finish their predictions.
+  std::vector<int> resolved;
+  resolved.reserve(rows.size());
   int served = 0;
   std::uint64_t queue_ns_sum = 0;
-  std::vector<Prediction> preds(static_cast<std::size_t>(b));
-  for (int r = 0; r < b; ++r) {
-    if (rejected[static_cast<std::size_t>(r)]) continue;
+  for (const int r : rows) {
+    if (!done[static_cast<std::size_t>(r)]) continue;
+    if (!job.claim(static_cast<std::size_t>(r))) continue;
+    resolved.push_back(r);
     ++served;
     const Request& req = batch[static_cast<std::size_t>(r)];
     Prediction& pred = preds[static_cast<std::size_t>(r)];
-    pred.label = argmax_row(logits, r);
-    pred.variant = variant;
-    pred.logits.resize(static_cast<std::size_t>(logits.dim(1)));
-    for (int c = 0; c < logits.dim(1); ++c)
-      pred.logits[static_cast<std::size_t>(c)] = logits.at(r, c);
+    if (!degraded[static_cast<std::size_t>(r)]) pred.variant = variant;
+    pred.attempts = attempts[static_cast<std::size_t>(r)];
+    pred.degraded = degraded[static_cast<std::size_t>(r)];
     pred.queue_ms =
         std::chrono::duration<double, std::milli>(req.trace.batch_close - req.enqueued).count();
     queue_ns_sum += static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(req.trace.batch_close - req.enqueued)
             .count());
+  }
+  if (resolved.empty()) {
+    batches_.fetch_add(1);
+    atomic_max(max_batch_seen_, b);
+    return;
   }
 
   // One completion stamp for the whole batch: every row resolves within
@@ -356,8 +632,7 @@ void InferenceEngine::process_batch(std::vector<Request>& batch) {
   // Per-(variant, priority) latency series resolved at most once per batch
   // and priority — the registry lookup takes its mutex, the record does not.
   std::array<metrics::Histogram*, kNumPriorities> latency_hist{};
-  for (int r = 0; r < b; ++r) {
-    if (rejected[static_cast<std::size_t>(r)]) continue;
+  for (const int r : resolved) {
     const Request& req = batch[static_cast<std::size_t>(r)];
     const auto pi = static_cast<std::size_t>(req.priority);
     pstats_[pi].served.fetch_add(1);
@@ -386,10 +661,9 @@ void InferenceEngine::process_batch(std::vector<Request>& batch) {
     }
   }
 
-  for (int r = 0; r < b; ++r)
-    if (!rejected[static_cast<std::size_t>(r)])
-      batch[static_cast<std::size_t>(r)].promise.set_value(
-          std::move(preds[static_cast<std::size_t>(r)]));
+  for (const int r : resolved)
+    batch[static_cast<std::size_t>(r)].promise.set_value(
+        std::move(preds[static_cast<std::size_t>(r)]));
 }
 
 std::vector<int> InferenceEngine::predict_batch(const Tensor& images, const std::string& variant) {
@@ -398,6 +672,7 @@ std::vector<int> InferenceEngine::predict_batch(const Tensor& images, const std:
   {
     std::optional<ArenaLease> lease;
     if (opts_.use_arena) lease.emplace(arena_pool_);
+    ASCEND_FAILPOINT(fp_infer);
     const Tensor logits = servable->infer(images);
     labels.resize(static_cast<std::size_t>(logits.dim(0)));
     for (int r = 0; r < logits.dim(0); ++r)
@@ -427,6 +702,7 @@ EngineStats InferenceEngine::stats() const {
   st.images = images_.load();
   st.batches = batches_.load();
   st.full_batches = full_batches_.load();
+  st.watchdog_trips = watchdog_trips_.load();
   st.total_queue_ms = static_cast<double>(queue_wait_ns_.load()) / 1e6;
   st.max_batch_seen = max_batch_seen_.load();
   st.max_in_flight = max_in_flight_.load();
@@ -439,6 +715,8 @@ EngineStats InferenceEngine::stats() const {
     out.served = ps.served.load();
     out.deadline_dropped = ps.deadline_dropped.load();
     out.rejected = ps.rejected.load();
+    out.retries = ps.retries.load();
+    out.fallback_served = ps.fallback_served.load();
     out.queued = ps.queued.load();
   }
   return st;

@@ -42,6 +42,15 @@ class VisionTransformer;
 
 namespace ascend::runtime {
 
+/// Delivered through a request future when its batch forward overran
+/// EngineOptions::forward_timeout: the watchdog failed the batch, released
+/// the concurrency slot and replaced the pool worker; the engine keeps
+/// serving. The wedged forward finishes (or not) in the background and its
+/// late results are discarded.
+struct WatchdogTimeoutError : std::runtime_error {
+  WatchdogTimeoutError() : std::runtime_error("forward exceeded watchdog deadline") {}
+};
+
 struct EngineOptions {
   int threads = 0;    ///< worker pool size; 0 -> hardware_concurrency
   int max_batch = 32; ///< dynamic-batching size cutoff
@@ -69,6 +78,12 @@ struct EngineOptions {
   /// (zero allocations per forward at steady state). One warm arena is kept
   /// per in-flight forward. Off: the pre-arena heap behaviour, bit-exact.
   bool use_arena = true;
+  /// Watchdog deadline on an in-flight batch forward — the whole service
+  /// attempt, retries and fallback included. A forward that overruns it has
+  /// its unresolved requests failed with WatchdogTimeoutError, its
+  /// concurrency slot released, and a replacement forward-pool worker
+  /// started; the engine keeps serving around the wedged thread. 0 = off.
+  std::chrono::milliseconds forward_timeout{0};
 };
 
 /// Per-scheduling-class serving counters.
@@ -77,12 +92,15 @@ struct PriorityStats {
   std::uint64_t served = 0;            ///< resolved with a Prediction
   std::uint64_t deadline_dropped = 0;  ///< failed fast with DeadlineExceededError
   std::uint64_t rejected = 0;          ///< QueueFullError / unknown variant at submit
+  std::uint64_t retries = 0;           ///< extra primary-variant attempts spent
+  std::uint64_t fallback_served = 0;   ///< requests degraded to their fallback variant
 };
 
 struct EngineStats {
   std::uint64_t images = 0;
   std::uint64_t batches = 0;        ///< batches dispatched via submit()
   std::uint64_t full_batches = 0;   ///< batches closed by the size cutoff
+  std::uint64_t watchdog_trips = 0; ///< forwards abandoned past forward_timeout
   double total_queue_ms = 0.0;      ///< summed enqueue -> batch-close waits
   int max_batch_seen = 0;
   int max_in_flight = 0;            ///< peak concurrent batch forwards observed
@@ -153,9 +171,43 @@ class InferenceEngine {
   bool cached() const { return opts_.use_tf_cache; }
 
  private:
+  /// One in-flight batch forward. Owns the requests' promises through a
+  /// per-row claim protocol: whoever wins claim(r) — the forward thread
+  /// resolving the row, the watchdog abandoning it, or the destructor
+  /// cleaning up after an injected pool fault — is the only writer of that
+  /// promise. The concurrency slot is released exactly once, whichever of
+  /// the three paths gets there first.
+  struct BatchJob {
+    BatchJob(InferenceEngine* engine, std::vector<Request> b);
+    /// Fails any still-unresolved row (reachable only when the pool.task
+    /// fail point threw before run()) and releases the slot.
+    ~BatchJob();
+
+    /// True when the caller won ownership of row r's promise.
+    bool claim(std::size_t r) { return !claimed[r].exchange(true); }
+    void fail_unresolved(const std::exception_ptr& err);
+    void release_slot();
+    /// The forward task body: registers with the watchdog, runs
+    /// process_batch, unregisters, releases the slot.
+    void run(const std::shared_ptr<BatchJob>& self);
+
+    InferenceEngine* eng;
+    std::vector<Request> batch;
+    std::unique_ptr<std::atomic<bool>[]> claimed;  ///< per-row promise ownership
+    std::atomic<bool> slot_released{false};
+    /// Set by the watchdog when it abandons this forward: the forward thread
+    /// must not touch metrics or promises past the next check (its rows were
+    /// already failed; late results are discarded).
+    std::atomic<bool> abandoned{false};
+    std::chrono::steady_clock::time_point started{};  ///< set before flight registration
+  };
+
   void start();
   void dispatch_loop();
-  void process_batch(std::vector<Request>& batch);
+  void process_batch(BatchJob& job);
+  void watchdog_loop();
+  void register_flight(const std::shared_ptr<BatchJob>& job);
+  void unregister_flight(const BatchJob* job);
   const std::string& resolve_variant(const std::string& requested) const;
   void count_drop(Priority p);
   void register_metric_series();
@@ -177,11 +229,14 @@ class InferenceEngine {
     std::atomic<std::uint64_t> served{0};
     std::atomic<std::uint64_t> deadline_dropped{0};
     std::atomic<std::uint64_t> rejected{0};
+    std::atomic<std::uint64_t> retries{0};
+    std::atomic<std::uint64_t> fallback_served{0};
   };
   std::array<AtomicPriorityStats, kNumPriorities> pstats_;
   std::atomic<std::uint64_t> images_{0};
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> full_batches_{0};
+  std::atomic<std::uint64_t> watchdog_trips_{0};
   std::atomic<std::uint64_t> queue_wait_ns_{0};
   std::atomic<int> max_batch_seen_{0};
   std::atomic<int> max_in_flight_{0};
@@ -204,6 +259,15 @@ class InferenceEngine {
   std::mutex flight_mu_;
   std::condition_variable flight_cv_;
   std::atomic<int> in_flight_{0};
+
+  // Watchdog (EngineOptions::forward_timeout > 0): the flight list of
+  // running BatchJobs, scanned by a poller thread that abandons overdue
+  // forwards. Jobs register on forward start and unregister on completion.
+  std::mutex watch_mu_;
+  std::condition_variable watch_cv_;
+  std::vector<std::shared_ptr<BatchJob>> flights_;  ///< under watch_mu_
+  bool watch_stop_ = false;                         ///< under watch_mu_
+  std::thread watchdog_;
 
   // Declared after pool_ so servables (which may parallelise over pool_) are
   // destroyed before it.

@@ -1,0 +1,242 @@
+#include "runtime/failpoint.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <thread>
+
+namespace ascend::runtime::failpoint {
+
+namespace {
+
+/// splitmix64 — tiny, seedable, and good enough to make p-triggers
+/// reproducible across runs of a chaos schedule.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d4ecb9aaa1105bull;
+  return z ^ (z >> 31);
+}
+
+/// Process-wide site registry. A Meyers singleton so sites constructing at
+/// static init in any TU find it already alive; the constructor parses
+/// ASCEND_FAILPOINTS into parked specs that registering sites adopt,
+/// making env activation independent of static-init order.
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, Site*> live;
+  std::map<std::string, FailSpec> parked;
+  std::atomic<std::uint64_t> total_fires{0};
+
+  Registry() {
+    const char* env = std::getenv("ASCEND_FAILPOINTS");
+    if (!env || !*env) return;
+    // Static-init context: a malformed entry is reported and skipped, never
+    // thrown (throwing here would terminate before main).
+    std::string text(env);
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+      std::size_t end = text.find(';', pos);
+      if (end == std::string::npos) end = text.size();
+      const std::string entry = text.substr(pos, end - pos);
+      pos = end + 1;
+      if (entry.empty()) continue;
+      const std::size_t eq = entry.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        std::fprintf(stderr, "ASCEND_FAILPOINTS: ignoring malformed entry '%s'\n", entry.c_str());
+        continue;
+      }
+      try {
+        parked[entry.substr(0, eq)] = parse_spec(entry.substr(eq + 1));
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "ASCEND_FAILPOINTS: ignoring '%s': %s\n", entry.c_str(), e.what());
+      }
+    }
+  }
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+}  // namespace
+
+Site::Site(const char* name) : name_(name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.live[name_] = this;
+  const auto it = r.parked.find(name_);
+  if (it != r.parked.end()) {
+    arm(it->second);
+    r.parked.erase(it);
+  }
+}
+
+void Site::arm(const FailSpec& spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  spec_ = spec;
+  hit_count_ = 0;
+  fire_count_ = 0;
+  rng_ = spec.seed;
+  armed_.store(true, std::memory_order_relaxed);
+}
+
+void Site::disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.store(false, std::memory_order_relaxed);
+}
+
+SiteStats Site::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SiteStats s;
+  s.name = name_;
+  s.armed = armed_.load(std::memory_order_relaxed);
+  s.hits = hit_count_;
+  s.fires = fire_count_;
+  return s;
+}
+
+bool Site::fire() {
+  Action action;
+  int delay_ms;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!armed_.load(std::memory_order_relaxed)) return false;  // raced a disarm
+    const std::uint64_t hit = hit_count_++;
+    if (hit < spec_.skip) return false;
+    if (spec_.probability < 1.0) {
+      const double u =
+          static_cast<double>(splitmix64(rng_) >> 11) * (1.0 / 9007199254740992.0);
+      if (u >= spec_.probability) return false;
+    }
+    ++fire_count_;
+    registry().total_fires.fetch_add(1, std::memory_order_relaxed);
+    if (spec_.max_fires != 0 && fire_count_ >= spec_.max_fires)
+      armed_.store(false, std::memory_order_relaxed);
+    action = spec_.action;
+    delay_ms = spec_.delay_ms;
+  }
+  switch (action) {
+    case Action::kThrow:
+      throw InjectedFaultError(name_);
+    case Action::kError:
+      return true;
+    case Action::kDelay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+      return false;
+    case Action::kAbort:
+#ifndef NDEBUG
+      std::fprintf(stderr, "failpoint '%s': abort action fired\n", name_);
+      std::abort();
+#else
+      throw InjectedFaultError(name_);
+#endif
+  }
+  return false;
+}
+
+FailSpec parse_spec(const std::string& text) {
+  FailSpec spec;
+  bool have_action = false;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t end = text.find(',', pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string tok = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (tok.empty()) {
+      if (pos > text.size()) break;
+      throw std::invalid_argument("failpoint spec: empty token");
+    }
+    auto number_after = [&tok](std::size_t prefix) -> std::string {
+      return tok.substr(prefix);
+    };
+    try {
+      if (tok == "throw") {
+        spec.action = Action::kThrow;
+        have_action = true;
+      } else if (tok == "err") {
+        spec.action = Action::kError;
+        have_action = true;
+      } else if (tok == "abort") {
+        spec.action = Action::kAbort;
+        have_action = true;
+      } else if (tok == "once") {
+        spec.max_fires = 1;
+      } else if (tok.rfind("delay", 0) == 0 && tok.size() > 5) {
+        spec.action = Action::kDelay;
+        spec.delay_ms = std::stoi(number_after(5));
+        if (spec.delay_ms < 0) throw std::invalid_argument("negative delay");
+        have_action = true;
+      } else if (tok.rfind("after", 0) == 0 && tok.size() > 5) {
+        spec.skip = std::stoull(number_after(5));
+      } else if (tok.rfind("seed", 0) == 0 && tok.size() > 4) {
+        spec.seed = std::stoull(number_after(4));
+      } else if (tok[0] == 'p' && tok.size() > 1) {
+        spec.probability = std::stod(number_after(1));
+        if (spec.probability < 0.0 || spec.probability > 1.0)
+          throw std::invalid_argument("probability outside [0,1]");
+      } else if (tok[0] == 'n' && tok.size() > 1) {
+        spec.max_fires = std::stoull(number_after(1));
+        if (spec.max_fires == 0) throw std::invalid_argument("n0 is meaningless");
+      } else {
+        throw std::invalid_argument("unknown token");
+      }
+    } catch (const std::invalid_argument&) {
+      throw std::invalid_argument("failpoint spec: bad token '" + tok + "' in '" + text + "'");
+    } catch (const std::out_of_range&) {
+      throw std::invalid_argument("failpoint spec: value out of range in '" + tok + "'");
+    }
+    if (pos > text.size()) break;
+  }
+  (void)have_action;  // a spec of pure modifiers keeps the default kThrow
+  return spec;
+}
+
+bool arm(const std::string& name, const FailSpec& spec) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  const auto it = r.live.find(name);
+  if (it != r.live.end()) {
+    it->second->arm(spec);
+    return true;
+  }
+  r.parked[name] = spec;
+  return false;
+}
+
+bool arm(const std::string& name, const std::string& spec) {
+  return arm(name, parse_spec(spec));
+}
+
+void disarm(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  const auto it = r.live.find(name);
+  if (it != r.live.end()) it->second->disarm();
+  r.parked.erase(name);
+}
+
+void disarm_all() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& [name, site] : r.live) site->disarm();
+  r.parked.clear();
+}
+
+std::vector<SiteStats> sites() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<SiteStats> out;
+  out.reserve(r.live.size());
+  for (const auto& [name, site] : r.live) out.push_back(site->stats());
+  return out;
+}
+
+std::uint64_t total_fires() {
+  return registry().total_fires.load(std::memory_order_relaxed);
+}
+
+}  // namespace ascend::runtime::failpoint

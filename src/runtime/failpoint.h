@@ -1,0 +1,148 @@
+#pragma once
+// failpoint.h — zero-overhead-when-disabled fault injection sites.
+//
+// A fail point is a named place in the serving stack where a fault can be
+// injected on demand: a typed exception, an error return, a delay, or (in
+// debug builds) an abort. Sites are ordinary namespace-scope objects that
+// register themselves with a process-wide registry during static
+// initialization; production code marks them with one macro:
+//
+//   namespace { failpoint::Site fp_infer{"engine.infer"}; }
+//   ...
+//   ASCEND_FAILPOINT(fp_infer);          // throws InjectedFaultError when armed
+//   ASCEND_FAILPOINT_OR(fp_crc, fail(Kind::kCorrupt, "injected"));  // native error
+//
+// Disarmed (the default, and whenever ASCEND_FAILPOINTS is unset), the macro
+// is a single relaxed atomic load and a predictable branch — nothing else
+// touches the hot path. Armed, the slow path runs under a per-site mutex
+// with a deterministic seeded RNG, so chaos schedules are reproducible.
+//
+// Activation:
+//   * env:  ASCEND_FAILPOINTS="engine.infer=p0.05,seed7,throw;ckpt.crc=once,err"
+//   * code: failpoint::arm("engine.infer", spec) / failpoint::disarm_all()
+//
+// Spec grammar (comma-separated modifiers, then one action):
+//   modifiers  pX      fire with probability X in [0,1]       (default 1)
+//              afterN  skip the first N hits                  (default 0)
+//              nN      disarm after N fires (once == n1)      (default inf)
+//              seedS   RNG seed for the probability draw
+//   actions    throw   throw InjectedFaultError               (default)
+//              err     report to the site; the site raises its native error
+//              delayN  sleep N milliseconds, then continue
+//              abort   std::abort() in debug builds; throws in release
+//
+// Arming an unknown name parks the spec; a site registering later under that
+// name adopts it — env specs therefore work regardless of static-init order.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ascend::runtime::failpoint {
+
+/// Thrown by a fired site whose action is `throw` (and by the framework when
+/// an err-action fires at a site with no native error to raise).
+struct InjectedFaultError : std::runtime_error {
+  explicit InjectedFaultError(const std::string& site)
+      : std::runtime_error("injected fault at failpoint '" + site + "'") {}
+};
+
+enum class Action {
+  kThrow,  ///< throw InjectedFaultError from the site
+  kError,  ///< tell the site to fail through its native error path
+  kDelay,  ///< sleep delay_ms, then continue normally
+  kAbort,  ///< std::abort() in debug builds (throws in release)
+};
+
+struct FailSpec {
+  Action action = Action::kThrow;
+  double probability = 1.0;      ///< chance each eligible hit fires
+  std::uint64_t skip = 0;        ///< hits ignored before the site is eligible
+  std::uint64_t max_fires = 0;   ///< auto-disarm after this many fires; 0 = never
+  std::uint64_t seed = 0x9e3779b97f4a7c15ull;  ///< probability-draw RNG seed
+  int delay_ms = 0;              ///< kDelay only
+};
+
+/// Counters snapshot for one site (see failpoint::sites()).
+struct SiteStats {
+  std::string name;
+  bool armed = false;
+  std::uint64_t hits = 0;   ///< armed-path entries since last arm
+  std::uint64_t fires = 0;  ///< faults actually injected since last arm
+};
+
+class Site {
+ public:
+  /// `name` must be a string literal (the site keeps the pointer). The site
+  /// registers itself and adopts any spec already parked under `name`.
+  explicit Site(const char* name);
+
+  Site(const Site&) = delete;
+  Site& operator=(const Site&) = delete;
+
+  const char* name() const { return name_; }
+
+  /// The whole disabled-path cost: one relaxed load.
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  /// Slow path, called only when armed(): counts the hit, applies
+  /// skip/probability/max_fires, and performs the action. kThrow throws
+  /// InjectedFaultError; kDelay sleeps and returns false; kAbort aborts (or
+  /// throws in release). Returns true only for kError — the caller raises
+  /// its native error (ASCEND_FAILPOINT raises InjectedFaultError for it).
+  bool fire();
+
+  void arm(const FailSpec& spec);
+  void disarm();
+  SiteStats stats() const;
+
+ private:
+  const char* name_;
+  std::atomic<bool> armed_{false};
+  mutable std::mutex mu_;
+  FailSpec spec_{};
+  std::uint64_t hit_count_ = 0;
+  std::uint64_t fire_count_ = 0;
+  std::uint64_t rng_ = 0;
+};
+
+/// Parse one spec string ("p0.05,after2,seed7,throw"). Throws
+/// std::invalid_argument on malformed input.
+FailSpec parse_spec(const std::string& text);
+
+/// Arm `name` with `spec`. Unknown names park the spec for a site that
+/// registers later; returns whether a live site adopted it now.
+bool arm(const std::string& name, const FailSpec& spec);
+bool arm(const std::string& name, const std::string& spec);
+
+/// Disarm one site / every site and clear parked specs.
+void disarm(const std::string& name);
+void disarm_all();
+
+/// Registered sites with their counters, name-sorted.
+std::vector<SiteStats> sites();
+
+/// Total faults injected process-wide (exported as
+/// ascend_failpoint_fires_total).
+std::uint64_t total_fires();
+
+}  // namespace ascend::runtime::failpoint
+
+/// Fault-injection site: disabled = one relaxed atomic load. An armed
+/// `throw` action escapes from fire(); an armed `err` action is promoted to
+/// InjectedFaultError here (plain sites have no native error channel).
+#define ASCEND_FAILPOINT(site)                                                 \
+  do {                                                                         \
+    if ((site).armed() && (site).fire())                                       \
+      throw ::ascend::runtime::failpoint::InjectedFaultError((site).name());   \
+  } while (0)
+
+/// Like ASCEND_FAILPOINT, but an `err` action runs `stmt` instead — the
+/// site's native error path (e.g. raising a typed CheckpointError).
+#define ASCEND_FAILPOINT_OR(site, stmt)                                        \
+  do {                                                                         \
+    if ((site).armed() && (site).fire()) { stmt; }                             \
+  } while (0)

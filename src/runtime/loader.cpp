@@ -3,7 +3,13 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "runtime/failpoint.h"
+
 namespace ascend::runtime {
+
+namespace {
+failpoint::Site fp_decode{"loader.decode"};
+}  // namespace
 
 Loader::Loader(DecodeFn decode, int num_samples, int sample_dim, LoaderOptions opts)
     : decode_(std::move(decode)), num_samples_(num_samples), sample_dim_(sample_dim),
@@ -58,6 +64,7 @@ void Loader::worker_loop() {
     try {
       for (int r = 0; r < slot.size; ++r) {
         const long long idx = first + r;
+        ASCEND_FAILPOINT(fp_decode);
         decode_(static_cast<int>(opts_.loop ? idx % num_samples_ : idx),
                 slot.buf.data() + static_cast<std::size_t>(r) * sample_dim_);
       }

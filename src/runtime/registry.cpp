@@ -1,19 +1,111 @@
 #include "runtime/registry.h"
 
 #include <algorithm>
+#include <cmath>
+#include <sstream>
 #include <stdexcept>
 
+#include "runtime/failpoint.h"
+
 namespace ascend::runtime {
+
+namespace {
+
+failpoint::Site fp_publish{"registry.publish"};
+
+int argmax_row(const nn::Tensor& logits, int r) {
+  int best = 0;
+  for (int c = 1; c < logits.dim(1); ++c)
+    if (logits.at(r, c) > logits.at(r, best)) best = c;
+  return best;
+}
+
+/// Canary battery over the candidate (and optionally the incumbent). Throws
+/// CanaryError on any rejection; forward exceptions propagate as-is.
+void run_canary(const Servable& candidate, const Servable* incumbent,
+                const CanaryOptions& canary) {
+  const nn::Tensor& golden = canary.golden_input;
+  if (golden.rank() != 2 || golden.dim(0) < 1)
+    throw CanaryError("golden_input must be a non-empty [B, input_dim] batch");
+  if (golden.dim(1) != candidate.input_dim()) {
+    std::ostringstream os;
+    os << "golden_input width " << golden.dim(1) << " != candidate input_dim "
+       << candidate.input_dim();
+    throw CanaryError(os.str());
+  }
+  const nn::Tensor fresh = candidate.infer(golden);
+  if (fresh.rank() != 2 || fresh.dim(0) != golden.dim(0) ||
+      fresh.dim(1) != candidate.output_dim())
+    throw CanaryError("candidate canary forward returned mis-shaped logits");
+  for (int r = 0; r < fresh.dim(0); ++r)
+    for (int c = 0; c < fresh.dim(1); ++c)
+      if (!std::isfinite(fresh.at(r, c)))
+        throw CanaryError("candidate canary forward returned non-finite logits");
+  if (!incumbent) return;
+  if (canary.max_abs_logit_diff < 0.0 && !canary.require_label_match) return;
+  if (incumbent->input_dim() != candidate.input_dim() ||
+      incumbent->output_dim() != candidate.output_dim())
+    throw CanaryError("candidate shape differs from the live incumbent");
+  const nn::Tensor base = incumbent->infer(golden);
+  if (canary.max_abs_logit_diff >= 0.0) {
+    double worst = 0.0;
+    for (int r = 0; r < fresh.dim(0); ++r)
+      for (int c = 0; c < fresh.dim(1); ++c)
+        worst = std::max(worst, std::abs(static_cast<double>(fresh.at(r, c)) -
+                                         static_cast<double>(base.at(r, c))));
+    if (worst > canary.max_abs_logit_diff) {
+      std::ostringstream os;
+      os << "logit divergence " << worst << " exceeds budget " << canary.max_abs_logit_diff;
+      throw CanaryError(os.str());
+    }
+  }
+  if (canary.require_label_match) {
+    for (int r = 0; r < fresh.dim(0); ++r)
+      if (argmax_row(fresh, r) != argmax_row(base, r)) {
+        std::ostringstream os;
+        os << "argmax mismatch vs incumbent on golden row " << r;
+        throw CanaryError(os.str());
+      }
+  }
+}
+
+}  // namespace
 
 std::uint64_t ModelRegistry::publish(std::shared_ptr<const Servable> servable) {
   if (!servable) throw std::invalid_argument("ModelRegistry::publish: null servable");
   const std::string id = servable->variant_id();
   if (id.empty()) throw std::invalid_argument("ModelRegistry::publish: empty variant_id");
+  // The fail point sits before any registry mutation: an injected publish
+  // fault can never leave a partially-published entry behind.
+  ASCEND_FAILPOINT(fp_publish);
   std::lock_guard<std::mutex> lock(mu_);
   Entry& e = entries_[id];
   if (e.generation == 0) e.order = entries_.size() - 1;
   e.servable = std::move(servable);
+  publishes_.fetch_add(1);
   return ++e.generation;
+}
+
+PublishResult ModelRegistry::publish_checked(std::shared_ptr<const Servable> servable,
+                                             const CanaryOptions& canary) {
+  if (!servable) throw std::invalid_argument("ModelRegistry::publish_checked: null servable");
+  const std::string id = servable->variant_id();
+  if (id.empty()) throw std::invalid_argument("ModelRegistry::publish_checked: empty variant_id");
+  PublishResult result;
+  // The incumbent snapshot outlives the canary; a concurrent publish of the
+  // same id between canary and publish is last-writer-wins, same as two
+  // concurrent plain publishes.
+  const std::shared_ptr<const Servable> incumbent = try_get(id);
+  try {
+    run_canary(*servable, incumbent.get(), canary);
+    result.generation = publish(std::move(servable));
+    result.published = true;
+  } catch (const std::exception& e) {
+    rollbacks_.fetch_add(1);
+    result.error = e.what();
+    result.generation = generation(id);
+  }
+  return result;
 }
 
 std::shared_ptr<const Servable> ModelRegistry::get(const std::string& variant) const {

@@ -10,6 +10,7 @@
 // they finish on the generation they grabbed, and the old servable is
 // destroyed when its last in-flight reference drops.
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -37,6 +38,37 @@ enum class VariantKind {
   kScEmulated,     ///< SC nonlinearities per-activation circuit emulation
 };
 
+/// Thrown (and recorded as a rollback) when a canary-validated publish
+/// rejects the candidate servable: the canary forward threw, produced
+/// non-finite or mis-shaped logits, or diverged from the incumbent.
+struct CanaryError : std::runtime_error {
+  explicit CanaryError(const std::string& why)
+      : std::runtime_error("canary validation failed: " + why) {}
+};
+
+/// Validation run by publish_checked before a candidate goes live. The
+/// golden input is served through the candidate (and, for comparison, the
+/// incumbent) on the publishing thread.
+struct CanaryOptions {
+  /// [B, input_dim] probe batch; must be non-empty.
+  nn::Tensor golden_input;
+  /// Reject when any |candidate - incumbent| logit differs by more than
+  /// this. Negative: skip the incumbent comparison (still validates the
+  /// candidate forward itself). Ignored when no incumbent is live.
+  double max_abs_logit_diff = -1.0;
+  /// Reject when the candidate's argmax disagrees with the incumbent's on
+  /// any golden row (only checked when an incumbent is live).
+  bool require_label_match = false;
+};
+
+/// Outcome of a supervised publish. On rejection the incumbent keeps
+/// serving and `generation` reports its (unchanged) generation.
+struct PublishResult {
+  bool published = false;
+  std::uint64_t generation = 0;
+  std::string error;  ///< empty on success; the rejection reason otherwise
+};
+
 struct RegisterFromFileOptions {
   /// Serve weights zero-copy out of a read-only mmap of the checkpoint (the
   /// servable keeps the mapping alive across hot-swaps until the last
@@ -46,6 +78,11 @@ struct RegisterFromFileOptions {
   /// pointees are only read during the register_from_file call.
   const vit::ScInferenceConfig* sc_config = nullptr;
   const vit::ScServableOptions* sc_options = nullptr;
+  /// Canary-validate the cold-started servable before publishing: on
+  /// rejection the incumbent keeps serving and register_from_file throws
+  /// CanaryError. Null: publish unchecked (the pre-canary behaviour). The
+  /// pointee is only read during the call.
+  const CanaryOptions* canary = nullptr;
 };
 
 class ModelRegistry {
@@ -54,6 +91,27 @@ class ModelRegistry {
   /// live servable of that id (hot-swap). Returns the variant's generation
   /// after the publish: 1 on first registration, incremented per swap.
   std::uint64_t publish(std::shared_ptr<const Servable> servable);
+
+  /// Supervised hot-swap: run the canary (candidate forward on the golden
+  /// input, finite/shape checks, optional divergence check against the live
+  /// incumbent) and only then publish(). On any canary exception or
+  /// divergence the candidate is discarded — the incumbent keeps serving on
+  /// its old generation — and the rollback counter increments. Never throws
+  /// for a canary rejection (the reason comes back in PublishResult::error);
+  /// still throws std::invalid_argument for a null/unnamed servable.
+  PublishResult publish_checked(std::shared_ptr<const Servable> servable,
+                                const CanaryOptions& canary);
+
+  /// Successful publishes (plain and checked) across all variants.
+  std::uint64_t publishes() const { return publishes_.load(); }
+  /// Rejected supervised publishes: canary failures plus register_from_file
+  /// attempts that failed after the registry had a chance to swap (the
+  /// incumbent kept serving each time).
+  std::uint64_t rollbacks() const { return rollbacks_.load(); }
+  /// Record a rejected supervised publish. Internal — used by
+  /// register_from_file (which lives in the serialize library) when a
+  /// cold-start load or canary fails and the incumbent is kept.
+  void count_rollback() { rollbacks_.fetch_add(1); }
 
   /// Cold-start a variant from a checkpoint file: load the model (zero-copy
   /// mmap by default), shape it per `kind`, and publish() it under
@@ -89,6 +147,8 @@ class ModelRegistry {
 
   mutable std::mutex mu_;
   std::map<std::string, Entry> entries_;
+  std::atomic<std::uint64_t> publishes_{0};
+  std::atomic<std::uint64_t> rollbacks_{0};
 };
 
 }  // namespace ascend::runtime

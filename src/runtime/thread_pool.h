@@ -18,6 +18,7 @@
 // story). Concurrent parallel_for calls from different threads interleave:
 // workers drain whichever jobs are live, oldest first.
 
+#include <atomic>
 #include <condition_variable>
 #include <exception>
 #include <functional>
@@ -28,7 +29,16 @@
 #include <type_traits>
 #include <vector>
 
+#include "runtime/failpoint.h"
+
 namespace ascend::runtime {
+
+namespace detail {
+/// The "pool.task" fail point (defined in thread_pool.cpp). It fires inside
+/// the packaged task, so an injected fault lands in the task's future like
+/// any other task exception — it never escapes into a worker loop.
+failpoint::Site& pool_task_site();
+}  // namespace detail
 
 class ThreadPool {
  public:
@@ -40,13 +50,21 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  int size() const { return static_cast<int>(workers_.size()); }
+  int size() const { return size_.load(std::memory_order_relaxed); }
+
+  /// Add `n` workers to a live pool. Used by the engine watchdog to replace
+  /// a worker wedged in a stuck forward, so pool capacity never decays.
+  void grow(int n);
 
   /// Enqueue a callable; the future resolves with its result (or exception).
   template <typename F>
   auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
-    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    auto task = std::make_shared<std::packaged_task<R()>>(
+        [f = std::forward<F>(fn)]() mutable -> R {
+          ASCEND_FAILPOINT(detail::pool_task_site());
+          return f();
+        });
     std::future<R> fut = task->get_future();
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -99,7 +117,8 @@ class ThreadPool {
   bool run_one_chunk(std::unique_lock<std::mutex>& lock);
   void worker_loop();
 
-  std::vector<std::thread> workers_;
+  std::vector<std::thread> workers_;  ///< mutated under mu_ (ctor aside)
+  std::atomic<int> size_{0};          ///< workers_.size(), lock-free for readers
   std::queue<std::function<void()>> queue_;
   ParallelJob* jobs_ = nullptr;  ///< newest-first intrusive list (under mu_)
   std::mutex mu_;

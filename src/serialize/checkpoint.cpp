@@ -9,12 +9,23 @@
 #include <cstring>
 #include <fstream>
 
+#include "runtime/failpoint.h"
+
 namespace ascend::serialize {
 namespace {
 
 using Kind = CheckpointError::Kind;
 
 [[noreturn]] void fail(Kind kind, const std::string& msg) { throw CheckpointError(kind, msg); }
+
+// Fault-injection sites for the checkpoint read path. All four raise the
+// native CheckpointError taxonomy through an `err` action, so clients
+// exercise exactly the code paths a real bad disk / bad file would take.
+namespace failpoint = ascend::runtime::failpoint;
+failpoint::Site fp_open{"ckpt.open"};
+failpoint::Site fp_read{"ckpt.read"};
+failpoint::Site fp_mmap{"ckpt.mmap"};
+failpoint::Site fp_crc{"ckpt.crc"};
 
 constexpr std::size_t kHeaderBytes = 128;
 constexpr std::size_t kRecordBytes = 128;
@@ -258,6 +269,7 @@ void CheckpointView::parse(const std::byte* base, std::size_t len, const std::st
 
   // Payload battery last: every blob's checksum, so a single flipped bit
   // anywhere in the weights is caught at open time, not at first forward.
+  ASCEND_FAILPOINT_OR(fp_crc, fail(Kind::kCorrupt, origin + ": injected checksum fault"));
   for (const Record& r : records_)
     if (crc32(base + r.offset, r.bytes) != r.crc)
       fail(Kind::kCorrupt, origin + ": blob '" + r.name + "' checksum mismatch");
@@ -284,12 +296,14 @@ nn::Tensor CheckpointView::read_f32(const std::string& name) const {
 }
 
 CheckpointReader::CheckpointReader(const std::string& path) {
+  ASCEND_FAILPOINT_OR(fp_open, fail(Kind::kIo, "injected open fault on '" + path + "'"));
   std::ifstream in(path, std::ios::binary | std::ios::ate);
   if (!in) fail(Kind::kIo, "cannot open '" + path + "'");
   const auto end = in.tellg();
   buf_.resize(static_cast<std::size_t>(end));
   in.seekg(0);
   if (!buf_.empty()) in.read(reinterpret_cast<char*>(buf_.data()), end);
+  ASCEND_FAILPOINT_OR(fp_read, fail(Kind::kIo, "injected read fault on '" + path + "'"));
   if (!in) fail(Kind::kIo, "short read from '" + path + "'");
   parse(buf_.data(), buf_.size(), "'" + path + "'");
 }
@@ -298,6 +312,7 @@ CheckpointReader::CheckpointReader(const std::string& path) {
 // Mmap
 
 std::shared_ptr<MmapCheckpoint> MmapCheckpoint::open(const std::string& path) {
+  ASCEND_FAILPOINT_OR(fp_mmap, fail(Kind::kIo, "injected mmap fault on '" + path + "'"));
   const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
   if (fd < 0) fail(Kind::kIo, "cannot open '" + path + "'");
   struct stat st;

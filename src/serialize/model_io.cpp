@@ -316,43 +316,57 @@ namespace ascend::runtime {
 std::uint64_t ModelRegistry::register_from_file(const std::string& variant_id,
                                                 const std::string& path, VariantKind kind,
                                                 const RegisterFromFileOptions& opts) {
-  std::unique_ptr<vit::VisionTransformer> model;
-  std::shared_ptr<const void> retain;
-  if (opts.use_mmap) {
-    serialize::MappedModel mm = serialize::load_model_mmap(path);
-    model = std::move(mm.model);
-    retain = std::move(mm.mapping);  // anchored in the servable: outlives forwards
-  } else {
-    model = serialize::load_model(path);
+  std::shared_ptr<Servable> servable;
+  try {
+    std::unique_ptr<vit::VisionTransformer> model;
+    std::shared_ptr<const void> retain;
+    if (opts.use_mmap) {
+      serialize::MappedModel mm = serialize::load_model_mmap(path);
+      model = std::move(mm.model);
+      retain = std::move(mm.mapping);  // anchored in the servable: outlives forwards
+    } else {
+      model = serialize::load_model(path);
+    }
+
+    switch (kind) {
+      case VariantKind::kFp32:
+        model->apply_precision(vit::PrecisionSpec::fp());
+        servable = vit::make_servable_over(std::move(model), variant_id, std::move(retain));
+        break;
+      case VariantKind::kPackedTernary: {
+        const vit::PrecisionSpec& p = model->precision();
+        if (p.w_bsl != 2 || p.a_bsl != 2)
+          throw serialize::CheckpointError(
+              serialize::CheckpointError::Kind::kSchema,
+              "register_from_file('" + variant_id +
+                  "'): packed-ternary serving needs a W2-A2 checkpoint, got " + p.name());
+        servable = vit::make_servable_over(std::move(model), variant_id, std::move(retain));
+        break;
+      }
+      case VariantKind::kScLut:
+      case VariantKind::kScEmulated: {
+        vit::ScInferenceConfig cfg = opts.sc_config ? *opts.sc_config : vit::ScInferenceConfig{};
+        vit::ScServableOptions so = opts.sc_options ? *opts.sc_options : vit::ScServableOptions{};
+        so.use_tf_cache = kind == VariantKind::kScLut;
+        servable = vit::make_sc_servable_over(std::move(model), cfg, std::move(so), variant_id,
+                                              std::move(retain));
+        break;
+      }
+    }
+  } catch (...) {
+    // Failed cold start: nothing was published, the incumbent (if any) keeps
+    // serving — that is the rollback the counter reports.
+    count_rollback();
+    throw;
   }
 
-  std::shared_ptr<Servable> servable;
-  switch (kind) {
-    case VariantKind::kFp32:
-      model->apply_precision(vit::PrecisionSpec::fp());
-      servable = vit::make_servable_over(std::move(model), variant_id, std::move(retain));
-      break;
-    case VariantKind::kPackedTernary: {
-      const vit::PrecisionSpec& p = model->precision();
-      if (p.w_bsl != 2 || p.a_bsl != 2)
-        throw serialize::CheckpointError(
-            serialize::CheckpointError::Kind::kSchema,
-            "register_from_file('" + variant_id +
-                "'): packed-ternary serving needs a W2-A2 checkpoint, got " + p.name());
-      servable = vit::make_servable_over(std::move(model), variant_id, std::move(retain));
-      break;
-    }
-    case VariantKind::kScLut:
-    case VariantKind::kScEmulated: {
-      vit::ScInferenceConfig cfg = opts.sc_config ? *opts.sc_config : vit::ScInferenceConfig{};
-      vit::ScServableOptions so = opts.sc_options ? *opts.sc_options : vit::ScServableOptions{};
-      so.use_tf_cache = kind == VariantKind::kScLut;
-      servable = vit::make_sc_servable_over(std::move(model), cfg, std::move(so), variant_id,
-                                            std::move(retain));
-      break;
-    }
-  }
-  return publish(std::move(servable));
+  if (!opts.canary) return publish(std::move(servable));
+  // Supervised path: canary-validate against the incumbent before swapping.
+  // publish_checked counts the rollback itself on rejection.
+  const PublishResult result = publish_checked(std::move(servable), *opts.canary);
+  if (!result.published)
+    throw CanaryError("register_from_file('" + variant_id + "'): " + result.error);
+  return result.generation;
 }
 
 }  // namespace ascend::runtime

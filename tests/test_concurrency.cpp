@@ -445,6 +445,76 @@ TEST(BatcherBackpressure, UnboundedQueueIgnoresPolicy) {
   b.close();
 }
 
+// ---------------------------------------------------------------------------
+// Shutdown: queued requests fail promptly and typed, never hang or vanish.
+// ---------------------------------------------------------------------------
+
+TEST(BatcherBackpressure, CloseNowFailsQueuedRequestsWithTypedError) {
+  Batcher b(4, std::chrono::microseconds(1'000'000));
+  auto f1 = b.enqueue({1.0f});
+  auto f2 = b.enqueue({2.0f});
+  b.close_now();
+  EXPECT_THROW(f1.get(), EngineShutdownError);
+  EXPECT_THROW(f2.get(), EngineShutdownError);
+  EXPECT_THROW((void)b.enqueue({3.0f}), EngineShutdownError);
+  EXPECT_TRUE(b.next_batch().empty()) << "close_now leaves nothing to drain";
+}
+
+namespace {
+
+/// Slow single-purpose servable: requests pile up in the queue behind it so
+/// engine destruction finds real work still queued.
+class SlowServable final : public Servable {
+ public:
+  SlowServable(std::string id, std::chrono::milliseconds delay)
+      : id_(std::move(id)), delay_(delay) {}
+  nn::Tensor infer(const nn::Tensor& batch) const override {
+    std::this_thread::sleep_for(delay_);
+    nn::Tensor logits({batch.dim(0), 2});
+    for (int r = 0; r < batch.dim(0); ++r) logits.at(r, 0) = 1.0f;
+    return logits;
+  }
+  int input_dim() const override { return 4; }
+  int output_dim() const override { return 2; }
+  const std::string& variant_id() const override { return id_; }
+
+ private:
+  std::string id_;
+  std::chrono::milliseconds delay_;
+};
+
+}  // namespace
+
+TEST(EngineShutdown, DestructionFailsQueuedRequestsPromptlyWithTypedError) {
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->publish(
+      std::make_shared<SlowServable>("slow", std::chrono::milliseconds(100)));
+  EngineOptions opts;
+  opts.max_batch = 1;  // one request per forward: the rest stays queued
+  opts.max_delay = std::chrono::microseconds(100);
+  opts.concurrent_forwards = 1;
+  InferenceEngine* engine = new InferenceEngine(registry, opts);
+  std::vector<std::future<Prediction>> futs;
+  for (int i = 0; i < 8; ++i) futs.push_back(engine->submit(std::vector<float>(4, 0.5f)));
+  delete engine;  // most requests are still queued behind the slow forward
+
+  // Every future must already be resolved when the destructor returns —
+  // in-flight work served, queued work failed typed, nothing left hanging.
+  int served = 0, shut_down = 0;
+  for (auto& f : futs) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready)
+        << "destruction left a request unresolved";
+    try {
+      EXPECT_EQ(f.get().label, 0);
+      ++served;
+    } catch (const EngineShutdownError&) {
+      ++shut_down;
+    }
+  }
+  EXPECT_EQ(served + shut_down, 8);
+  EXPECT_GT(shut_down, 0) << "queued requests should fail fast, not be served late";
+}
+
 TEST(EngineBackpressure, RejectPolicySurfacesThroughSubmit) {
   const vit::VitConfig top = tiny_topology();
   vit::VisionTransformer model(top, /*seed=*/46);

@@ -17,6 +17,7 @@
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <random>
 #include <string>
 #include <vector>
 
@@ -356,6 +357,56 @@ TEST(SerializeErrors, NotAViTCheckpointIsSchema) {
   serialize::CheckpointReader reader(path);  // container-valid
   EXPECT_EQ(reader.records().size(), 1u);
   EXPECT_EQ(load_failure_kind(path, /*mmap=*/false), Kind::kSchema);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized corruption sweep: K random bit flips anywhere in the file —
+// header, record table, or payload — must always end in a typed
+// CheckpointError or a successful *bit-exact* load (only the inter-region
+// alignment padding is outside CRC coverage), never a crash, a hang, or a
+// silently wrong model. Seeded, so a failing flip pattern replays exactly.
+
+TEST(SerializeCorruptionSweep, RandomByteFlipsFailTypedOrLoadBitExact) {
+  const std::string base = saved_w2a2_checkpoint("sweep_base.ckpt");
+  const std::vector<unsigned char> pristine = slurp(base);
+  ASSERT_FALSE(pristine.empty());
+  const nn::Tensor input = random_images(tiny_topology(), 2, 97);
+  const auto ref_model = vit::VisionTransformer::load(base);
+  const nn::Tensor ref = const_infer(*ref_model, input);
+
+  std::mt19937 rng(20260807u);
+  std::uniform_int_distribution<std::size_t> pos(0, pristine.size() - 1);
+  std::uniform_int_distribution<int> bit(0, 7);
+  std::uniform_int_distribution<int> flip_count(1, 4);
+
+  const std::string path = tmp_path("sweep_mut.ckpt");
+  int typed = 0, clean = 0;
+  for (int iter = 0; iter < 200; ++iter) {
+    std::vector<unsigned char> bytes = pristine;
+    const int k = flip_count(rng);
+    for (int f = 0; f < k; ++f)
+      bytes[pos(rng)] ^= static_cast<unsigned char>(1u << bit(rng));
+    spew(path, bytes);
+    const bool use_mmap = (iter % 2) == 1;  // both load paths, alternating
+    try {
+      std::unique_ptr<vit::VisionTransformer> model;
+      serialize::MappedModel mapped;
+      if (use_mmap) {
+        mapped = serialize::load_model_mmap(path);
+        model = std::move(mapped.model);
+      } else {
+        model = serialize::load_model(path);
+      }
+      // The load survived: only uncovered padding can have been hit, so the
+      // model must serve bit-exact with the pristine checkpoint.
+      expect_same_logits(const_infer(*model, input), ref);
+      ++clean;
+    } catch (const CheckpointError&) {
+      ++typed;  // the only acceptable failure mode; anything else escapes
+    }
+  }
+  EXPECT_EQ(typed + clean, 200) << "iteration neither loaded nor failed typed";
+  EXPECT_GT(typed, 0) << "200 seeded flips never hit a CRC-covered byte";
 }
 
 // ---------------------------------------------------------------------------
