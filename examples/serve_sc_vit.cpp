@@ -18,6 +18,23 @@
 // dumps the engine's Prometheus scrape (per-variant/per-priority latency
 // histograms) plus the span-tree trace of the slowest request on record.
 // ASCEND_TRACE=0 disables request tracing (used to measure its overhead).
+//
+// Beyond the in-process demo (no arguments), the example also fronts the
+// network serving stack (docs/frontdoor.md):
+//
+//   serve_sc_vit --server [--port N] [--port-file PATH] [--shards N]
+//       trains the small model, saves a checkpoint, cold-starts a ShardSet
+//       (fp32 + w2a2-packed per shard, straight off the file) behind a
+//       serve::Server, writes the bound port to --port-file, and blocks until
+//       a client sends the kFlagDrain control frame.
+//   serve_sc_vit --client (--port N | --port-file PATH)
+//                [--connections C] [--requests R]
+//       connects C clients, issues R requests each (mixed variants and
+//       priorities), accounts every response by typed status, drains the
+//       server, and exits nonzero unless ok + rejected + typed == issued.
+//
+// The two modes are the CI loopback smoke: one process serves, the other
+// proves the wire protocol, admission control and graceful drain end to end.
 
 #include <unistd.h>
 
@@ -30,10 +47,14 @@
 #include <map>
 #include <mutex>
 #include <random>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "core/ascend.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "serve/shard_set.h"
 
 using namespace ascend;
 using namespace ascend::vit;
@@ -60,7 +81,7 @@ struct ClientRecord {
 
 }  // namespace
 
-int main() {
+static int run_demo() {
   VitConfig cfg = VitConfig::bench_topology(10);
   cfg.dim = 48;
   cfg.layers = 2;
@@ -466,4 +487,263 @@ int main() {
   }
   ::unlink(ckpt_path.c_str());
   return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Network front-door modes (--server / --client). Both sides agree on this
+// small topology so the client knows the payload size without a handshake.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+VitConfig frontdoor_config() {
+  VitConfig cfg;
+  cfg.image_size = 16;
+  cfg.patch_size = 8;
+  cfg.dim = 32;
+  cfg.layers = 2;
+  cfg.heads = 2;
+  cfg.classes = 8;
+  return cfg;
+}
+
+int frontdoor_pixels() {
+  const VitConfig cfg = frontdoor_config();
+  return cfg.channels * cfg.image_size * cfg.image_size;
+}
+
+/// Resolve the server port: an explicit --port wins; otherwise poll
+/// --port-file until the server publishes it (the CI smoke launches the
+/// server in the background and the client races its startup).
+int resolve_port(int port, const std::string& port_file) {
+  if (port > 0) return port;
+  if (port_file.empty()) return -1;
+  for (int attempt = 0; attempt < 300; ++attempt) {
+    if (FILE* f = std::fopen(port_file.c_str(), "rb")) {
+      int p = 0;
+      const int got = std::fscanf(f, "%d", &p);
+      std::fclose(f);
+      if (got == 1 && p > 0) return p;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  return -1;
+}
+
+int run_server(int port, const std::string& port_file, int shards) {
+  const VitConfig cfg = frontdoor_config();
+  const Dataset train = make_synthetic_vision(256, cfg.classes, 21, cfg.image_size);
+
+  std::printf("[server] training a %d-layer BN-ViT (dim %d) for the front door...\n", cfg.layers,
+              cfg.dim);
+  VisionTransformer model(cfg, 3);
+  TrainOptions opt;
+  opt.epochs = 2;
+  opt.lr = 2e-3f;
+  opt.batch_size = 64;
+  train_model(model, nullptr, train, opt);
+  model.apply_precision(PrecisionSpec::w2a2r16());
+  opt.epochs = 1;
+  train_model(model, nullptr, train, opt);
+
+  const std::string ckpt_path =
+      "/tmp/serve_sc_vit_frontdoor_" + std::to_string(static_cast<long long>(::getpid())) +
+      ".ckpt";
+  serialize::save_model(model, ckpt_path);
+
+  // Every shard cold-starts its own registry straight off the checkpoint
+  // file — shards share nothing on the request path.
+  serve::ShardSetOptions sopts;
+  sopts.shards = shards;
+  sopts.engine.threads = 2;
+  sopts.engine.max_batch = 16;
+  sopts.engine.max_pending = 128;
+  sopts.engine.max_delay = std::chrono::microseconds(1000);
+  sopts.engine.default_variant = "fp32";
+  const auto boot0 = Clock::now();
+  serve::ShardSet shard_set(
+      [&](int, runtime::ModelRegistry& registry) {
+        runtime::RegisterFromFileOptions from_file;
+        registry.register_from_file("fp32", ckpt_path, runtime::VariantKind::kFp32, from_file);
+        registry.register_from_file("w2a2-packed", ckpt_path,
+                                    runtime::VariantKind::kPackedTernary, from_file);
+      },
+      sopts);
+  std::printf("[server] cold-started %d shards x 2 variants from %s in %.1f ms\n",
+              shard_set.shards(), ckpt_path.c_str(),
+              std::chrono::duration<double, std::milli>(Clock::now() - boot0).count());
+
+  serve::ServerOptions server_opts;
+  server_opts.port = static_cast<std::uint16_t>(port > 0 ? port : 0);
+  server_opts.completion_threads = 2;
+  serve::Server server(shard_set, server_opts);
+
+  if (!port_file.empty()) {
+    // Write-then-rename so a polling client never reads a partial file.
+    const std::string tmp = port_file + ".tmp";
+    FILE* f = std::fopen(tmp.c_str(), "wb");
+    if (!f) {
+      std::fprintf(stderr, "[server] cannot write port file %s\n", tmp.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%u\n", static_cast<unsigned>(server.port()));
+    std::fclose(f);
+    if (std::rename(tmp.c_str(), port_file.c_str()) != 0) {
+      std::fprintf(stderr, "[server] cannot publish port file %s\n", port_file.c_str());
+      return 1;
+    }
+  }
+  std::printf("[server] front door listening on 127.0.0.1:%u (%d shards); waiting for drain\n",
+              static_cast<unsigned>(server.port()), shard_set.shards());
+  std::fflush(stdout);
+
+  server.wait_drained();
+
+  const serve::ServerStats st = server.stats();
+  std::printf("[server] drained: %llu connections, %llu frames in, %llu responses out, "
+              "%llu protocol errors, admitted %llu, rejected %llu\n",
+              static_cast<unsigned long long>(st.connections_accepted),
+              static_cast<unsigned long long>(st.frames_in),
+              static_cast<unsigned long long>(st.responses_out),
+              static_cast<unsigned long long>(st.protocol_errors),
+              static_cast<unsigned long long>(shard_set.admitted()),
+              static_cast<unsigned long long>(shard_set.rejected()));
+  ::unlink(ckpt_path.c_str());
+  if (st.frames_in != st.responses_out) {
+    std::fprintf(stderr, "[server] LOST REQUESTS: %llu frames in vs %llu responses out\n",
+                 static_cast<unsigned long long>(st.frames_in),
+                 static_cast<unsigned long long>(st.responses_out));
+    return 1;
+  }
+  return 0;
+}
+
+int run_client(int port, const std::string& port_file, int connections, int requests) {
+  const int resolved = resolve_port(port, port_file);
+  if (resolved <= 0) {
+    std::fprintf(stderr, "[client] no server port (give --port or --port-file)\n");
+    return 2;
+  }
+  const int pixels = frontdoor_pixels();
+  std::printf("[client] %d connections x %d requests against 127.0.0.1:%d (payload %d floats)\n",
+              connections, requests, resolved, pixels);
+
+  std::atomic<std::uint64_t> ok{0}, rejected{0}, typed{0}, transport_errors{0};
+  std::vector<std::thread> workers;
+  for (int c = 0; c < connections; ++c) {
+    workers.emplace_back([&, c] {
+      try {
+        serve::Client client("127.0.0.1", static_cast<std::uint16_t>(resolved));
+        std::mt19937_64 rng(static_cast<std::uint64_t>(c) * 7919 + 17);
+        std::uniform_real_distribution<float> pix(-1.0f, 1.0f);
+        for (int i = 0; i < requests; ++i) {
+          serve::RequestFrame req;
+          req.request_id = static_cast<std::uint64_t>(c) << 32 | static_cast<std::uint32_t>(i);
+          req.options.variant = (i % 2 == 0) ? "fp32" : "w2a2-packed";
+          req.options.priority = static_cast<runtime::Priority>(i % runtime::kNumPriorities);
+          req.payload.resize(static_cast<std::size_t>(pixels));
+          for (float& v : req.payload) v = pix(rng);
+          const serve::ResponseFrame resp = client.request(req);
+          if (resp.status == serve::Status::kOk)
+            ++ok;
+          else if (resp.status == serve::Status::kRetryAfter)
+            ++rejected;
+          else
+            ++typed;
+          if (resp.status == serve::Status::kRetryAfter && resp.retry_after_ms > 0)
+            std::this_thread::sleep_for(std::chrono::milliseconds(resp.retry_after_ms));
+        }
+      } catch (const std::exception& e) {
+        // A transport-level failure (refused connect, mid-stream EOF) breaks
+        // the accounting invariant below — count it so the exit code trips.
+        std::fprintf(stderr, "[client %d] transport error: %s\n", c, e.what());
+        ++transport_errors;
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+
+  const std::uint64_t issued =
+      static_cast<std::uint64_t>(connections) * static_cast<std::uint64_t>(requests);
+  const std::uint64_t answered = ok.load() + rejected.load() + typed.load();
+  std::printf("[client] issued %llu: ok %llu, rejected (retry-after) %llu, typed errors %llu\n",
+              static_cast<unsigned long long>(issued), static_cast<unsigned long long>(ok.load()),
+              static_cast<unsigned long long>(rejected.load()),
+              static_cast<unsigned long long>(typed.load()));
+
+  int rc = 0;
+  if (transport_errors.load() != 0 || answered != issued) {
+    std::fprintf(stderr, "[client] ACCOUNTING BROKEN: answered %llu != issued %llu (%llu "
+                 "transport errors)\n",
+                 static_cast<unsigned long long>(answered),
+                 static_cast<unsigned long long>(issued),
+                 static_cast<unsigned long long>(transport_errors.load()));
+    rc = 1;
+  }
+
+  try {
+    serve::Client drainer("127.0.0.1", static_cast<std::uint16_t>(resolved));
+    const serve::ResponseFrame ack = drainer.drain_server(issued + 1);
+    std::printf("[client] drain acknowledged (%s)\n", serve::status_name(ack.status));
+    if (ack.status != serve::Status::kOk) rc = 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "[client] drain failed: %s\n", e.what());
+    rc = 1;
+  }
+  return rc;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s                                  in-process serving demo\n"
+               "       %s --server [--port N] [--port-file PATH] [--shards N]\n"
+               "       %s --client (--port N | --port-file PATH) [--connections C] "
+               "[--requests R]\n",
+               argv0, argv0, argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 1) return run_demo();
+
+  bool server = false, client = false;
+  int port = 0, shards = 2, connections = 4, requests = 100;
+  std::string port_file;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--server") {
+      server = true;
+    } else if (arg == "--client") {
+      client = true;
+    } else if (arg == "--port") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      port = std::atoi(v);
+    } else if (arg == "--port-file") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      port_file = v;
+    } else if (arg == "--shards") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      shards = std::atoi(v);
+    } else if (arg == "--connections") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      connections = std::atoi(v);
+    } else if (arg == "--requests") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      requests = std::atoi(v);
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (server == client) return usage(argv[0]);  // exactly one mode
+  if (shards < 1 || connections < 1 || requests < 1) return usage(argv[0]);
+  return server ? run_server(port, port_file, shards) : run_client(port, port_file, connections,
+                                                                   requests);
 }

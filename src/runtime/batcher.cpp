@@ -219,7 +219,19 @@ PendingCounts Batcher::pending_counts() const {
   std::lock_guard<std::mutex> lock(mu_);
   PendingCounts counts;
   counts.total = queue_.size();
-  for (const Request& r : queue_) ++counts.by_priority[static_cast<std::size_t>(r.priority)];
+  for (const Request& r : queue_) {
+    ++counts.by_priority[static_cast<std::size_t>(r.priority)];
+    // Queues hold a handful of variants; linear probe beats a map here.
+    bool found = false;
+    for (auto& [v, n] : counts.by_variant)
+      if (v == r.variant) {
+        ++n;
+        found = true;
+        break;
+      }
+    if (!found) counts.by_variant.emplace_back(r.variant, 1);
+  }
+  std::sort(counts.by_variant.begin(), counts.by_variant.end());
   return counts;
 }
 

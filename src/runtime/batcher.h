@@ -142,7 +142,16 @@ struct Request {
 struct PendingCounts {
   std::size_t total = 0;
   std::array<std::size_t, kNumPriorities> by_priority{};
+  /// Depth per resolved variant id, id-sorted; variants with no queued
+  /// request are absent. Feeds the per-variant queue-depth gauges.
+  std::vector<std::pair<std::string, std::size_t>> by_variant;
   std::size_t priority(Priority p) const { return by_priority[static_cast<std::size_t>(p)]; }
+  /// Depth of one variant (0 when absent from the snapshot).
+  std::size_t variant(const std::string& id) const {
+    for (const auto& [v, n] : by_variant)
+      if (v == id) return n;
+    return 0;
+  }
 };
 
 class Batcher {

@@ -141,6 +141,16 @@ void InferenceEngine::register_metric_series() {
       "ascend_queue_depth_total", {}, SeriesKind::kGauge,
       [this] { return static_cast<double>(batcher_.pending()); },
       "Live scheduler queue depth across all priorities"));
+  // Per-variant depth, surfacing Batcher::pending_counts().by_variant. One
+  // gauge per variant registered at engine start; a variant published later
+  // is still counted in by_variant but only scraped once an engine restart
+  // (or a ShardSet rebuild) re-registers the series.
+  for (const std::string& variant : registry_->variant_ids()) {
+    metric_callbacks_.push_back(metrics_->register_callback(
+        "ascend_queue_depth", Labels{{"variant", variant}}, SeriesKind::kGauge,
+        [this, variant] { return static_cast<double>(batcher_.pending_counts().variant(variant)); },
+        "Live scheduler queue depth"));
+  }
   metric_callbacks_.push_back(metrics_->register_callback(
       "ascend_in_flight_forwards", {}, SeriesKind::kGauge,
       [this] { return static_cast<double>(in_flight_.load()); },

@@ -86,6 +86,11 @@ std::uint64_t ModelRegistry::publish(std::shared_ptr<const Servable> servable) {
   return ++e.generation;
 }
 
+void ModelRegistry::validate(const Servable& candidate, const CanaryOptions& canary) const {
+  const std::shared_ptr<const Servable> incumbent = try_get(candidate.variant_id());
+  run_canary(candidate, incumbent.get(), canary);
+}
+
 PublishResult ModelRegistry::publish_checked(std::shared_ptr<const Servable> servable,
                                              const CanaryOptions& canary) {
   if (!servable) throw std::invalid_argument("ModelRegistry::publish_checked: null servable");

@@ -102,6 +102,15 @@ class ModelRegistry {
   PublishResult publish_checked(std::shared_ptr<const Servable> servable,
                                 const CanaryOptions& canary);
 
+  /// Run the canary battery for `candidate` against the live incumbent of
+  /// its variant_id WITHOUT publishing: candidate forward on the golden
+  /// input, finite/shape checks, optional divergence/label checks. Throws
+  /// CanaryError (or the forward's own exception) on rejection; returns
+  /// normally on acceptance. This is the validation half of publish_checked,
+  /// exposed so coordinated multi-shard publishes (serve::ShardSet) can
+  /// validate every shard's candidate before committing any of them.
+  void validate(const Servable& candidate, const CanaryOptions& canary) const;
+
   /// Successful publishes (plain and checked) across all variants.
   std::uint64_t publishes() const { return publishes_.load(); }
   /// Rejected supervised publishes: canary failures plus register_from_file

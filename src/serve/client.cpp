@@ -1,0 +1,148 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <stdexcept>
+#include <system_error>
+
+namespace ascend::serve {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+}  // namespace
+
+Client::Client(const std::string& host, std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) throw_errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::invalid_argument("Client: bad host address " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    throw_errno("connect");
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_), rbuf_(std::move(other.rbuf_)), roff_(other.roff_), eof_(other.eof_) {
+  other.fd_ = -1;
+}
+
+void Client::write_all(const std::uint8_t* data, std::size_t size) {
+  std::size_t off = 0;
+  while (off < size) {
+    const ssize_t n = ::send(fd_, data + off, size - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("send");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+void Client::send(const RequestFrame& frame) {
+  std::vector<std::uint8_t> bytes;
+  append_request(bytes, frame);
+  write_all(bytes.data(), bytes.size());
+}
+
+void Client::send_raw(const std::uint8_t* data, std::size_t size) { write_all(data, size); }
+
+bool Client::fill(bool blocking) {
+  if (eof_) return false;
+  std::uint8_t buf[65536];
+  const int flags = blocking ? 0 : MSG_DONTWAIT;
+  for (;;) {
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), flags);
+    if (n > 0) {
+      rbuf_.insert(rbuf_.end(), buf, buf + n);
+      return true;
+    }
+    if (n == 0) {
+      eof_ = true;
+      return false;
+    }
+    if (errno == EINTR) continue;
+    if (!blocking && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;  // nothing ready
+    throw_errno("recv");
+  }
+}
+
+std::optional<ResponseFrame> Client::try_decode() {
+  if (roff_ >= rbuf_.size()) return std::nullopt;
+  ResponseFrame out;
+  std::size_t consumed = 0;
+  Status error{};
+  const DecodeResult r =
+      decode_response(rbuf_.data() + roff_, rbuf_.size() - roff_, consumed, out, error);
+  if (r == DecodeResult::kError)
+    throw std::runtime_error(std::string("Client: undecodable response stream: ") +
+                             status_name(error));
+  if (r == DecodeResult::kNeedMore) return std::nullopt;
+  roff_ += consumed;
+  // Compact once the decoded prefix dominates; amortized O(1) per byte.
+  if (roff_ > 4096 && roff_ * 2 > rbuf_.size()) {
+    rbuf_.erase(rbuf_.begin(), rbuf_.begin() + static_cast<long>(roff_));
+    roff_ = 0;
+  }
+  return out;
+}
+
+ResponseFrame Client::recv() {
+  for (;;) {
+    if (std::optional<ResponseFrame> frame = try_decode()) return *frame;
+    if (!fill(/*blocking=*/true))
+      throw std::runtime_error("Client: connection closed before a full response");
+  }
+}
+
+std::optional<ResponseFrame> Client::poll_response(bool* eof) {
+  if (eof) *eof = false;
+  if (std::optional<ResponseFrame> frame = try_decode()) return frame;
+  if (!fill(/*blocking=*/false)) {
+    if (eof) *eof = true;
+    return std::nullopt;
+  }
+  std::optional<ResponseFrame> frame = try_decode();
+  if (!frame && eof_ && eof) *eof = true;
+  return frame;
+}
+
+ResponseFrame Client::request(const RequestFrame& frame) {
+  send(frame);
+  return recv();
+}
+
+ResponseFrame Client::drain_server(std::uint64_t request_id) {
+  RequestFrame frame;
+  frame.request_id = request_id;
+  frame.flags = kFlagDrain;
+  return request(frame);
+}
+
+void Client::shutdown_write() { ::shutdown(fd_, SHUT_WR); }
+
+}  // namespace ascend::serve

@@ -1,0 +1,77 @@
+#pragma once
+// client.h — a small front-door client.
+//
+// Wraps one TCP connection to a serve::Server. Two usage styles:
+//   * blocking request/response: request() sends one frame and waits for its
+//     answer — the simple path for examples and tests;
+//   * pipelined: send() many frames back-to-back, then recv() (blocking) or
+//     poll_responses() (non-blocking, MSG_DONTWAIT) to reap answers as they
+//     arrive — the open-loop bench drives hundreds of connections this way
+//     from a single thread.
+//
+// send_raw() writes arbitrary bytes (the malformed-frame battery and the
+// bit-flip fuzzer build their own corrupt frames), and shutdown_write()
+// half-closes the socket so a deliberately truncated frame is delivered as
+// EOF-mid-frame while the read side stays open for the typed kTruncated
+// answer.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.h"
+
+namespace ascend::serve {
+
+class Client {
+ public:
+  /// Blocking connect; throws std::system_error when the server is not there.
+  Client(const std::string& host, std::uint16_t port);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+
+  /// Send one request and block for the next response frame. Only valid when
+  /// no pipelined responses are outstanding (responses are not matched by id
+  /// here — the server answers this connection's frames in completion order).
+  ResponseFrame request(const RequestFrame& frame);
+
+  /// Pipelined send, no wait. Throws std::system_error on a broken socket.
+  void send(const RequestFrame& frame);
+  /// Write raw bytes as-is (corrupt-frame tests).
+  void send_raw(const std::uint8_t* data, std::size_t size);
+  void send_raw(const std::vector<std::uint8_t>& bytes) { send_raw(bytes.data(), bytes.size()); }
+
+  /// Block for the next response frame. Throws std::runtime_error on EOF or
+  /// an undecodable response stream.
+  ResponseFrame recv();
+  /// Non-blocking: next response frame if one is already buffered/readable,
+  /// std::nullopt otherwise. Sets *eof when the server closed the stream.
+  std::optional<ResponseFrame> poll_response(bool* eof = nullptr);
+
+  /// Send the kFlagDrain control frame and block for its kOk acknowledgement.
+  ResponseFrame drain_server(std::uint64_t request_id = 0);
+
+  /// Half-close: no more writes from us; reads stay open. The server sees
+  /// EOF (answering kTruncated when our last frame was partial).
+  void shutdown_write();
+
+  int fd() const { return fd_; }
+
+ private:
+  void write_all(const std::uint8_t* data, std::size_t size);
+  /// Read into rbuf_. Blocking variant waits for >= 1 byte; non-blocking
+  /// variant takes whatever is ready. Returns false on EOF.
+  bool fill(bool blocking);
+  std::optional<ResponseFrame> try_decode();
+
+  int fd_ = -1;
+  std::vector<std::uint8_t> rbuf_;
+  std::size_t roff_ = 0;  ///< decoded prefix of rbuf_
+  bool eof_ = false;
+};
+
+}  // namespace ascend::serve

@@ -1,0 +1,123 @@
+#pragma once
+// protocol.h — the front-door wire protocol.
+//
+// A length-prefixed binary framing over TCP: every request and response
+// starts with a fixed little-endian header (magic + version first, so a
+// desynchronized or foreign peer is detected from the first four bytes),
+// followed by the variable-length tail the header describes. Requests carry
+// the full runtime::RequestOptions surface — variant id, priority class,
+// deadline budget, retry/fallback policy — plus a raw f32 payload; responses
+// carry a typed Status mirroring the runtime error taxonomy (one wire code
+// per typed failure the serving stack can produce, including kRetryAfter for
+// admission-control rejects with a client backoff hint), the predicted label
+// and logits, and the serving metadata (attempts, degraded, shard).
+//
+// Decoding is incremental and allocation-conscious: decode_request /
+// decode_response consume frames out of an accumulating byte buffer and
+// report kNeedMore until a whole frame is present, so a poll/epoll loop can
+// feed partial reads straight in. Malformed input never throws from the
+// decoder — it yields kError plus the Status the server should answer with
+// (bad magic, unsupported version, oversize or inconsistent lengths), and
+// the caller decides whether the stream is resynchronizable. See
+// docs/frontdoor.md for the byte-level layout tables.
+
+#include <chrono>
+#include <cstdint>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "runtime/batcher.h"
+
+namespace ascend::serve {
+
+/// First four bytes of every frame ("ASND" on a little-endian wire).
+inline constexpr std::uint32_t kMagic = 0x444E5341u;
+/// Protocol version this build speaks. A request carrying a higher version
+/// is answered with kBadVersion and the connection is closed (the tail
+/// layout of a future version cannot be trusted for resync).
+inline constexpr std::uint16_t kVersion = 1;
+/// Upper bound on the f32 payload of one request (4 MiB). A header
+/// announcing more is a malformed frame, not a large request: the server
+/// answers kBadFrame and drops the connection instead of allocating.
+inline constexpr std::uint32_t kMaxPayloadFloats = 1u << 20;
+
+/// Request flag bits.
+inline constexpr std::uint16_t kFlagDrain = 0x1;  ///< graceful-drain control frame
+
+/// Typed wire status of one response. Mirrors the runtime error taxonomy:
+/// every typed exception a request can resolve with has exactly one code, so
+/// a client can account ok + typed + rejected == issued without parsing
+/// message strings.
+enum class Status : std::uint16_t {
+  kOk = 0,
+  kBadMagic = 1,         ///< frame did not start with kMagic (stream desync)
+  kBadVersion = 2,       ///< unsupported protocol version
+  kBadFrame = 3,         ///< malformed header (oversize/inconsistent lengths)
+  kTruncated = 4,        ///< peer half-closed mid-frame
+  kUnknownVariant = 5,   ///< runtime::UnknownVariantError
+  kDeadlineExceeded = 6, ///< runtime::DeadlineExceededError
+  kRetryAfter = 7,       ///< admission reject / queue full; retry_after_ms set
+  kShuttingDown = 8,     ///< runtime::EngineShutdownError or server drain
+  kWatchdogTimeout = 9,  ///< runtime::WatchdogTimeoutError
+  kInjectedFault = 10,   ///< runtime::failpoint::InjectedFaultError
+  kInternal = 11,        ///< any other exception
+};
+const char* status_name(Status s);
+
+/// One decoded request frame (the server-side view).
+struct RequestFrame {
+  std::uint64_t request_id = 0;
+  std::uint16_t flags = 0;
+  runtime::RequestOptions options;  ///< variant / priority / deadline / retry
+  std::vector<float> payload;
+
+  bool drain() const { return (flags & kFlagDrain) != 0; }
+};
+
+/// One response frame (built by the server, decoded by the client).
+struct ResponseFrame {
+  std::uint64_t request_id = 0;
+  Status status = Status::kInternal;
+  std::int32_t label = -1;
+  std::uint32_t retry_after_ms = 0;  ///< client backoff hint; kRetryAfter only
+  std::uint8_t attempts = 1;         ///< forward attempts spent (Prediction::attempts)
+  bool degraded = false;             ///< served by the fallback variant
+  std::uint16_t shard = 0;           ///< shard that served (or rejected) the request
+  std::vector<float> logits;         ///< kOk only
+};
+
+/// Fixed header sizes on the wire (packed little-endian, no padding).
+inline constexpr std::size_t kRequestHeaderBytes = 28;
+inline constexpr std::size_t kResponseHeaderBytes = 32;
+
+/// Serialized size of `frame` (header + tail).
+std::size_t request_wire_size(const RequestFrame& frame);
+std::size_t response_wire_size(const ResponseFrame& frame);
+
+/// Append one serialized frame to `out`. Throws std::invalid_argument when a
+/// field does not fit its wire type (variant id over 255 bytes, payload over
+/// kMaxPayloadFloats, ...): a frame we could not decode back is never sent.
+void append_request(std::vector<std::uint8_t>& out, const RequestFrame& frame);
+void append_response(std::vector<std::uint8_t>& out, const ResponseFrame& frame);
+
+/// Incremental decode outcome.
+enum class DecodeResult {
+  kNeedMore,  ///< not enough bytes for a whole frame yet
+  kFrame,     ///< one frame decoded; `consumed` bytes were eaten
+  kError,     ///< stream is bad; answer `error` and treat per its kind
+};
+
+/// Try to decode one request frame from `data[0..size)`. On kFrame fills
+/// `out` and sets `consumed`; on kError sets `error` (kBadMagic /
+/// kBadVersion / kBadFrame) and `error_request_id` to the request id salvaged
+/// from the header bytes when there were enough of them (0 otherwise), so the
+/// failure response can still echo the id. Never throws.
+DecodeResult decode_request(const std::uint8_t* data, std::size_t size, std::size_t& consumed,
+                            RequestFrame& out, Status& error, std::uint64_t& error_request_id);
+
+/// Client-side twin for response frames.
+DecodeResult decode_response(const std::uint8_t* data, std::size_t size, std::size_t& consumed,
+                             ResponseFrame& out, Status& error);
+
+}  // namespace ascend::serve

@@ -1,0 +1,175 @@
+#pragma once
+// server.h — the TCP front door.
+//
+// One epoll-driven IO thread owns the listen socket and every connection:
+// accepts, non-blocking framed reads (partial frames accumulate per
+// connection and are decoded incrementally via serve::decode_request), and
+// non-blocking framed writes (responses queue per connection; EPOLLOUT is
+// armed only while a backlog exists). Decoded requests route through a
+// ShardSet (serve/shard_set.h) — the IO thread never blocks on inference:
+// ShardSet::submit either enqueues (bounded, kReject) or throws a typed
+// error that is answered immediately (kRetryAfter with a backoff hint for
+// admission rejects, kUnknownVariant, ...). Resolved futures are reaped by a
+// small completion pump: worker threads block on the engine futures, build
+// the response frames and hand the bytes back to the IO thread's write path.
+//
+// Error containment: a malformed frame is answered with its typed status
+// (kBadMagic / kBadVersion / kBadFrame / kTruncated) and only the one
+// connection is closed when the stream cannot be resynchronized — the
+// connection loop itself never dies. Fault-injection sites serve.accept,
+// serve.read and serve.write drop the affected connection the way a real
+// socket error would, exercised by test_chaos.
+//
+// Graceful drain: a client frame with kFlagDrain (or Server::drain()) stops
+// the accept path, answers kShuttingDown to any later request, lets every
+// queued/in-flight request resolve and its response flush, then wakes
+// wait_drained(). No request is lost: every byte accepted before the drain
+// is answered.
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/metrics/registry.h"
+#include "serve/protocol.h"
+#include "serve/shard_set.h"
+
+namespace ascend::serve {
+
+struct ServerOptions {
+  std::string bind_address = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral; read the bound port via port()
+  int backlog = 256;
+  int completion_threads = 2;  ///< future-reaper workers building responses
+};
+
+/// Counters the server keeps outside the metrics registry (one consistent
+/// snapshot for tests and end-of-run prints).
+struct ServerStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_closed = 0;
+  std::uint64_t frames_in = 0;       ///< well-formed request frames decoded
+  std::uint64_t responses_out = 0;   ///< response frames fully flushed
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::uint64_t protocol_errors = 0; ///< malformed frames answered with a typed status
+};
+
+class Server {
+ public:
+  /// Binds, listens and starts the IO loop + completion pump. The ShardSet
+  /// must outlive the server. Throws std::system_error on bind failure.
+  Server(ShardSet& shards, ServerOptions opts = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Port actually bound (resolves opts.port == 0).
+  std::uint16_t port() const { return port_; }
+
+  /// Initiate graceful drain (idempotent): stop accepting, answer
+  /// kShuttingDown to new requests, let accepted work resolve and flush.
+  void drain();
+  /// True once drain() ran (locally or via a kFlagDrain control frame).
+  bool draining() const { return draining_.load(); }
+  /// Block until a drain was initiated AND every in-flight request has
+  /// resolved and flushed its response.
+  void wait_drained();
+
+  ServerStats stats() const;
+  const std::shared_ptr<runtime::metrics::MetricsRegistry>& metrics() const {
+    return shards_.metrics();
+  }
+
+ private:
+  struct Connection {
+    explicit Connection(int fd) : fd(fd) {}
+    const int fd;
+    std::vector<std::uint8_t> rbuf;   ///< accumulated unparsed request bytes (IO thread only)
+    bool read_eof = false;            ///< peer half-closed; flush owed responses, then close
+    std::mutex mu;                    ///< guards everything below
+    std::vector<std::uint8_t> wbuf;   ///< pending response bytes
+    std::size_t woff = 0;             ///< flushed prefix of wbuf
+    bool closed = false;              ///< fd retired; late completions drop their response
+    bool close_after_flush = false;   ///< protocol error: answer, then hang up
+    std::uint64_t in_flight = 0;      ///< submitted requests not yet answered
+  };
+
+  struct Completion {
+    std::weak_ptr<Connection> conn;
+    std::uint64_t request_id = 0;
+    int shard = 0;
+    std::future<runtime::Prediction> future;
+  };
+
+  void io_loop();
+  void pump_loop();
+  void handle_accept();
+  void handle_readable(const std::shared_ptr<Connection>& conn);
+  void handle_writable(const std::shared_ptr<Connection>& conn);
+  /// Decode-and-dispatch every complete frame in conn->rbuf. Returns false
+  /// when the connection must close (unrecoverable protocol error).
+  bool drain_rbuf(const std::shared_ptr<Connection>& conn);
+  void handle_frame(const std::shared_ptr<Connection>& conn, RequestFrame&& frame);
+  /// Serialize `resp` onto the connection: direct write when the buffer is
+  /// empty, else queued; arms EPOLLOUT when bytes remain. Safe from any
+  /// thread.
+  void send_response(const std::shared_ptr<Connection>& conn, const ResponseFrame& resp,
+                     bool completes_request);
+  /// Flush conn->wbuf (caller holds conn->mu). Returns false on socket error.
+  bool flush_locked(Connection& conn);
+  void request_write_interest(const std::shared_ptr<Connection>& conn);
+  void close_connection(const std::shared_ptr<Connection>& conn);
+  void wake_loop();
+  void note_request_done();
+
+  ShardSet& shards_;
+  ServerOptions opts_;
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  ///< eventfd the pump uses to hand work to the IO thread
+
+  std::thread io_thread_;
+  std::vector<std::thread> pump_threads_;
+
+  std::mutex conns_mu_;
+  std::unordered_map<int, std::shared_ptr<Connection>> conns_;  ///< live connections by fd
+
+  std::mutex pump_mu_;
+  std::condition_variable pump_cv_;
+  std::deque<Completion> pump_queue_;
+  bool pump_stop_ = false;
+
+  std::mutex epollout_mu_;
+  std::vector<std::shared_ptr<Connection>> epollout_requests_;  ///< pump -> IO thread
+
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> draining_{false};
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+  std::uint64_t open_requests_ = 0;  ///< under drain_mu_: submitted, response not flushed
+
+  // Stats atomics (ServerStats is a read of these).
+  std::atomic<std::uint64_t> connections_accepted_{0};
+  std::atomic<std::uint64_t> connections_closed_{0};
+  std::atomic<std::uint64_t> frames_in_{0};
+  std::atomic<std::uint64_t> responses_out_{0};
+  std::atomic<std::uint64_t> bytes_in_{0};
+  std::atomic<std::uint64_t> bytes_out_{0};
+  std::atomic<std::uint64_t> protocol_errors_{0};
+  std::vector<runtime::metrics::CallbackId> metric_callbacks_;
+  /// Responses flushed per wire status, indexed by Status value.
+  std::array<runtime::metrics::Counter*, 12> status_counters_{};
+};
+
+}  // namespace ascend::serve

@@ -5,8 +5,10 @@
 //     delay and err actions, and zero allocations on the disabled path
 //     (this target links alloc_interpose, see CMakeLists.txt);
 //   * injection at each serving site: batcher.enqueue, pool.task,
-//     engine.infer, loader.decode, ckpt.*, registry.publish — every fault
-//     surfaces as a typed error, never a crash or a silent wrong answer;
+//     engine.infer, loader.decode, ckpt.*, registry.publish, and the front
+//     door's serve.accept / serve.read / serve.write / router.route — every
+//     fault surfaces as a typed error (or drops only the faulted
+//     connection), never a crash or a silent wrong answer;
 //   * self-healing: retry with backoff, fallback-variant degradation, the
 //     forward watchdog, and canary-validated hot-swap rollback;
 //   * the tentpole claim — a seeded randomized fault schedule under
@@ -38,6 +40,10 @@
 #include "runtime/servable.h"
 #include "serialize/checkpoint.h"
 #include "serialize/model_io.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "serve/shard_set.h"
 #include "vit/model.h"
 #include "vit/servable.h"
 
@@ -655,4 +661,162 @@ TEST_F(ChaosTest, SteadyStateForwardStaysAllocFreeWithFailpointsInTheBinary) {
   }
   EXPECT_EQ(alloc_count() - before, 0u)
       << "steady-state forwards must not touch the heap with failpoints present";
+}
+
+// ---------------------------------------------------------------------------
+// Front-door chaos: serve.accept / serve.read / serve.write / router.route
+// ---------------------------------------------------------------------------
+
+namespace {
+
+serve::ShardSetOptions serve_chaos_opts(int shards = 2) {
+  serve::ShardSetOptions o;
+  o.shards = shards;
+  o.engine.max_batch = 4;
+  o.engine.max_delay = std::chrono::microseconds{300};
+  o.engine.concurrent_forwards = 1;
+  o.engine.threads = 2;
+  o.engine.max_pending = 32;
+  o.engine.default_variant = "mock";
+  return o;
+}
+
+void serve_chaos_bootstrap(int /*shard*/, ModelRegistry& reg) {
+  reg.publish(std::make_shared<MockServable>("mock", 0));
+}
+
+serve::RequestFrame serve_request(std::uint64_t id, float head) {
+  serve::RequestFrame f;
+  f.request_id = id;
+  f.payload = payload(head);
+  return f;
+}
+
+}  // namespace
+
+TEST_F(ChaosTest, ServeAcceptInjectionDropsTheConnectionButTheLoopKeepsAccepting) {
+  serve::ShardSet shards(serve_chaos_bootstrap, serve_chaos_opts());
+  serve::Server server(shards);
+  failpoint::arm("serve.accept", "once,throw");
+  // The faulted accept closes the first connection the way an accept-time
+  // socket error would; the TCP handshake already succeeded in the kernel,
+  // so the client only notices at its first read.
+  {
+    serve::Client victim("127.0.0.1", server.port());
+    victim.send(serve_request(1, 1.0f));
+    EXPECT_THROW((void)victim.recv(), std::runtime_error);
+  }
+  // once => auto-disarmed: the loop is still accepting and serving.
+  serve::Client survivor("127.0.0.1", server.port());
+  EXPECT_EQ(survivor.request(serve_request(2, 3.0f)).status, serve::Status::kOk);
+  const auto stats = failpoint::sites();
+  for (const auto& s : stats)
+    if (s.name == std::string("serve.accept")) EXPECT_EQ(s.fires, 1u);
+}
+
+TEST_F(ChaosTest, ServeReadInjectionKillsOnlyTheFaultedConnection) {
+  serve::ShardSet shards(serve_chaos_bootstrap, serve_chaos_opts());
+  serve::Server server(shards);
+  serve::Client bystander("127.0.0.1", server.port());
+  EXPECT_EQ(bystander.request(serve_request(1, 1.0f)).status, serve::Status::kOk);
+
+  failpoint::arm("serve.read", "once,throw");
+  serve::Client victim("127.0.0.1", server.port());
+  victim.send(serve_request(2, 1.0f));
+  EXPECT_THROW((void)victim.recv(), std::runtime_error);
+
+  // The bystander's connection was never touched.
+  EXPECT_EQ(bystander.request(serve_request(3, 2.0f)).status, serve::Status::kOk);
+  EXPECT_EQ(server.stats().protocol_errors, 0u);
+}
+
+TEST_F(ChaosTest, ServeWriteInjectionDropsTheConnectionWithoutWedgingDrain) {
+  serve::ShardSet shards(serve_chaos_bootstrap, serve_chaos_opts());
+  serve::Server server(shards);
+  failpoint::arm("serve.write", "once,throw");
+  {
+    serve::Client victim("127.0.0.1", server.port());
+    victim.send(serve_request(1, 1.0f));
+    // The response flush faults; the connection dies instead of delivering.
+    EXPECT_THROW((void)victim.recv(), std::runtime_error);
+  }
+  serve::Client survivor("127.0.0.1", server.port());
+  EXPECT_EQ(survivor.request(serve_request(2, 3.0f)).status, serve::Status::kOk);
+  // Request accounting survived the dropped response: a drain completes
+  // instead of waiting forever on the faulted request.
+  server.drain();
+  server.wait_drained();
+}
+
+TEST_F(ChaosTest, RouterRouteInjectionSurfacesAsTypedInjectedFaultOverTheWire) {
+  serve::ShardSet shards(serve_chaos_bootstrap, serve_chaos_opts());
+  serve::Server server(shards);
+  serve::Client client("127.0.0.1", server.port());
+  failpoint::arm("router.route", "n2,throw");
+  for (int i = 0; i < 2; ++i) {
+    const serve::ResponseFrame resp = client.request(serve_request(static_cast<std::uint64_t>(i), 1.0f));
+    EXPECT_EQ(resp.status, serve::Status::kInjectedFault);
+    EXPECT_EQ(resp.request_id, static_cast<std::uint64_t>(i));
+  }
+  // n2 exhausted: the SAME connection keeps serving — a route fault is a
+  // typed per-request failure, not a connection failure.
+  EXPECT_EQ(client.request(serve_request(9, 4.0f)).status, serve::Status::kOk);
+  EXPECT_EQ(shards.admitted(), 1u);
+}
+
+TEST_F(ChaosTest, MidTrafficPublishAllWithFailingCanaryKeepsIncumbentAndLosesNoRequest) {
+  // The coordinated-publish acceptance claim under live load: while mixed
+  // traffic flows, a publish_all whose shard-1 candidate diverges on the
+  // canary must leave BOTH shards on the incumbent generation, and every
+  // issued request must still resolve: ok + typed + rejected == issued.
+  serve::ShardSet shards(serve_chaos_bootstrap, serve_chaos_opts());
+  serve::Server server(shards);
+
+  constexpr int kClients = 6;
+  constexpr int kPerClient = 40;
+  std::atomic<int> ok{0}, retry{0}, typed{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      serve::Client client("127.0.0.1", server.port());
+      for (int i = 0; i < kPerClient; ++i) {
+        serve::RequestFrame f = serve_request(static_cast<std::uint64_t>(c * kPerClient + i),
+                                              static_cast<float>(i % 8));
+        f.options.priority = static_cast<Priority>(i % kNumPriorities);
+        const serve::ResponseFrame resp = client.request(f);
+        if (resp.status == serve::Status::kOk) {
+          ok.fetch_add(1);
+          EXPECT_EQ(resp.label, i % 8);  // always the bias-0 incumbent
+        } else if (resp.status == serve::Status::kRetryAfter) {
+          retry.fetch_add(1);
+        } else {
+          typed.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  CanaryOptions canary;
+  canary.golden_input = golden_batch(3);
+  canary.require_label_match = true;
+  const serve::PublishAllResult pub = shards.publish_all(
+      [](int shard) { return std::make_shared<MockServable>("mock", shard == 1 ? 5 : 0); },
+      &canary);
+  for (auto& t : clients) t.join();
+
+  EXPECT_FALSE(pub.published);
+  EXPECT_EQ(pub.failed_shard, 1);
+  for (int s = 0; s < 2; ++s)
+    EXPECT_EQ(shards.registry(s)->generation("mock"), 1u)
+        << "shard " << s << " must stay on the incumbent generation";
+  EXPECT_EQ(shards.registry(1)->rollbacks(), 1u);
+  EXPECT_EQ(ok.load() + retry.load() + typed.load(), kClients * kPerClient)
+      << "no request lost across the rejected coordinated publish";
+  EXPECT_GT(ok.load(), 0);
+
+  serve::Client finisher("127.0.0.1", server.port());
+  finisher.drain_server();
+  server.wait_drained();
+  EXPECT_EQ(server.stats().responses_out, server.stats().frames_in);
 }
